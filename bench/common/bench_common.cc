@@ -1,0 +1,152 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace alphapim::bench
+{
+
+namespace
+{
+
+/** Split "a,b,c" into tokens. */
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+[[noreturn]] void
+usage(const char *prog)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--dpus N] [--scale X] [--edge-target N]\n"
+        "          [--datasets a,b,c] [--seed N] [--quick]\n",
+        prog);
+    std::exit(2);
+}
+
+} // namespace
+
+BenchOptions
+parseOptions(int argc, char **argv)
+{
+    BenchOptions opt;
+    if (const char *env = std::getenv("ALPHAPIM_SCALE"))
+        opt.scale = std::atof(env);
+    if (const char *env = std::getenv("ALPHAPIM_EDGE_TARGET"))
+        opt.edgeTarget = std::strtoull(env, nullptr, 10);
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--dpus") {
+            opt.dpus = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--scale") {
+            opt.scale = std::atof(next());
+        } else if (arg == "--edge-target") {
+            opt.edgeTarget = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--datasets") {
+            opt.datasets = splitCsv(next());
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--quick") {
+            opt.quick = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (opt.quick) {
+        opt.dpus = std::min(opt.dpus, 256u);
+        opt.edgeTarget = std::min<EdgeId>(opt.edgeTarget, 50'000);
+        opt.roadEdgeTarget =
+            std::min<EdgeId>(opt.roadEdgeTarget, 20'000);
+    }
+    return opt;
+}
+
+double
+effectiveScale(const sparse::DatasetSpec &spec,
+               const BenchOptions &opt)
+{
+    if (opt.scale > 0.0)
+        return std::min(opt.scale, 1.0);
+    const EdgeId target =
+        spec.family == sparse::GraphFamily::Regular
+            ? opt.roadEdgeTarget
+            : opt.edgeTarget;
+    if (spec.edges <= target)
+        return 1.0;
+    return static_cast<double>(target) /
+           static_cast<double>(spec.edges);
+}
+
+sparse::Dataset
+loadDataset(const std::string &abbreviation, const BenchOptions &opt)
+{
+    const auto &spec = sparse::findSpec(abbreviation);
+    return sparse::buildDataset(spec, effectiveScale(spec, opt),
+                                opt.seed);
+}
+
+std::vector<std::string>
+datasetList(const BenchOptions &opt,
+            const std::vector<std::string> &defaults)
+{
+    return opt.datasets.empty() ? defaults : opt.datasets;
+}
+
+upmem::UpmemSystem
+makeSystem(unsigned dpus)
+{
+    upmem::SystemConfig cfg;
+    cfg.numDpus = dpus;
+    return upmem::UpmemSystem(cfg);
+}
+
+void
+printRunHeader(const std::string &experiment, const BenchOptions &opt)
+{
+    std::printf("### %s\n", experiment.c_str());
+    std::printf("# dpus=%u edge-target=%llu road-edge-target=%llu "
+                "scale=%s seed=%llu%s\n",
+                opt.dpus,
+                static_cast<unsigned long long>(opt.edgeTarget),
+                static_cast<unsigned long long>(opt.roadEdgeTarget),
+                opt.scale > 0 ? TextTable::num(opt.scale, 3).c_str()
+                              : "auto",
+                static_cast<unsigned long long>(opt.seed),
+                opt.quick ? " (quick)" : "");
+}
+
+std::vector<std::string>
+phaseCells(const core::PhaseTimes &t, double norm)
+{
+    ALPHA_ASSERT(norm > 0.0, "normalization must be positive");
+    return {TextTable::num(t.load / norm, 3),
+            TextTable::num(t.kernel / norm, 3),
+            TextTable::num(t.retrieve / norm, 3),
+            TextTable::num(t.merge / norm, 3),
+            TextTable::num(t.total() / norm, 3)};
+}
+
+} // namespace alphapim::bench

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared plumbing of the benchmark harness: option parsing, dataset
+ * loading with automatic down-scaling, system construction, random
+ * input vectors at a target density, and table formatting helpers.
+ *
+ * Every bench binary accepts:
+ *   --dpus N          DPUs for the main experiment (default 2048)
+ *   --scale X         force one generation scale for all datasets
+ *   --edge-target N   auto-scale target for undirected edges
+ *   --datasets a,b,c  override the figure's dataset list
+ *   --seed N          RNG seed
+ *   --quick           small configuration for smoke runs
+ * plus environment variables ALPHAPIM_SCALE / ALPHAPIM_EDGE_TARGET.
+ * Down-scaled datasets keep their degree structure (DESIGN.md), so
+ * figure *shapes* are preserved; EXPERIMENTS.md records the scales
+ * used for the committed outputs.
+ */
+
+#ifndef ALPHA_PIM_BENCH_COMMON_HH
+#define ALPHA_PIM_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "core/phase_times.hh"
+#include "sparse/datasets.hh"
+#include "sparse/sparse_vector.hh"
+#include "upmem/upmem_system.hh"
+
+namespace alphapim::bench
+{
+
+/** Parsed command-line options. */
+struct BenchOptions
+{
+    unsigned dpus = 2048;
+    double scale = 0.0; ///< 0 = auto from edgeTarget
+    EdgeId edgeTarget = 200'000;
+    EdgeId roadEdgeTarget = 40'000; ///< road graphs: high diameter
+    std::uint64_t seed = 42;
+    bool quick = false;
+    std::vector<std::string> datasets;
+};
+
+/** Parse argv; prints usage and exits on --help or bad flags. */
+BenchOptions parseOptions(int argc, char **argv);
+
+/** Effective generation scale for one dataset spec. */
+double effectiveScale(const sparse::DatasetSpec &spec,
+                      const BenchOptions &opt);
+
+/** Load (generate) one dataset honouring the options. */
+sparse::Dataset loadDataset(const std::string &abbreviation,
+                            const BenchOptions &opt);
+
+/** Dataset list: the override, or the bench's default. */
+std::vector<std::string> datasetList(
+    const BenchOptions &opt,
+    const std::vector<std::string> &defaults);
+
+/** Build the simulated UPMEM machine with `dpus` DPUs. */
+upmem::UpmemSystem makeSystem(unsigned dpus);
+
+/** Banner with the run configuration (printed by every bench). */
+void printRunHeader(const std::string &experiment,
+                    const BenchOptions &opt);
+
+/**
+ * Deterministic random sparse input vector at (approximately) the
+ * requested density.
+ */
+template <typename Value>
+sparse::SparseVector<Value>
+randomInputVector(NodeId n, double density, std::uint64_t seed,
+                  Value value_lo, Value value_hi)
+{
+    Rng rng(seed);
+    sparse::SparseVector<Value> x(n);
+    for (NodeId i = 0; i < n; ++i) {
+        if (rng.nextBernoulli(density)) {
+            const auto span = static_cast<std::uint64_t>(
+                value_hi - value_lo);
+            const Value v = span == 0
+                ? value_lo
+                : static_cast<Value>(
+                      value_lo +
+                      static_cast<Value>(rng.nextBounded(span + 1)));
+            x.append(i, v);
+        }
+    }
+    if (x.nnz() == 0 && n > 0)
+        x.append(static_cast<NodeId>(seed % n), value_hi);
+    return x;
+}
+
+/** Format a PhaseTimes as "load kernel retrieve merge total" cells
+ * normalized by `norm` (use 1.0 for absolute seconds). */
+std::vector<std::string> phaseCells(const core::PhaseTimes &t,
+                                    double norm);
+
+} // namespace alphapim::bench
+
+#endif // ALPHA_PIM_BENCH_COMMON_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Design-space exploration scenario: sweep every SpMSpV/SpMV kernel
+ * variant and DPU count on one graph and print the Load / Kernel /
+ * Retrieve / Merge breakdown -- the workflow behind the paper's
+ * "25x between best and worst strategy" observation, for users who
+ * want to pick a partitioning for their own dataset.
+ */
+
+#include <cstdio>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "core/kernels.hh"
+#include "sparse/generators.hh"
+
+using namespace alphapim;
+using namespace alphapim::core;
+
+int
+main()
+{
+    Rng rng(31);
+    const auto edges =
+        sparse::generateScaleMatched(6000, 10.0, 35.0, rng);
+    const auto graph = sparse::edgeListToSymmetricCoo(edges);
+    const NodeId n = graph.numRows();
+
+    // A 10%-dense input vector: the regime where strategy choice
+    // matters most.
+    sparse::SparseVector<std::uint32_t> x(n);
+    for (NodeId i = 0; i < n; ++i) {
+        if (rng.nextBernoulli(0.10))
+            x.append(i, 1u + static_cast<std::uint32_t>(
+                                 rng.nextBounded(7)));
+    }
+
+    const KernelVariant variants[] = {
+        KernelVariant::SpmspvCoo,  KernelVariant::SpmspvCsr,
+        KernelVariant::SpmspvCscR, KernelVariant::SpmspvCscC,
+        KernelVariant::SpmspvCsc2d, KernelVariant::SpmvCoo1d,
+        KernelVariant::SpmvDcoo2d};
+
+    for (unsigned dpus : {64u, 256u}) {
+        upmem::SystemConfig sys_cfg;
+        sys_cfg.numDpus = dpus;
+        const upmem::UpmemSystem sys(sys_cfg);
+
+        TextTable table("kernel design space at " +
+                        std::to_string(dpus) +
+                        " DPUs, 10% input density (ms)");
+        table.setHeader({"variant", "load", "kernel", "retrieve",
+                         "merge", "total", "vs best"});
+
+        struct Row
+        {
+            const char *name;
+            core::PhaseTimes times;
+        };
+        std::vector<Row> rows;
+        double best = 1e30;
+        for (auto v : variants) {
+            const auto kernel =
+                makeKernel<IntPlusTimes>(v, sys, graph, dpus);
+            const auto r = kernel->run(x);
+            rows.push_back({kernelVariantName(v), r.times});
+            best = std::min(best, r.times.total());
+        }
+        for (const auto &row : rows) {
+            table.addRow(
+                {row.name, TextTable::num(toMillis(row.times.load), 3),
+                 TextTable::num(toMillis(row.times.kernel), 3),
+                 TextTable::num(toMillis(row.times.retrieve), 3),
+                 TextTable::num(toMillis(row.times.merge), 3),
+                 TextTable::num(toMillis(row.times.total()), 3),
+                 TextTable::num(row.times.total() / best, 2) + "x"});
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    std::printf("takeaway: pick the partitioning per dataset and "
+                "density -- the paper measured up to 25x between "
+                "best and worst\n");
+    return 0;
+}

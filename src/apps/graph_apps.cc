@@ -1,0 +1,260 @@
+#include "graph_apps.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "apps/reference_algorithms.hh"
+#include "common/logging.hh"
+
+namespace alphapim::apps
+{
+
+namespace
+{
+
+/** Resolve the DPU count: 0 means "all the system has". */
+unsigned
+resolveDpus(const upmem::UpmemSystem &sys, const AppConfig &cfg)
+{
+    return cfg.dpus == 0 ? sys.numDpus() : cfg.dpus;
+}
+
+/** Iteration cap: explicit, or the vertex count. */
+unsigned
+resolveMaxIters(const AppConfig &cfg, NodeId n)
+{
+    return cfg.maxIterations == 0 ? n : cfg.maxIterations;
+}
+
+} // namespace
+
+AppResult
+runBfs(const upmem::UpmemSystem &sys,
+       const sparse::CooMatrix<float> &adjacency, NodeId source,
+       const AppConfig &config)
+{
+    const NodeId n = adjacency.numRows();
+    ALPHA_ASSERT(source < n, "BFS source out of range");
+    const unsigned dpus = resolveDpus(sys, config);
+    core::PimEngine<core::BoolOrAnd> engine(
+        sys, adjacency, dpus, config.strategy,
+        config.switchThreshold);
+
+    AppResult result;
+    result.levels.assign(n, invalidNode);
+    result.levels[source] = 0;
+    std::vector<bool> visited(n, false);
+    visited[source] = true;
+
+    sparse::SparseVector<std::uint32_t> frontier(n);
+    frontier.append(source, 1u);
+
+    const unsigned max_iters = resolveMaxIters(config, n);
+    const Bytes vec_bytes = static_cast<Bytes>(n) * sizeof(float);
+    for (unsigned iter = 1; iter <= max_iters; ++iter) {
+        IterationLog log;
+        log.iteration = iter;
+        log.inputDensity = frontier.density();
+
+        auto r = engine.multiply(frontier);
+        // Mask out visited vertices and build the next frontier --
+        // host work accounted in the Merge phase together with the
+        // convergence check.
+        r.times.merge += sys.host().convergenceTime(vec_bytes);
+        sparse::SparseVector<std::uint32_t> next(n);
+        for (NodeId v = 0; v < n; ++v) {
+            if (r.y[v] != 0 && !visited[v]) {
+                visited[v] = true;
+                result.levels[v] = iter;
+                next.append(v, 1u);
+            }
+        }
+
+        log.outputDensity = next.density();
+        log.usedSpmv = engine.lastUsedSpmv();
+        log.times = r.times;
+        log.semiringOps = r.semiringOps;
+        result.addIteration(log, r.profile);
+
+        frontier = std::move(next);
+        if (frontier.nnz() == 0) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+AppResult
+runSssp(const upmem::UpmemSystem &sys,
+        const sparse::CooMatrix<float> &weighted, NodeId source,
+        const AppConfig &config)
+{
+    const NodeId n = weighted.numRows();
+    ALPHA_ASSERT(source < n, "SSSP source out of range");
+    const unsigned dpus = resolveDpus(sys, config);
+    core::PimEngine<core::MinPlus> engine(sys, weighted, dpus,
+                                          config.strategy,
+                                          config.switchThreshold);
+
+    const float inf = std::numeric_limits<float>::infinity();
+    AppResult result;
+    result.distances.assign(n, inf);
+    result.distances[source] = 0.0f;
+
+    sparse::SparseVector<float> frontier(n);
+    frontier.append(source, 0.0f);
+
+    const unsigned max_iters = resolveMaxIters(config, n);
+    const Bytes vec_bytes = static_cast<Bytes>(n) * sizeof(float);
+    for (unsigned iter = 1; iter <= max_iters; ++iter) {
+        IterationLog log;
+        log.iteration = iter;
+        log.inputDensity = frontier.density();
+
+        auto r = engine.multiply(frontier);
+        r.times.merge += sys.host().convergenceTime(vec_bytes);
+
+        // Relax: keep vertices whose tentative distance improved.
+        sparse::SparseVector<float> next(n);
+        for (NodeId v = 0; v < n; ++v) {
+            if (r.y[v] < result.distances[v]) {
+                result.distances[v] = r.y[v];
+                next.append(v, r.y[v]);
+            }
+        }
+
+        log.outputDensity = next.density();
+        log.usedSpmv = engine.lastUsedSpmv();
+        log.times = r.times;
+        log.semiringOps = r.semiringOps;
+        result.addIteration(log, r.profile);
+
+        frontier = std::move(next);
+        if (frontier.nnz() == 0) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+AppResult
+runPpr(const upmem::UpmemSystem &sys,
+       const sparse::CooMatrix<float> &adjacency, NodeId source,
+       const AppConfig &config)
+{
+    const NodeId n = adjacency.numRows();
+    ALPHA_ASSERT(source < n, "PPR source out of range");
+    const unsigned dpus = resolveDpus(sys, config);
+
+    const auto a_norm = normalizeColumns(adjacency);
+    core::PimEngine<core::PlusTimes> engine(sys, a_norm, dpus,
+                                            config.strategy,
+                                            config.switchThreshold);
+
+    AppResult result;
+    result.ranks.assign(n, 0.0f);
+    result.ranks[source] = 1.0f;
+
+    sparse::SparseVector<float> x(n);
+    x.append(source, 1.0f);
+
+    const auto alpha = static_cast<float>(config.pprAlpha);
+    const float restart = 1.0f - alpha;
+    const Bytes vec_bytes = static_cast<Bytes>(n) * sizeof(float);
+    for (unsigned iter = 1; iter <= config.pprIterations; ++iter) {
+        IterationLog log;
+        log.iteration = iter;
+        log.inputDensity = x.density();
+
+        auto r = engine.multiply(x);
+        // Damping + restart + delta check on the host (Merge phase).
+        r.times.merge += sys.host().mergeTime(2 * vec_bytes, n);
+
+        double delta = 0.0;
+        sparse::SparseVector<float> next(n);
+        for (NodeId v = 0; v < n; ++v) {
+            float rank = alpha * r.y[v];
+            if (v == source)
+                rank += restart;
+            delta += std::abs(rank - result.ranks[v]);
+            result.ranks[v] = rank;
+            if (rank != 0.0f)
+                next.append(v, rank);
+        }
+
+        log.outputDensity = next.density();
+        log.usedSpmv = engine.lastUsedSpmv();
+        log.times = r.times;
+        log.semiringOps = r.semiringOps;
+        result.addIteration(log, r.profile);
+
+        x = std::move(next);
+        if (config.pprTolerance > 0.0 &&
+            delta < config.pprTolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+    if (!result.converged && config.pprTolerance == 0.0)
+        result.converged = true; // fixed-iteration mode
+    return result;
+}
+
+AppResult
+runConnectedComponents(const upmem::UpmemSystem &sys,
+                       const sparse::CooMatrix<float> &adjacency,
+                       const AppConfig &config)
+{
+    const NodeId n = adjacency.numRows();
+    const unsigned dpus = resolveDpus(sys, config);
+    core::PimEngine<core::MinSelect> engine(sys, adjacency, dpus,
+                                            config.strategy,
+                                            config.switchThreshold);
+
+    AppResult result;
+    result.levels.resize(n);
+    for (NodeId v = 0; v < n; ++v)
+        result.levels[v] = v;
+
+    // Frontier: vertices whose label changed last iteration --
+    // initially everyone, carrying its own id as the label.
+    sparse::SparseVector<std::uint32_t> frontier(n);
+    for (NodeId v = 0; v < n; ++v)
+        frontier.append(v, v);
+
+    const unsigned max_iters = resolveMaxIters(config, n);
+    const Bytes vec_bytes = static_cast<Bytes>(n) * sizeof(float);
+    for (unsigned iter = 1; iter <= max_iters; ++iter) {
+        IterationLog log;
+        log.iteration = iter;
+        log.inputDensity = frontier.density();
+
+        auto r = engine.multiply(frontier);
+        r.times.merge += sys.host().convergenceTime(vec_bytes);
+
+        sparse::SparseVector<std::uint32_t> next(n);
+        for (NodeId v = 0; v < n; ++v) {
+            if (r.y[v] < result.levels[v]) {
+                result.levels[v] = r.y[v];
+                next.append(v, r.y[v]);
+            }
+        }
+
+        log.outputDensity = next.density();
+        log.usedSpmv = engine.lastUsedSpmv();
+        log.times = r.times;
+        log.semiringOps = r.semiringOps;
+        result.addIteration(log, r.profile);
+
+        frontier = std::move(next);
+        if (frontier.nnz() == 0) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace alphapim::apps

@@ -1,0 +1,227 @@
+#include "cpu_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace alphapim::baseline
+{
+
+CpuEngine::CpuEngine(const CpuSpec &spec,
+                     const sparse::CooMatrix<float> &adjacency)
+    : spec_(spec), n_(adjacency.numRows()), parts_(spec.gridParts)
+{
+    ALPHA_ASSERT(adjacency.numRows() == adjacency.numCols(),
+                 "adjacency matrix must be square");
+    ALPHA_ASSERT(parts_ > 0, "grid needs at least one partition");
+
+    part_of_.resize(n_);
+    for (NodeId v = 0; v < n_; ++v) {
+        part_of_[v] = static_cast<NodeId>(
+            static_cast<std::uint64_t>(v) * parts_ / n_);
+    }
+
+    blocks_.assign(static_cast<std::size_t>(parts_) * parts_, {});
+    vertex_degree_.assign(n_, 0);
+    for (std::size_t k = 0; k < adjacency.nnz(); ++k) {
+        // Edge-centric convention: an entry (r, c) propagates from
+        // src = c to dst = r (y = A x semantics).
+        const NodeId dst = adjacency.rowAt(k);
+        const NodeId src = adjacency.colAt(k);
+        blocks_[part_of_[src] * parts_ + part_of_[dst]].push_back(
+            {src, dst, adjacency.valueAt(k)});
+        ++vertex_degree_[src];
+    }
+}
+
+Seconds
+CpuEngine::iterationTime(std::uint64_t streamed_edges,
+                         std::uint64_t active_edges,
+                         std::uint64_t updates, unsigned blocks,
+                         bool dense_pass) const
+{
+    const Seconds stream_bw =
+        static_cast<double>(streamed_edges) * 12.0 /
+        spec_.memBandwidth;
+    const Seconds stream_cpu =
+        static_cast<double>(streamed_edges) * spec_.edgeStreamCost;
+    const Seconds work =
+        static_cast<double>(active_edges) *
+        (dense_pass ? spec_.edgeWorkCostDense
+                    : spec_.edgeWorkCostFrontier);
+    const Seconds update_cost =
+        static_cast<double>(updates) * spec_.vertexUpdateCost;
+    return spec_.iterOverhead + blocks * spec_.blockOverhead +
+           std::max(stream_bw, stream_cpu) + work + update_cost;
+}
+
+CpuRunResult
+CpuEngine::bfs(NodeId source) const
+{
+    ALPHA_ASSERT(source < n_, "source out of range");
+    CpuRunResult result;
+    result.levels.assign(n_, invalidNode);
+    result.levels[source] = 0;
+
+    std::vector<bool> active(n_, false), next_active(n_, false);
+    std::vector<bool> part_active(parts_, false);
+    active[source] = true;
+    part_active[part_of_[source]] = true;
+
+    for (unsigned iter = 1; iter <= n_; ++iter) {
+        std::uint64_t streamed = 0, worked = 0, updates = 0;
+        unsigned touched_blocks = 0;
+        bool any = false;
+
+        for (unsigned sp = 0; sp < parts_; ++sp) {
+            if (!part_active[sp])
+                continue;
+            for (unsigned dp = 0; dp < parts_; ++dp) {
+                const auto &edges = block(sp, dp);
+                if (edges.empty())
+                    continue;
+                ++touched_blocks;
+                streamed += edges.size();
+                for (const Edge &e : edges) {
+                    if (!active[e.src])
+                        continue;
+                    ++worked;
+                    if (result.levels[e.dst] == invalidNode) {
+                        result.levels[e.dst] = iter;
+                        next_active[e.dst] = true;
+                        ++updates;
+                        any = true;
+                    }
+                }
+            }
+        }
+        result.seconds += iterationTime(streamed, worked, updates,
+                                        touched_blocks, false);
+        result.bytesStreamed += streamed * 12;
+        result.edgeOps += worked * 2;
+        result.edgesPerIteration.push_back(worked);
+        ++result.iterations;
+        if (!any)
+            break;
+
+        active.swap(next_active);
+        std::fill(next_active.begin(), next_active.end(), false);
+        std::fill(part_active.begin(), part_active.end(), false);
+        for (NodeId v = 0; v < n_; ++v) {
+            if (active[v])
+                part_active[part_of_[v]] = true;
+        }
+    }
+    return result;
+}
+
+CpuRunResult
+CpuEngine::sssp(NodeId source) const
+{
+    ALPHA_ASSERT(source < n_, "source out of range");
+    const float inf = std::numeric_limits<float>::infinity();
+    CpuRunResult result;
+    result.distances.assign(n_, inf);
+    result.distances[source] = 0.0f;
+
+    std::vector<bool> active(n_, false), next_active(n_, false);
+    std::vector<bool> part_active(parts_, false);
+    active[source] = true;
+    part_active[part_of_[source]] = true;
+
+    for (unsigned iter = 1; iter <= n_; ++iter) {
+        std::uint64_t streamed = 0, worked = 0, updates = 0;
+        unsigned touched_blocks = 0;
+        bool any = false;
+
+        for (unsigned sp = 0; sp < parts_; ++sp) {
+            if (!part_active[sp])
+                continue;
+            for (unsigned dp = 0; dp < parts_; ++dp) {
+                const auto &edges = block(sp, dp);
+                if (edges.empty())
+                    continue;
+                ++touched_blocks;
+                streamed += edges.size();
+                for (const Edge &e : edges) {
+                    if (!active[e.src])
+                        continue;
+                    ++worked;
+                    const float cand =
+                        result.distances[e.src] + e.weight;
+                    if (cand < result.distances[e.dst]) {
+                        result.distances[e.dst] = cand;
+                        next_active[e.dst] = true;
+                        ++updates;
+                        any = true;
+                    }
+                }
+            }
+        }
+        result.seconds += iterationTime(streamed, worked, updates,
+                                        touched_blocks, false);
+        result.bytesStreamed += streamed * 12;
+        result.edgeOps += worked * 2;
+        result.edgesPerIteration.push_back(worked);
+        ++result.iterations;
+        if (!any)
+            break;
+
+        active.swap(next_active);
+        std::fill(next_active.begin(), next_active.end(), false);
+        std::fill(part_active.begin(), part_active.end(), false);
+        for (NodeId v = 0; v < n_; ++v) {
+            if (active[v])
+                part_active[part_of_[v]] = true;
+        }
+    }
+    return result;
+}
+
+CpuRunResult
+CpuEngine::ppr(NodeId source, double alpha,
+               unsigned iterations) const
+{
+    ALPHA_ASSERT(source < n_, "source out of range");
+    CpuRunResult result;
+    result.ranks.assign(n_, 0.0f);
+    result.ranks[source] = 1.0f;
+
+    std::vector<float> next(n_);
+    const auto damp = static_cast<float>(alpha);
+    const float restart = 1.0f - damp;
+
+    std::uint64_t total_edges = 0;
+    unsigned nonempty_blocks = 0;
+    for (const auto &b : blocks_) {
+        total_edges += b.size();
+        nonempty_blocks += b.empty() ? 0 : 1;
+    }
+
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        std::fill(next.begin(), next.end(), 0.0f);
+        for (const auto &b : blocks_) {
+            for (const Edge &e : b) {
+                next[e.dst] +=
+                    result.ranks[e.src] /
+                    static_cast<float>(vertex_degree_[e.src]);
+            }
+        }
+        for (NodeId v = 0; v < n_; ++v)
+            next[v] *= damp;
+        next[source] += restart;
+        result.ranks = next;
+
+        result.seconds += iterationTime(total_edges, total_edges, n_,
+                                        nonempty_blocks, true);
+        result.bytesStreamed += total_edges * 12;
+        result.edgeOps += total_edges * 2;
+        result.edgesPerIteration.push_back(total_edges);
+        ++result.iterations;
+    }
+    return result;
+}
+
+} // namespace alphapim::baseline

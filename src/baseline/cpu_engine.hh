@@ -1,0 +1,101 @@
+/**
+ * @file
+ * CPU baseline: a GridGraph-style edge-centric graph engine with
+ * 2-level hierarchical partitioning (Zhu et al., ATC'15), the system
+ * the paper compares against on the host CPU.
+ *
+ * The engine executes the algorithms for real (its outputs are
+ * checked against the reference implementations) and reports model
+ * time from the CpuSpec cost constants, so results are deterministic
+ * and machine-independent. Streaming follows GridGraph's selective
+ * scheduling: a block is streamed only when its source partition
+ * contains active vertices.
+ */
+
+#ifndef ALPHA_PIM_BASELINE_CPU_ENGINE_HH
+#define ALPHA_PIM_BASELINE_CPU_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/specs.hh"
+#include "common/types.hh"
+#include "sparse/coo.hh"
+
+namespace alphapim::baseline
+{
+
+/** Outcome of one CPU baseline run. */
+struct CpuRunResult
+{
+    Seconds seconds = 0.0;         ///< modeled wall time
+    std::uint64_t edgeOps = 0;     ///< semiring-equivalent ops
+    std::uint64_t bytesStreamed = 0;
+    unsigned iterations = 0;
+    std::vector<std::uint64_t> edgesPerIteration; ///< frontier edges
+    std::vector<std::uint32_t> levels;  ///< BFS output
+    std::vector<float> distances;       ///< SSSP output
+    std::vector<float> ranks;           ///< PPR output
+};
+
+/** GridGraph-style CPU engine bound to one (weighted) adjacency. */
+class CpuEngine
+{
+  public:
+    /**
+     * Build the 2-level edge grid.
+     *
+     * @param spec CPU model parameters
+     * @param adjacency (possibly weighted) symmetric adjacency
+     */
+    CpuEngine(const CpuSpec &spec,
+              const sparse::CooMatrix<float> &adjacency);
+
+    /** Breadth-first search from `source`. */
+    CpuRunResult bfs(NodeId source) const;
+
+    /** Shortest paths from `source` (uses the stored edge weights). */
+    CpuRunResult sssp(NodeId source) const;
+
+    /** Personalized PageRank (power iteration, fixed count). */
+    CpuRunResult ppr(NodeId source, double alpha,
+                     unsigned iterations) const;
+
+    /** The spec in use. */
+    const CpuSpec &spec() const { return spec_; }
+
+    /** Number of vertices. */
+    NodeId numVertices() const { return n_; }
+
+  private:
+    struct Edge
+    {
+        NodeId src;
+        NodeId dst;
+        float weight;
+    };
+
+    /** Edges of grid block (srcPart, dstPart). */
+    const std::vector<Edge> &
+    block(unsigned src_part, unsigned dst_part) const
+    {
+        return blocks_[src_part * parts_ + dst_part];
+    }
+
+    /** Model time of one streamed iteration. */
+    Seconds iterationTime(std::uint64_t streamed_edges,
+                          std::uint64_t active_edges,
+                          std::uint64_t updates, unsigned blocks,
+                          bool dense_pass) const;
+
+    CpuSpec spec_;
+    NodeId n_ = 0;
+    unsigned parts_ = 1;
+    std::vector<NodeId> part_of_;             ///< vertex -> partition
+    std::vector<std::vector<Edge>> blocks_;   ///< P x P edge blocks
+    std::vector<EdgeId> vertex_degree_;       ///< for PPR normalizing
+};
+
+} // namespace alphapim::baseline
+
+#endif // ALPHA_PIM_BASELINE_CPU_ENGINE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Energy accounting: energy = device power envelope x modeled time,
+ * the same first-order accounting the paper's RAPL / nvidia-smi /
+ * DIMM-counter measurements reduce to for these short runs.
+ */
+
+#ifndef ALPHA_PIM_BASELINE_ENERGY_MODEL_HH
+#define ALPHA_PIM_BASELINE_ENERGY_MODEL_HH
+
+#include "baseline/specs.hh"
+#include "common/types.hh"
+
+namespace alphapim::baseline
+{
+
+/** Joule accounting for the three systems. */
+class EnergyModel
+{
+  public:
+    EnergyModel(const CpuSpec &cpu, const GpuSpec &gpu,
+                const UpmemPowerSpec &upmem)
+        : cpu_(cpu), gpu_(gpu), upmem_(upmem)
+    {
+    }
+
+    /** CPU package energy for a run of the given duration. */
+    double cpuJoules(Seconds t) const { return cpu_.powerWatts * t; }
+
+    /** GPU board energy. */
+    double gpuJoules(Seconds t) const { return gpu_.powerWatts * t; }
+
+    /** UPMEM DIMM-system energy. */
+    double
+    upmemJoules(Seconds t) const
+    {
+        return upmem_.systemWatts * t;
+    }
+
+  private:
+    CpuSpec cpu_;
+    GpuSpec gpu_;
+    UpmemPowerSpec upmem_;
+};
+
+/**
+ * Compute-utilization metric of section 6.3.2: achieved operations
+ * per second as a fraction of the device's peak throughput.
+ */
+inline double
+computeUtilization(std::uint64_t ops, Seconds t, double peak_ops)
+{
+    if (t <= 0.0 || peak_ops <= 0.0)
+        return 0.0;
+    return static_cast<double>(ops) / t / peak_ops;
+}
+
+} // namespace alphapim::baseline
+
+#endif // ALPHA_PIM_BASELINE_ENERGY_MODEL_HH

@@ -1,0 +1,55 @@
+#include "gpu_model.hh"
+
+namespace alphapim::baseline
+{
+
+GpuRunResult
+GpuModel::bfs(const std::vector<std::uint64_t> &edges_per_level,
+              NodeId n) const
+{
+    GpuRunResult result;
+    result.seconds = spec_.bfsFixedOverhead;
+    for (std::uint64_t edges : edges_per_level) {
+        result.seconds +=
+            spec_.bfsKernelsPerLevel * spec_.kernelLaunch;
+        // Frontier expansion traffic + one status-array pass.
+        result.seconds += trafficTime(edges * 8 +
+                                      static_cast<Bytes>(n) * 8);
+        result.ops += edges * 2;
+    }
+    return result;
+}
+
+GpuRunResult
+GpuModel::sssp(const std::vector<std::uint64_t> &edges_per_round,
+               NodeId n) const
+{
+    GpuRunResult result;
+    result.seconds = spec_.ssspFixedOverhead;
+    for (std::uint64_t edges : edges_per_round) {
+        // Delta-stepping buckets: relax + compact, small kernels.
+        result.seconds += 2 * spec_.kernelLaunch;
+        result.seconds += trafficTime(edges * 12 +
+                                      static_cast<Bytes>(n) * 4);
+        result.ops += edges * 2;
+    }
+    return result;
+}
+
+GpuRunResult
+GpuModel::ppr(unsigned iterations, std::uint64_t edges, NodeId n) const
+{
+    GpuRunResult result;
+    result.seconds = spec_.pprFixedOverhead;
+    for (unsigned it = 0; it < iterations; ++it) {
+        result.seconds +=
+            spec_.pprKernelsPerIteration * spec_.kernelLaunch;
+        // Full CSR SpMV traffic + two dense vector passes.
+        result.seconds += trafficTime(edges * 8 +
+                                      static_cast<Bytes>(n) * 16);
+        result.ops += edges * 2;
+    }
+    return result;
+}
+
+} // namespace alphapim::baseline

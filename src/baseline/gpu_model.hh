@@ -1,0 +1,74 @@
+/**
+ * @file
+ * GPU baseline: an analytical (roofline + launch overhead) model of
+ * cuGraph on the RTX 3050. The model is driven by the real iteration
+ * structure of each algorithm (levels / relaxation rounds / power
+ * iterations with their frontier-edge counts), so dataset-dependent
+ * behaviour is preserved while absolute constants come from GpuSpec.
+ */
+
+#ifndef ALPHA_PIM_BASELINE_GPU_MODEL_HH
+#define ALPHA_PIM_BASELINE_GPU_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/specs.hh"
+#include "common/types.hh"
+
+namespace alphapim::baseline
+{
+
+/** Modeled GPU execution of one algorithm run. */
+struct GpuRunResult
+{
+    Seconds seconds = 0.0;
+    std::uint64_t ops = 0; ///< semiring-equivalent operations
+};
+
+/** Analytical cuGraph model. */
+class GpuModel
+{
+  public:
+    /** @param spec GPU parameters and calibration constants */
+    explicit GpuModel(const GpuSpec &spec) : spec_(spec) {}
+
+    /**
+     * BFS: per level, a fixed kernel chain plus frontier-edge and
+     * vertex-array traffic.
+     *
+     * @param edges_per_level frontier edges expanded per level
+     * @param n vertex count
+     */
+    GpuRunResult bfs(const std::vector<std::uint64_t> &edges_per_level,
+                     NodeId n) const;
+
+    /**
+     * SSSP: cuGraph's delta-stepping executes a long, largely
+     * dataset-independent chain of small kernels (the paper's flat
+     * ~13 ms observation); traffic terms add the dataset dependence.
+     */
+    GpuRunResult sssp(const std::vector<std::uint64_t> &edges_per_round,
+                      NodeId n) const;
+
+    /** PPR: power iterations of full-matrix SpMV plus vector ops. */
+    GpuRunResult ppr(unsigned iterations, std::uint64_t edges,
+                     NodeId n) const;
+
+    /** The spec in use. */
+    const GpuSpec &spec() const { return spec_; }
+
+  private:
+    /** Bytes-over-bandwidth time for one pass. */
+    Seconds
+    trafficTime(std::uint64_t bytes) const
+    {
+        return static_cast<double>(bytes) / spec_.memBandwidth;
+    }
+
+    GpuSpec spec_;
+};
+
+} // namespace alphapim::baseline
+
+#endif // ALPHA_PIM_BASELINE_GPU_MODEL_HH

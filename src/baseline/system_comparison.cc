@@ -1,0 +1,115 @@
+#include "system_comparison.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "sparse/generators.hh"
+#include "sparse/graph_stats.hh"
+
+namespace alphapim::baseline
+{
+
+const char *
+algoName(Algo algo)
+{
+    switch (algo) {
+      case Algo::Bfs:
+        return "BFS";
+      case Algo::Sssp:
+        return "SSSP";
+      case Algo::Ppr:
+        return "PPR";
+    }
+    return "unknown";
+}
+
+ComparisonRow
+SystemComparison::compare(Algo algo, const sparse::Dataset &data,
+                          const apps::AppConfig &config,
+                          std::uint64_t seed) const
+{
+    ComparisonRow row;
+    row.dataset = data.spec.abbreviation;
+    row.algo = algo;
+
+    Rng rng(seed);
+    const NodeId source =
+        sparse::largestComponentVertex(data.adjacency);
+
+    // SSSP operates on a weighted copy; BFS/PPR on the pattern.
+    sparse::CooMatrix<float> matrix = data.adjacency;
+    if (algo == Algo::Sssp)
+        matrix = sparse::assignSymmetricWeights(matrix, 1.0f, 64.0f,
+                                                rng);
+
+    // ---- CPU baseline (GridGraph model) ----
+    const CpuEngine cpu_engine(cpu_, matrix);
+    CpuRunResult cpu_run;
+    switch (algo) {
+      case Algo::Bfs:
+        cpu_run = cpu_engine.bfs(source);
+        break;
+      case Algo::Sssp:
+        cpu_run = cpu_engine.sssp(source);
+        break;
+      case Algo::Ppr:
+        cpu_run = cpu_engine.ppr(source, config.pprAlpha,
+                                 config.pprIterations);
+        break;
+    }
+    row.cpuMs = toMillis(cpu_run.seconds);
+    row.cpuUtilPct = 100.0 * computeUtilization(
+        cpu_run.edgeOps, cpu_run.seconds, cpu_.peakOpsPerSecond);
+    row.cpuJ = energy_.cpuJoules(cpu_run.seconds);
+
+    // ---- GPU baseline (cuGraph model), driven by the real
+    //      iteration structure from the CPU run ----
+    const GpuModel gpu(gpu_);
+    GpuRunResult gpu_run;
+    switch (algo) {
+      case Algo::Bfs:
+        gpu_run = gpu.bfs(cpu_run.edgesPerIteration,
+                          data.adjacency.numRows());
+        break;
+      case Algo::Sssp:
+        gpu_run = gpu.sssp(cpu_run.edgesPerIteration,
+                           data.adjacency.numRows());
+        break;
+      case Algo::Ppr:
+        gpu_run = gpu.ppr(config.pprIterations, matrix.nnz(),
+                          data.adjacency.numRows());
+        break;
+    }
+    row.gpuMs = toMillis(gpu_run.seconds);
+    row.gpuUtilPct = 100.0 * computeUtilization(
+        gpu_run.ops, gpu_run.seconds, gpu_.peakOpsPerSecond);
+    row.gpuJ = energy_.gpuJoules(gpu_run.seconds);
+
+    // ---- UPMEM (simulated) ----
+    apps::AppResult pim;
+    switch (algo) {
+      case Algo::Bfs:
+        pim = apps::runBfs(sys_, matrix, source, config);
+        break;
+      case Algo::Sssp:
+        pim = apps::runSssp(sys_, matrix, source, config);
+        break;
+      case Algo::Ppr:
+        pim = apps::runPpr(sys_, matrix, source, config);
+        break;
+    }
+    const Seconds kernel_s = pim.total.kernel;
+    const Seconds total_s = pim.total.total();
+    row.upmemKernelMs = toMillis(kernel_s);
+    row.upmemTotalMs = toMillis(total_s);
+    const double upmem_peak = sys_.config().peakOpsPerSecond;
+    row.upmemKernelUtilPct = 100.0 * computeUtilization(
+        pim.totalOps, kernel_s, upmem_peak);
+    row.upmemTotalUtilPct = 100.0 * computeUtilization(
+        pim.totalOps, total_s, upmem_peak);
+    row.upmemKernelJ = energy_.upmemJoules(kernel_s);
+    row.upmemTotalJ = energy_.upmemJoules(total_s);
+
+    return row;
+}
+
+} // namespace alphapim::baseline

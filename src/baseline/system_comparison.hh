@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Cross-system evaluation harness for the paper's Table 4: runs each
+ * graph application on the CPU baseline (GridGraph model), the GPU
+ * baseline (cuGraph model), and the simulated UPMEM system, and
+ * reports execution time, compute utilization, and energy.
+ */
+
+#ifndef ALPHA_PIM_BASELINE_SYSTEM_COMPARISON_HH
+#define ALPHA_PIM_BASELINE_SYSTEM_COMPARISON_HH
+
+#include <string>
+
+#include "apps/graph_apps.hh"
+#include "baseline/cpu_engine.hh"
+#include "baseline/energy_model.hh"
+#include "baseline/gpu_model.hh"
+#include "sparse/datasets.hh"
+
+namespace alphapim::baseline
+{
+
+/** The three evaluated applications. */
+enum class Algo
+{
+    Bfs,
+    Sssp,
+    Ppr,
+};
+
+/** Display name ("BFS" / "SSSP" / "PPR"). */
+const char *algoName(Algo algo);
+
+/** One Table 4 cell group: a (algorithm, dataset) comparison. */
+struct ComparisonRow
+{
+    std::string dataset;
+    Algo algo = Algo::Bfs;
+
+    // Execution time, milliseconds.
+    double cpuMs = 0.0;
+    double gpuMs = 0.0;
+    double upmemKernelMs = 0.0;
+    double upmemTotalMs = 0.0;
+
+    // Compute utilization, percent of peak.
+    double cpuUtilPct = 0.0;
+    double gpuUtilPct = 0.0;
+    double upmemKernelUtilPct = 0.0;
+    double upmemTotalUtilPct = 0.0;
+
+    // Energy, joules.
+    double cpuJ = 0.0;
+    double gpuJ = 0.0;
+    double upmemKernelJ = 0.0;
+    double upmemTotalJ = 0.0;
+};
+
+/** Runs the three systems on one (algorithm, dataset) pair. */
+class SystemComparison
+{
+  public:
+    /**
+     * @param sys   the simulated UPMEM machine
+     * @param cpu   CPU baseline spec
+     * @param gpu   GPU baseline spec
+     * @param power UPMEM power envelope
+     */
+    SystemComparison(const upmem::UpmemSystem &sys,
+                     CpuSpec cpu = {}, GpuSpec gpu = {},
+                     UpmemPowerSpec power = {})
+        : sys_(sys), cpu_(cpu), gpu_(gpu),
+          energy_(cpu, gpu, power)
+    {
+    }
+
+    /**
+     * Run all three systems.
+     *
+     * @param algo   application
+     * @param data   generated dataset
+     * @param config PIM application options (strategy etc.)
+     * @param seed   RNG stream for weights / source selection
+     */
+    ComparisonRow compare(Algo algo, const sparse::Dataset &data,
+                          const apps::AppConfig &config = {},
+                          std::uint64_t seed = 42) const;
+
+    /** CPU spec in use. */
+    const CpuSpec &cpuSpec() const { return cpu_; }
+
+    /** GPU spec in use. */
+    const GpuSpec &gpuSpec() const { return gpu_; }
+
+  private:
+    const upmem::UpmemSystem &sys_;
+    CpuSpec cpu_;
+    GpuSpec gpu_;
+    EnergyModel energy_;
+};
+
+} // namespace alphapim::baseline
+
+#endif // ALPHA_PIM_BASELINE_SYSTEM_COMPARISON_HH

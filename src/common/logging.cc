@@ -1,0 +1,90 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace alphapim
+{
+
+namespace
+{
+
+LogLevel globalLevel = LogLevel::Normal;
+
+/** Shared prefix + vprintf helper for all log channels. */
+void
+emit(const char *tag, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (globalLevel == LogLevel::Silent)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("warn", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (globalLevel == LogLevel::Silent)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("info", fmt, args);
+    va_end(args);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (globalLevel != LogLevel::Verbose)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("debug", fmt, args);
+    va_end(args);
+}
+
+} // namespace alphapim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger or core dump can capture state.
+ * fatal()  - the user asked for something impossible (bad configuration,
+ *            malformed input); exits with status 1.
+ * warn()   - something works but is suspicious or approximate.
+ * inform() - ordinary progress messages.
+ */
+
+#ifndef ALPHA_PIM_COMMON_LOGGING_HH
+#define ALPHA_PIM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace alphapim
+{
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel
+{
+    Silent,  ///< suppress warn/inform
+    Normal,  ///< default: warnings and informational messages
+    Verbose, ///< also emit debug-level detail
+};
+
+/** Set the global verbosity for warn()/inform()/debugLog(). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/** Abort with a formatted message; use for internal bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning (suppressed at LogLevel::Silent). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit an informational message (suppressed at LogLevel::Silent). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a debug message (only at LogLevel::Verbose). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace alphapim
+
+/**
+ * Internal invariant check that survives NDEBUG builds.
+ * Unlike assert(), the condition is always evaluated and failure panics
+ * with location information and the supplied message.
+ */
+#define ALPHA_ASSERT(cond, msg)                                           \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::alphapim::panic("assertion '%s' failed at %s:%d: %s",       \
+                              #cond, __FILE__, __LINE__, (msg));          \
+        }                                                                 \
+    } while (0)
+
+#endif // ALPHA_PIM_COMMON_LOGGING_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Host-side parallel-for used to simulate independent DPUs
+ * concurrently. Work items must be mutually independent; results must
+ * be written to per-item slots so the outcome is deterministic
+ * regardless of thread count.
+ */
+
+#ifndef ALPHA_PIM_COMMON_PARALLEL_HH
+#define ALPHA_PIM_COMMON_PARALLEL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace alphapim
+{
+
+/**
+ * Run fn(i) for every i in [0, count) across the machine's hardware
+ * threads. Falls back to serial execution for small counts.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t count, Fn &&fn)
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(hw ? hw : 1, count));
+    if (workers <= 1 || count < 4) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&]() {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+}
+
+} // namespace alphapim
+
+#endif // ALPHA_PIM_COMMON_PARALLEL_HH

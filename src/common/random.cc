@@ -1,0 +1,121 @@
+#include "random.hh"
+
+#include "logging.hh"
+
+namespace alphapim
+{
+
+namespace
+{
+
+/** SplitMix64 step, used only to expand the seed into generator state. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    ALPHA_ASSERT(bound > 0, "nextBounded requires a positive bound");
+    // Lemire's nearly-divisionless rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (low < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            low = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::nextFloat()
+{
+    return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    // Box-Muller on two uniforms; guard u1 away from zero.
+    double u1 = nextDouble();
+    while (u1 <= 1e-300)
+        u1 = nextDouble();
+    const double u2 = nextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedGaussian_ = r * std::sin(theta);
+    hasCachedGaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::nextLognormal(double mu, double sigma)
+{
+    return std::exp(mu + sigma * nextGaussian());
+}
+
+bool
+Rng::nextBernoulli(double p)
+{
+    return nextDouble() < p;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xa5a5a5a5deadbeefULL);
+}
+
+} // namespace alphapim

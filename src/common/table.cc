@@ -1,0 +1,118 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace alphapim
+{
+
+namespace
+{
+
+/** Sentinel row meaning "draw a separator here". */
+const std::string separatorMark = "\x01--sep--";
+
+} // namespace
+
+TextTable::TextTable(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    ALPHA_ASSERT(header_.empty() || cells.size() == header_.size(),
+                 "row width does not match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({separatorMark});
+}
+
+std::string
+TextTable::render() const
+{
+    // Column widths from header and all data rows.
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        widths[i] = header_[i].size();
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == separatorMark)
+            continue;
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            out << (i ? "  " : "");
+            out << row[i];
+            if (i + 1 < row.size())
+                out << std::string(widths[i] - row[i].size(), ' ');
+        }
+        out << "\n";
+    };
+    auto emit_sep = [&]() {
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i ? 2 : 0);
+        out << std::string(total, '-') << "\n";
+    };
+
+    if (!title_.empty()) {
+        out << "== " << title_ << " ==\n";
+    }
+    if (!header_.empty()) {
+        emit_row(header_);
+        emit_sep();
+    }
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == separatorMark)
+            emit_sep();
+        else
+            emit_row(row);
+    }
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    const std::string text = render();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace alphapim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness.
+ *
+ * Every bench binary reproduces a paper table or figure as rows of
+ * text; TextTable keeps the output aligned and consistent so the
+ * harness logs are directly comparable with the paper.
+ */
+
+#ifndef ALPHA_PIM_COMMON_TABLE_HH
+#define ALPHA_PIM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace alphapim
+{
+
+/** Column-aligned text table with a header row and optional title. */
+class TextTable
+{
+  public:
+    /** @param title banner printed above the table (may be empty) */
+    explicit TextTable(std::string title = "");
+
+    /** Define the header cells; must be called before addRow(). */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append one data row; width must match the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator between row groups. */
+    void addSeparator();
+
+    /** Render the whole table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a value as a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace alphapim
+
+#endif // ALPHA_PIM_COMMON_TABLE_HH

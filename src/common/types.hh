@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental scalar and index types shared by every ALPHA-PIM module.
+ *
+ * The UPMEM DPU is a 32-bit core, so on-device indices and values are
+ * 32 bits wide; host-side aggregate counters use 64-bit types.
+ */
+
+#ifndef ALPHA_PIM_COMMON_TYPES_HH
+#define ALPHA_PIM_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace alphapim
+{
+
+/** Vertex identifier. Matches the DPU-native 32-bit word. */
+using NodeId = std::uint32_t;
+
+/** Edge identifier / nonzero index within a matrix. */
+using EdgeId = std::uint64_t;
+
+/** Cycle count inside the DPU timing model. */
+using Cycles = std::uint64_t;
+
+/** Wall-clock model time in seconds. */
+using Seconds = double;
+
+/** Byte count for transfer models. */
+using Bytes = std::uint64_t;
+
+/** Invalid / unset vertex marker. */
+inline constexpr NodeId invalidNode = static_cast<NodeId>(-1);
+
+/** Convert model seconds to milliseconds (reporting convention). */
+constexpr double
+toMillis(Seconds s)
+{
+    return s * 1e3;
+}
+
+/** Convert model seconds to microseconds. */
+constexpr double
+toMicros(Seconds s)
+{
+    return s * 1e6;
+}
+
+} // namespace alphapim
+
+#endif // ALPHA_PIM_COMMON_TYPES_HH

@@ -1,0 +1,178 @@
+#include "adaptive.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace alphapim::core
+{
+
+namespace
+{
+
+/** Gini impurity of a split counted as (positives, total). */
+double
+gini(std::size_t positives, std::size_t total)
+{
+    if (total == 0)
+        return 0.0;
+    const double p =
+        static_cast<double>(positives) / static_cast<double>(total);
+    return 2.0 * p * (1.0 - p);
+}
+
+/** Feature accessor by index. */
+double
+feature(const GraphSample &s, unsigned f)
+{
+    return f == 0 ? s.avgDegree : s.degreeStd;
+}
+
+} // namespace
+
+int
+DegreeDecisionTree::build(std::vector<GraphSample> samples,
+                          unsigned depth)
+{
+    Node node;
+    const std::size_t total = samples.size();
+    std::size_t positives = 0;
+    for (const auto &s : samples)
+        positives += s.scaleFree ? 1 : 0;
+
+    node.label = positives * 2 >= total;
+    const bool pure = positives == 0 || positives == total;
+    if (depth == 0 || pure || total < 2) {
+        nodes_.push_back(node);
+        return static_cast<int>(nodes_.size()) - 1;
+    }
+
+    // Exhaustive split search over both features.
+    double best_score = gini(positives, total);
+    bool found = false;
+    unsigned best_feature = 0;
+    double best_threshold = 0.0;
+    for (unsigned f = 0; f < 2; ++f) {
+        std::vector<double> values;
+        values.reserve(total);
+        for (const auto &s : samples)
+            values.push_back(feature(s, f));
+        std::sort(values.begin(), values.end());
+        values.erase(std::unique(values.begin(), values.end()),
+                     values.end());
+        for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+            const double thr = (values[i] + values[i + 1]) / 2.0;
+            std::size_t ltotal = 0, lpos = 0;
+            for (const auto &s : samples) {
+                if (feature(s, f) <= thr) {
+                    ++ltotal;
+                    lpos += s.scaleFree ? 1 : 0;
+                }
+            }
+            const std::size_t rtotal = total - ltotal;
+            const std::size_t rpos = positives - lpos;
+            const double score =
+                (gini(lpos, ltotal) * ltotal +
+                 gini(rpos, rtotal) * rtotal) /
+                static_cast<double>(total);
+            if (score + 1e-12 < best_score) {
+                best_score = score;
+                best_feature = f;
+                best_threshold = thr;
+                found = true;
+            }
+        }
+    }
+    if (!found) {
+        nodes_.push_back(node);
+        return static_cast<int>(nodes_.size()) - 1;
+    }
+
+    std::vector<GraphSample> left, right;
+    for (const auto &s : samples) {
+        (feature(s, best_feature) <= best_threshold ? left : right)
+            .push_back(s);
+    }
+    node.leaf = false;
+    node.feature = best_feature;
+    node.threshold = best_threshold;
+    node.left = build(std::move(left), depth - 1);
+    node.right = build(std::move(right), depth - 1);
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+}
+
+void
+DegreeDecisionTree::train(const std::vector<GraphSample> &samples,
+                          unsigned max_depth)
+{
+    ALPHA_ASSERT(!samples.empty(), "cannot train on an empty corpus");
+    nodes_.clear();
+    root_ = build(samples, max_depth);
+}
+
+bool
+DegreeDecisionTree::classifyScaleFree(double avg_degree,
+                                      double degree_std) const
+{
+    if (root_ < 0)
+        return true;
+    int idx = root_;
+    for (;;) {
+        const Node &node = nodes_[idx];
+        if (node.leaf)
+            return node.label;
+        const double value =
+            node.feature == 0 ? avg_degree : degree_std;
+        idx = value <= node.threshold ? node.left : node.right;
+    }
+}
+
+unsigned
+DegreeDecisionTree::nodeCount() const
+{
+    return static_cast<unsigned>(nodes_.size());
+}
+
+std::vector<GraphSample>
+KernelSwitchModel::defaultTrainingSet()
+{
+    // Table 2 corpus plus perturbed copies so the tree does not
+    // overfit exact values; road networks are the regular class.
+    std::vector<GraphSample> samples;
+    for (const auto &spec : sparse::table2Specs()) {
+        const bool scale_free =
+            spec.family != sparse::GraphFamily::Regular;
+        for (double jitter : {0.9, 1.0, 1.1}) {
+            samples.push_back({spec.avgDegree * jitter,
+                               spec.degreeStd * jitter, scale_free});
+        }
+    }
+    return samples;
+}
+
+KernelSwitchModel::KernelSwitchModel()
+{
+    tree_.train(defaultTrainingSet(), 2);
+}
+
+KernelSwitchModel::KernelSwitchModel(DegreeDecisionTree tree)
+    : tree_(std::move(tree))
+{
+}
+
+double
+KernelSwitchModel::switchThreshold(
+    const sparse::GraphStats &stats) const
+{
+    return isScaleFree(stats) ? scaleFreeThreshold : regularThreshold;
+}
+
+bool
+KernelSwitchModel::isScaleFree(const sparse::GraphStats &stats) const
+{
+    return tree_.classifyScaleFree(stats.avgDegree, stats.degreeStd);
+}
+
+} // namespace alphapim::core

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Adaptive SpMSpV/SpMV switching (paper section 4.2).
+ *
+ * A lightweight decision tree trained on graph features (average
+ * degree, degree standard deviation) classifies a dataset as regular
+ * or scale-free and selects the density threshold at which the
+ * engine switches from SpMSpV to SpMV: ~20% for regular graphs,
+ * ~50% for scale-free graphs. Classification happens once during
+ * pre-processing; at runtime only the input-vector density is
+ * monitored.
+ */
+
+#ifndef ALPHA_PIM_CORE_ADAPTIVE_HH
+#define ALPHA_PIM_CORE_ADAPTIVE_HH
+
+#include <memory>
+#include <vector>
+
+#include "sparse/datasets.hh"
+#include "sparse/graph_stats.hh"
+
+namespace alphapim::core
+{
+
+/** One training example for the graph classifier. */
+struct GraphSample
+{
+    double avgDegree;
+    double degreeStd;
+    bool scaleFree; ///< label: true = scale-free, false = regular
+};
+
+/**
+ * Depth-limited CART decision tree over the two degree features.
+ * Small and exact: every (feature, threshold) split is scored by
+ * Gini impurity; midpoints between consecutive observed values are
+ * the candidate thresholds.
+ */
+class DegreeDecisionTree
+{
+  public:
+    /** Build an untrained tree (classifies everything scale-free). */
+    DegreeDecisionTree() = default;
+
+    /** Fit on labelled samples. @param max_depth tree depth limit */
+    void train(const std::vector<GraphSample> &samples,
+               unsigned max_depth = 2);
+
+    /** Classify a graph by its degree features. */
+    bool classifyScaleFree(double avg_degree, double degree_std) const;
+
+    /** Number of decision nodes after training. */
+    unsigned nodeCount() const;
+
+  private:
+    struct Node
+    {
+        bool leaf = true;
+        bool label = true;     ///< leaf: scale-free?
+        unsigned feature = 0;  ///< split: 0 = avgDegree, 1 = degreeStd
+        double threshold = 0;  ///< split: go left when value <= thr
+        int left = -1;
+        int right = -1;
+    };
+
+    int build(std::vector<GraphSample> samples, unsigned depth);
+
+    std::vector<Node> nodes_;
+    int root_ = -1;
+};
+
+/**
+ * The kernel-selection model: classifier + per-class switch points.
+ */
+class KernelSwitchModel
+{
+  public:
+    /** Density threshold for regular graphs (paper: ~20%). */
+    static constexpr double regularThreshold = 0.20;
+
+    /** Density threshold for scale-free graphs (paper: ~50%). */
+    static constexpr double scaleFreeThreshold = 0.50;
+
+    /** Model with the default tree trained on the Table 2 corpus. */
+    KernelSwitchModel();
+
+    /** Model wrapping a custom-trained tree. */
+    explicit KernelSwitchModel(DegreeDecisionTree tree);
+
+    /** Switch threshold for a graph with the given statistics. */
+    double switchThreshold(const sparse::GraphStats &stats) const;
+
+    /** Classification for a graph with the given statistics. */
+    bool isScaleFree(const sparse::GraphStats &stats) const;
+
+    /** The training corpus used by the default model. */
+    static std::vector<GraphSample> defaultTrainingSet();
+
+  private:
+    DegreeDecisionTree tree_;
+};
+
+} // namespace alphapim::core
+
+#endif // ALPHA_PIM_CORE_ADAPTIVE_HH

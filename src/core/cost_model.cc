@@ -1,0 +1,150 @@
+#include "cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/partition.hh"
+
+namespace alphapim::core
+{
+
+KernelCostModel::KernelCostModel(const upmem::UpmemSystem &sys,
+                                 const sparse::GraphStats &stats,
+                                 unsigned dpus)
+    : sys_(sys), stats_(stats), dpus_(dpus)
+{
+    ALPHA_ASSERT(dpus_ > 0, "cost model needs at least one DPU");
+    chooseGridShape(dpus_, gridRows_, gridCols_);
+}
+
+std::uint64_t
+KernelCostModel::expectedOutputNnz(double density) const
+{
+    // d * nnz updates land on N rows ~uniformly: coverage follows
+    // the coupon-collector expectation N * (1 - exp(-updates / N)).
+    const double n = static_cast<double>(stats_.nodes);
+    const double updates =
+        density * static_cast<double>(stats_.nnz);
+    if (n <= 0.0)
+        return 0;
+    return static_cast<std::uint64_t>(
+        n * (1.0 - std::exp(-updates / n)));
+}
+
+KernelCostEstimate
+KernelCostModel::estimateSpmspv(double density) const
+{
+    const auto &cfg = sys_.config();
+    const double n = static_cast<double>(stats_.nodes);
+    const double xnnz = std::max(1.0, density * n);
+    const double updates = std::max(
+        1.0, density * static_cast<double>(stats_.nnz));
+
+    KernelCostEstimate est;
+
+    // Load: compressed x segments scattered per grid column,
+    // duplicated down each grid row.
+    const auto seg_bytes =
+        static_cast<Bytes>(xnnz / gridCols_ * 8.0);
+    est.load = sys_.transfer().uniformScatter(
+        std::max<Bytes>(seg_bytes, 8), dpus_,
+        upmem::TransferDirection::HostToDpu);
+
+    // Kernel: per update ~9 dispatched instructions plus streaming
+    // at dmaBytesPerCycle; per active column a colPtr lookup.
+    const double per_dpu_updates =
+        updates / static_cast<double>(dpus_) * imbalance_;
+    const double per_dpu_cols =
+        xnnz / static_cast<double>(gridCols_) * imbalance_;
+    const double cycles =
+        (per_dpu_updates * 9.0 + per_dpu_cols * 6.0) /
+            issueEfficiency_ +
+        per_dpu_updates * 8.0 / cfg.dpu.dmaBytesPerCycle +
+        per_dpu_cols * cfg.dpu.dmaSetupCycles;
+    est.kernel =
+        cfg.kernelLaunchOverhead + cycles / cfg.dpu.clockHz;
+
+    // Retrieve: compressed partials; grid rows overlap across the
+    // columns of the same row slice.
+    const double out_nnz =
+        static_cast<double>(expectedOutputNnz(density));
+    const double retrieved = std::min(
+        updates, out_nnz * static_cast<double>(gridCols_));
+    est.retrieve = sys_.transfer().uniformScatter(
+        std::max<Bytes>(static_cast<Bytes>(
+                            retrieved / dpus_ * 8.0),
+                        8),
+        dpus_, upmem::TransferDirection::DpuToHost);
+
+    // Merge: combine the retrieved partials on the host.
+    est.merge = sys_.host().mergeTime(
+        static_cast<Bytes>(retrieved * 8.0 + n * 4.0),
+        static_cast<std::uint64_t>(retrieved));
+    return est;
+}
+
+KernelCostEstimate
+KernelCostModel::estimateSpmv() const
+{
+    const auto &cfg = sys_.config();
+    const double n = static_cast<double>(stats_.nodes);
+    const double nnz = static_cast<double>(stats_.nnz);
+
+    KernelCostEstimate est;
+
+    // Load: dense x segments per grid column.
+    const auto seg_bytes = static_cast<Bytes>(n / gridCols_ * 4.0);
+    est.load = sys_.transfer().uniformScatter(
+        std::max<Bytes>(seg_bytes, 8), dpus_,
+        upmem::TransferDirection::HostToDpu);
+
+    // Kernel: every stored nonzero is processed; x segments are
+    // WRAM-cached when they fit (~6 instructions per entry), else
+    // a small DMA per entry.
+    const bool cached =
+        seg_bytes <= cfg.dpu.wramBytes / 4;
+    const double per_dpu_nnz =
+        nnz / static_cast<double>(dpus_) * imbalance_;
+    double cycles = per_dpu_nnz * 7.0 / issueEfficiency_ +
+                    per_dpu_nnz * 12.0 / cfg.dpu.dmaBytesPerCycle;
+    if (!cached)
+        cycles += per_dpu_nnz * cfg.dpu.dmaSetupCycles;
+    est.kernel =
+        cfg.kernelLaunchOverhead + cycles / cfg.dpu.clockHz;
+
+    // Retrieve: dense row slices, duplicated per grid column.
+    const auto slice_bytes =
+        static_cast<Bytes>(n / gridRows_ * 4.0);
+    est.retrieve = sys_.transfer().uniformScatter(
+        std::max<Bytes>(slice_bytes, 8), dpus_,
+        upmem::TransferDirection::DpuToHost);
+
+    // Merge: reduce gridCols partials per row slice.
+    est.merge = sys_.host().mergeTime(
+        static_cast<Bytes>(n * 4.0 * (gridCols_ + 1)),
+        static_cast<std::uint64_t>(n) * gridCols_);
+    return est;
+}
+
+double
+KernelCostModel::predictedSwitchDensity() const
+{
+    const double spmv_total = estimateSpmv().total();
+    // SpMSpV cost is monotone in density; bisect for the crossing.
+    double lo = 0.0, hi = 1.0;
+    if (estimateSpmspv(1.0).total() <= spmv_total)
+        return 1.0;
+    if (estimateSpmspv(1e-4).total() >= spmv_total)
+        return 1e-4;
+    for (int iter = 0; iter < 40; ++iter) {
+        const double mid = (lo + hi) / 2.0;
+        if (estimateSpmspv(mid).total() <= spmv_total)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return (lo + hi) / 2.0;
+}
+
+} // namespace alphapim::core

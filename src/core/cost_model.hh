@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Empirical kernel cost model (paper section 4.2.1): closed-form
+ * estimates of the Load / Kernel / Retrieve / Merge phases of the
+ * CSC-2D SpMSpV and DCOO SpMV kernels from dataset statistics, the
+ * input-vector density, and the system configuration.
+ *
+ * The model serves two purposes:
+ *  - an alternative switch-point policy: the density at which the
+ *    predicted SpMV total undercuts the predicted SpMSpV total;
+ *  - a sanity oracle for the simulator (tests assert the predictions
+ *    track simulated times within a small factor).
+ */
+
+#ifndef ALPHA_PIM_CORE_COST_MODEL_HH
+#define ALPHA_PIM_CORE_COST_MODEL_HH
+
+#include "common/types.hh"
+#include "sparse/graph_stats.hh"
+#include "upmem/upmem_system.hh"
+
+namespace alphapim::core
+{
+
+/** Predicted phase costs of one kernel launch. */
+struct KernelCostEstimate
+{
+    Seconds load = 0.0;
+    Seconds kernel = 0.0;
+    Seconds retrieve = 0.0;
+    Seconds merge = 0.0;
+
+    /** Sum of all phases. */
+    Seconds total() const { return load + kernel + retrieve + merge; }
+};
+
+/**
+ * Analytic cost model for the two kernels the adaptive engine
+ * chooses between, bound to one (dataset, system, DPU count) triple.
+ */
+class KernelCostModel
+{
+  public:
+    /**
+     * @param sys   simulated system (supplies transfer/host models)
+     * @param stats dataset statistics (nodes, nnz, degrees)
+     * @param dpus  DPUs the kernels would use
+     */
+    KernelCostModel(const upmem::UpmemSystem &sys,
+                    const sparse::GraphStats &stats, unsigned dpus);
+
+    /** Predicted cost of one CSC-2D SpMSpV launch at `density`. */
+    KernelCostEstimate estimateSpmspv(double density) const;
+
+    /** Predicted cost of one DCOO SpMV launch (density-invariant). */
+    KernelCostEstimate estimateSpmv() const;
+
+    /**
+     * Density at which the predicted SpMV total first undercuts the
+     * predicted SpMSpV total, found by bisection; 1.0 when SpMSpV
+     * wins everywhere.
+     */
+    double predictedSwitchDensity() const;
+
+    /** Expected output-vector nonzeros at input density d
+     * (Poisson-style coverage of rows by d*nnz random updates). */
+    std::uint64_t expectedOutputNnz(double density) const;
+
+    /** Grid shape used by the estimates. */
+    unsigned gridRows() const { return gridRows_; }
+    unsigned gridCols() const { return gridCols_; }
+
+  private:
+    const upmem::UpmemSystem &sys_;
+    sparse::GraphStats stats_;
+    unsigned dpus_;
+    unsigned gridRows_ = 1;
+    unsigned gridCols_ = 1;
+    /** Critical-DPU inflation over the mean (load imbalance). */
+    double imbalance_ = 1.5;
+    /** Average issue efficiency of the revolver pipeline. */
+    double issueEfficiency_ = 0.45;
+};
+
+} // namespace alphapim::core
+
+#endif // ALPHA_PIM_CORE_COST_MODEL_HH

@@ -1,0 +1,22 @@
+#include "engine.hh"
+
+namespace alphapim::core
+{
+
+const char *
+mxvStrategyName(MxvStrategy strategy)
+{
+    switch (strategy) {
+      case MxvStrategy::Adaptive:
+        return "adaptive";
+      case MxvStrategy::CostModel:
+        return "cost-model";
+      case MxvStrategy::SpmspvOnly:
+        return "spmspv-only";
+      case MxvStrategy::SpmvOnly:
+        return "spmv-only";
+    }
+    return "unknown";
+}
+
+} // namespace alphapim::core

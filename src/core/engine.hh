@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The ALPHA-PIM execution engine: one matrix-vector backend that
+ * applications iterate against. Supports three strategies --
+ * SpMSpV-only, SpMV-only (the SparseP baseline), and the adaptive
+ * switching scheme of paper section 4.2 -- always using the best
+ * kernel of each family (CSC-2D and DCOO-2D).
+ */
+
+#ifndef ALPHA_PIM_CORE_ENGINE_HH
+#define ALPHA_PIM_CORE_ENGINE_HH
+
+#include <memory>
+
+#include "core/adaptive.hh"
+#include "core/cost_model.hh"
+#include "core/spmspv.hh"
+#include "core/spmv.hh"
+
+namespace alphapim::core
+{
+
+/** Kernel-selection strategy of a PimEngine. */
+enum class MxvStrategy
+{
+    Adaptive,   ///< decision-tree threshold + density switching
+    CostModel,  ///< analytic cost-model threshold + switching
+    SpmspvOnly, ///< CSC-2D for every iteration
+    SpmvOnly,   ///< DCOO 2D SpMV for every iteration (SparseP)
+};
+
+/** Strategy display name. */
+const char *mxvStrategyName(MxvStrategy strategy);
+
+/**
+ * Iterative matrix-vector backend over a fixed adjacency matrix.
+ *
+ * @tparam S semiring
+ */
+template <Semiring S>
+class PimEngine
+{
+  public:
+    using Value = typename S::Value;
+
+    /**
+     * Build the engine. Only the kernels the strategy requires are
+     * constructed (matrix load into MRAM is amortized, as in the
+     * paper's methodology).
+     *
+     * @param sys      simulated UPMEM system
+     * @param a        adjacency matrix (app-prepared values)
+     * @param dpus     DPUs to use
+     * @param strategy kernel-selection strategy
+     * @param threshold optional override of the switch density;
+     *                  negative = use the decision-tree model
+     */
+    PimEngine(const upmem::UpmemSystem &sys,
+              const sparse::CooMatrix<float> &a, unsigned dpus,
+              MxvStrategy strategy, double threshold = -1.0)
+        : strategy_(strategy)
+    {
+        if (strategy_ != MxvStrategy::SpmvOnly) {
+            spmspv_ = std::make_unique<CscSpmspv<S>>(sys, a, dpus,
+                                                     CscMode::Grid);
+        }
+        if (strategy_ != MxvStrategy::SpmspvOnly) {
+            spmv_ = std::make_unique<SpmvDcoo2d<S>>(sys, a, dpus);
+        }
+        if (threshold >= 0.0) {
+            threshold_ = threshold;
+        } else if (strategy_ == MxvStrategy::CostModel) {
+            const KernelCostModel model(
+                sys, sparse::computeGraphStats(a), dpus);
+            threshold_ = model.predictedSwitchDensity();
+        } else {
+            const KernelSwitchModel model;
+            threshold_ =
+                model.switchThreshold(sparse::computeGraphStats(a));
+        }
+    }
+
+    /** One matrix-vector product; picks the kernel per strategy. */
+    MxvResult<Value>
+    multiply(const sparse::SparseVector<Value> &x)
+    {
+        const bool switching =
+            strategy_ == MxvStrategy::Adaptive ||
+            strategy_ == MxvStrategy::CostModel;
+        const bool use_spmv =
+            strategy_ == MxvStrategy::SpmvOnly ||
+            (switching && x.density() > threshold_);
+        lastUsedSpmv_ = use_spmv;
+        if (use_spmv) {
+            ++spmvLaunches_;
+            return spmv_->run(x);
+        }
+        ++spmspvLaunches_;
+        return spmspv_->run(x);
+    }
+
+    /** Density above which the adaptive strategy switches to SpMV. */
+    double switchThreshold() const { return threshold_; }
+
+    /** True when the previous multiply() used the SpMV kernel. */
+    bool lastUsedSpmv() const { return lastUsedSpmv_; }
+
+    /** SpMSpV launches so far. */
+    unsigned spmspvLaunches() const { return spmspvLaunches_; }
+
+    /** SpMV launches so far. */
+    unsigned spmvLaunches() const { return spmvLaunches_; }
+
+    /** The engine's strategy. */
+    MxvStrategy strategy() const { return strategy_; }
+
+  private:
+    MxvStrategy strategy_;
+    double threshold_ = 0.5;
+    bool lastUsedSpmv_ = false;
+    unsigned spmspvLaunches_ = 0;
+    unsigned spmvLaunches_ = 0;
+    std::unique_ptr<CscSpmspv<S>> spmspv_;
+    std::unique_ptr<SpmvDcoo2d<S>> spmv_;
+};
+
+} // namespace alphapim::core
+
+#endif // ALPHA_PIM_CORE_ENGINE_HH

@@ -1,0 +1,26 @@
+#include "kernel_base.hh"
+
+namespace alphapim::core::detail
+{
+
+std::vector<std::uint64_t>
+evenSplit(std::uint64_t total, unsigned parts)
+{
+    std::vector<std::uint64_t> starts(parts + 1);
+    for (unsigned p = 0; p <= parts; ++p)
+        starts[p] = total * p / parts;
+    return starts;
+}
+
+unsigned
+searchDepth(std::uint64_t n)
+{
+    unsigned depth = 0;
+    while (n > 0) {
+        ++depth;
+        n >>= 1;
+    }
+    return depth == 0 ? 1 : depth;
+}
+
+} // namespace alphapim::core::detail

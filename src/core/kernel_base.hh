@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared machinery of the PIM matrix-vector kernels: the abstract
+ * kernel interface used by applications and benches, work-splitting
+ * helpers, and the WRAM budgeting rules that decide whether a kernel
+ * accumulates its output (or caches its input vector) in scratchpad
+ * or in MRAM.
+ */
+
+#ifndef ALPHA_PIM_CORE_KERNEL_BASE_HH
+#define ALPHA_PIM_CORE_KERNEL_BASE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/phase_times.hh"
+#include "core/semiring.hh"
+#include "sparse/sparse_vector.hh"
+#include "upmem/upmem_system.hh"
+
+namespace alphapim::core
+{
+
+/** Which matrix-vector kernel family an implementation belongs to. */
+enum class KernelKind
+{
+    SpMSpV, ///< compressed input vector
+    SpMV,   ///< dense input vector
+};
+
+/**
+ * Abstract PIM matrix-vector kernel y = A (*) x over a semiring.
+ *
+ * Implementations own the partitioned device image of A (built once,
+ * amortized over iterations, and excluded from phase timing exactly
+ * as the paper does) and model every launch's Load / Kernel /
+ * Retrieve / Merge phases.
+ */
+template <Semiring S>
+class PimMxvKernel
+{
+  public:
+    using Value = typename S::Value;
+
+    virtual ~PimMxvKernel() = default;
+
+    /** Multiply against input vector x (compressed form). */
+    virtual MxvResult<Value>
+    run(const sparse::SparseVector<Value> &x) const = 0;
+
+    /** Paper-style variant name ("CSC-2D", "COO", ...). */
+    virtual const char *name() const = 0;
+
+    /** SpMSpV or SpMV. */
+    virtual KernelKind kind() const = 0;
+
+    /** Number of matrix rows ( == columns for adjacency matrices). */
+    virtual NodeId numRows() const = 0;
+
+    /** Total modeled MRAM footprint of the partitioned matrix. */
+    virtual Bytes matrixBytes() const = 0;
+};
+
+namespace detail
+{
+
+/** Compressed (index, value) pair size in MRAM. */
+inline constexpr Bytes pairBytes = sizeof(NodeId) + sizeof(float);
+
+/** Number of hardware mutexes used for output-group locking. */
+inline constexpr unsigned outputMutexes = 32;
+
+/** Barrier id used for the end-of-kernel rendezvous. */
+inline constexpr std::uint32_t kernelBarrier = 0;
+
+/** WRAM budget available for output accumulation. */
+inline Bytes
+wramOutputBudget(const upmem::DpuConfig &cfg)
+{
+    return cfg.wramBytes / 2;
+}
+
+/** WRAM budget available for caching the input vector. */
+inline Bytes
+wramInputBudget(const upmem::DpuConfig &cfg)
+{
+    return cfg.wramBytes / 4;
+}
+
+/**
+ * Split `total` items into `parts` contiguous ranges of near-equal
+ * size; returns the starts array (length parts + 1).
+ */
+std::vector<std::uint64_t> evenSplit(std::uint64_t total,
+                                     unsigned parts);
+
+/** ceil(log2(n + 1)): probe count of a binary search over n items. */
+unsigned searchDepth(std::uint64_t n);
+
+} // namespace detail
+
+} // namespace alphapim::core
+
+#endif // ALPHA_PIM_CORE_KERNEL_BASE_HH

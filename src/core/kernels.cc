@@ -1,0 +1,32 @@
+#include "kernels.hh"
+
+namespace alphapim::core
+{
+
+const char *
+kernelVariantName(KernelVariant variant)
+{
+    switch (variant) {
+      case KernelVariant::SpmspvCoo:
+        return "COO";
+      case KernelVariant::SpmspvCsr:
+        return "CSR";
+      case KernelVariant::SpmspvCscR:
+        return "CSC-R";
+      case KernelVariant::SpmspvCscC:
+        return "CSC-C";
+      case KernelVariant::SpmspvCsc2d:
+        return "CSC-2D";
+      case KernelVariant::SpmvCoo1d:
+        return "SpMV-1D";
+      case KernelVariant::SpmvCooRow1d:
+        return "SpMV-COO.row";
+      case KernelVariant::SpmvCsrRow1d:
+        return "SpMV-CSR.row";
+      case KernelVariant::SpmvDcoo2d:
+        return "SpMV-2D";
+    }
+    return "unknown";
+}
+
+} // namespace alphapim::core

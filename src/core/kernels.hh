@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Kernel factory: construct any of the paper's SpMSpV / SpMV variants
+ * by name. Used by the benches to sweep the design space.
+ */
+
+#ifndef ALPHA_PIM_CORE_KERNELS_HH
+#define ALPHA_PIM_CORE_KERNELS_HH
+
+#include <memory>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/spmspv.hh"
+#include "core/spmv.hh"
+
+namespace alphapim::core
+{
+
+/** All kernel variants evaluated in the paper. */
+enum class KernelVariant
+{
+    SpmspvCoo,   ///< COO row-wise SpMSpV
+    SpmspvCsr,   ///< CSR row-wise SpMSpV (the excluded slow variant)
+    SpmspvCscR,  ///< CSC-R
+    SpmspvCscC,  ///< CSC-C
+    SpmspvCsc2d, ///< CSC-2D (ALPHA-PIM's sparse kernel)
+    SpmvCoo1d,   ///< SparseP COO.nnz
+    SpmvCooRow1d, ///< SparseP COO.row (row-granular 1D)
+    SpmvCsrRow1d, ///< SparseP CSR.row (row-granular 1D)
+    SpmvDcoo2d,  ///< SparseP DCOO
+};
+
+/** Display name matching the paper's figures. */
+const char *kernelVariantName(KernelVariant variant);
+
+/** Build a kernel of the given variant. */
+template <Semiring S>
+std::unique_ptr<PimMxvKernel<S>>
+makeKernel(KernelVariant variant, const upmem::UpmemSystem &sys,
+           const sparse::CooMatrix<float> &a, unsigned dpus)
+{
+    switch (variant) {
+      case KernelVariant::SpmspvCoo:
+        return std::make_unique<CooSpmspv<S>>(sys, a, dpus);
+      case KernelVariant::SpmspvCsr:
+        return std::make_unique<CsrSpmspv<S>>(sys, a, dpus);
+      case KernelVariant::SpmspvCscR:
+        return std::make_unique<CscSpmspv<S>>(sys, a, dpus,
+                                              CscMode::RowWise);
+      case KernelVariant::SpmspvCscC:
+        return std::make_unique<CscSpmspv<S>>(sys, a, dpus,
+                                              CscMode::ColWise);
+      case KernelVariant::SpmspvCsc2d:
+        return std::make_unique<CscSpmspv<S>>(sys, a, dpus,
+                                              CscMode::Grid);
+      case KernelVariant::SpmvCoo1d:
+        return std::make_unique<SpmvCoo1d<S>>(sys, a, dpus);
+      case KernelVariant::SpmvCooRow1d:
+        return std::make_unique<SpmvCooRow1d<S>>(sys, a, dpus);
+      case KernelVariant::SpmvCsrRow1d:
+        return std::make_unique<SpmvCsrRow1d<S>>(sys, a, dpus);
+      case KernelVariant::SpmvDcoo2d:
+        return std::make_unique<SpmvDcoo2d<S>>(sys, a, dpus);
+    }
+    panic("unknown kernel variant");
+}
+
+} // namespace alphapim::core
+
+#endif // ALPHA_PIM_CORE_KERNELS_HH

@@ -1,0 +1,122 @@
+#include "partition.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace alphapim::core
+{
+
+unsigned
+Partition1d::rangeOf(NodeId i) const
+{
+    const auto it =
+        std::upper_bound(starts.begin(), starts.end(), i);
+    ALPHA_ASSERT(it != starts.begin() && it != starts.end(),
+                 "index outside the partitioned extent");
+    return static_cast<unsigned>(it - starts.begin()) - 1;
+}
+
+Partition1d
+balancedPartition(const std::vector<EdgeId> &weights, unsigned parts)
+{
+    ALPHA_ASSERT(parts > 0, "partition needs at least one part");
+    const auto extent = static_cast<NodeId>(weights.size());
+
+    EdgeId total = 0;
+    for (EdgeId w : weights)
+        total += w;
+
+    Partition1d partition;
+    partition.starts.reserve(parts + 1);
+    partition.starts.push_back(0);
+
+    // Greedy prefix walk: close part p once the running weight
+    // reaches the p-th share of the total.
+    EdgeId running = 0;
+    NodeId index = 0;
+    for (unsigned p = 1; p < parts; ++p) {
+        const EdgeId target =
+            total * p / parts;
+        while (index < extent && running < target) {
+            running += weights[index];
+            ++index;
+        }
+        partition.starts.push_back(index);
+    }
+    partition.starts.push_back(extent);
+    return partition;
+}
+
+Partition1d
+uniformPartition(NodeId extent, unsigned parts)
+{
+    ALPHA_ASSERT(parts > 0, "partition needs at least one part");
+    Partition1d partition;
+    partition.starts.reserve(parts + 1);
+    for (unsigned p = 0; p <= parts; ++p) {
+        partition.starts.push_back(static_cast<NodeId>(
+            static_cast<std::uint64_t>(extent) * p / parts));
+    }
+    return partition;
+}
+
+std::vector<EdgeId>
+rowWeights(const sparse::CooMatrix<float> &coo)
+{
+    std::vector<EdgeId> weights(coo.numRows(), 0);
+    for (std::size_t k = 0; k < coo.nnz(); ++k)
+        ++weights[coo.rowAt(k)];
+    return weights;
+}
+
+std::vector<EdgeId>
+colWeights(const sparse::CooMatrix<float> &coo)
+{
+    std::vector<EdgeId> weights(coo.numCols(), 0);
+    for (std::size_t k = 0; k < coo.nnz(); ++k)
+        ++weights[coo.colAt(k)];
+    return weights;
+}
+
+void
+chooseGridShape(unsigned dpus, unsigned &grid_rows, unsigned &grid_cols)
+{
+    ALPHA_ASSERT(dpus > 0, "grid needs at least one DPU");
+    // Largest divisor pair (r, c) with r <= c and r * c == dpus,
+    // starting from the square root so the grid is as square as
+    // possible.
+    unsigned best_r = 1;
+    for (unsigned r = 1;
+         static_cast<std::uint64_t>(r) * r <= dpus; ++r) {
+        if (dpus % r == 0)
+            best_r = r;
+    }
+    grid_rows = best_r;
+    grid_cols = dpus / best_r;
+}
+
+Grid2d
+makeGrid2d(const sparse::CooMatrix<float> &coo, unsigned dpus)
+{
+    Grid2d grid;
+    chooseGridShape(dpus, grid.gridRows, grid.gridCols);
+    grid.rows = balancedPartition(rowWeights(coo), grid.gridRows);
+    grid.cols = balancedPartition(colWeights(coo), grid.gridCols);
+    return grid;
+}
+
+Partition1d
+makeRowPartition(const sparse::CooMatrix<float> &coo, unsigned dpus)
+{
+    return balancedPartition(rowWeights(coo), dpus);
+}
+
+Partition1d
+makeColPartition(const sparse::CooMatrix<float> &coo, unsigned dpus)
+{
+    return balancedPartition(colWeights(coo), dpus);
+}
+
+} // namespace alphapim::core

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Matrix partitioning across DPUs (paper section 4.1.1 / Figure 3):
+ * row-wise, column-wise, and 2D grid partitions, all balanced by
+ * nonzero count so DPU kernel work is even.
+ */
+
+#ifndef ALPHA_PIM_CORE_PARTITION_HH
+#define ALPHA_PIM_CORE_PARTITION_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "sparse/coo.hh"
+
+namespace alphapim::core
+{
+
+/**
+ * A 1D contiguous partition of [0, extent) into `parts` ranges:
+ * range p covers [starts[p], starts[p+1]).
+ */
+struct Partition1d
+{
+    std::vector<NodeId> starts; ///< length parts + 1
+
+    /** Number of ranges. */
+    unsigned parts() const
+    {
+        return static_cast<unsigned>(starts.size()) - 1;
+    }
+
+    /** First index of range p. */
+    NodeId begin(unsigned p) const { return starts[p]; }
+
+    /** One past the last index of range p. */
+    NodeId end(unsigned p) const { return starts[p + 1]; }
+
+    /** The range containing index i. */
+    unsigned rangeOf(NodeId i) const;
+};
+
+/** 2D grid partition: gridRows x gridCols tiles. */
+struct Grid2d
+{
+    unsigned gridRows = 1;
+    unsigned gridCols = 1;
+    Partition1d rows;
+    Partition1d cols;
+
+    /** DPU id of tile (r, c): row-major tile numbering. */
+    unsigned
+    tileId(unsigned r, unsigned c) const
+    {
+        return r * gridCols + c;
+    }
+};
+
+/**
+ * Split [0, extent) into `parts` contiguous ranges balanced by the
+ * per-index weight (typically nonzeros per row or per column).
+ * Trailing ranges may be empty when weights are concentrated.
+ */
+Partition1d balancedPartition(const std::vector<EdgeId> &weights,
+                              unsigned parts);
+
+/** Uniform split of [0, extent) into equal-width ranges. */
+Partition1d uniformPartition(NodeId extent, unsigned parts);
+
+/** Per-row nonzero counts of a COO matrix. */
+std::vector<EdgeId> rowWeights(const sparse::CooMatrix<float> &coo);
+
+/** Per-column nonzero counts of a COO matrix. */
+std::vector<EdgeId> colWeights(const sparse::CooMatrix<float> &coo);
+
+/**
+ * Choose a near-square factorization gridRows x gridCols = dpus with
+ * gridRows <= gridCols (more columns than rows keeps input-vector
+ * segments small, the dominant transfer).
+ */
+void chooseGridShape(unsigned dpus, unsigned &grid_rows,
+                     unsigned &grid_cols);
+
+/** Build a full nnz-balanced 2D grid partition for `dpus` tiles. */
+Grid2d makeGrid2d(const sparse::CooMatrix<float> &coo, unsigned dpus);
+
+/** Row-wise nnz-balanced partition into `dpus` row ranges. */
+Partition1d makeRowPartition(const sparse::CooMatrix<float> &coo,
+                             unsigned dpus);
+
+/** Column-wise nnz-balanced partition into `dpus` column ranges. */
+Partition1d makeColPartition(const sparse::CooMatrix<float> &coo,
+                             unsigned dpus);
+
+} // namespace alphapim::core
+
+#endif // ALPHA_PIM_CORE_PARTITION_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-phase execution time record of one PIM matrix-vector launch:
+ * the Load / Kernel / Retrieve / Merge breakdown that every figure in
+ * the paper's evaluation reports.
+ */
+
+#ifndef ALPHA_PIM_CORE_PHASE_TIMES_HH
+#define ALPHA_PIM_CORE_PHASE_TIMES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "upmem/profile.hh"
+
+namespace alphapim::core
+{
+
+/** Load / Kernel / Retrieve / Merge wall-clock model times. */
+struct PhaseTimes
+{
+    Seconds load = 0.0;     ///< input vector into MRAM banks
+    Seconds kernel = 0.0;   ///< DPU execution
+    Seconds retrieve = 0.0; ///< partial outputs back to the host
+    Seconds merge = 0.0;    ///< host-side merge + convergence checks
+
+    /** Sum of all phases. */
+    Seconds total() const { return load + kernel + retrieve + merge; }
+
+    /** Accumulate (e.g. across iterations). */
+    PhaseTimes &
+    operator+=(const PhaseTimes &other)
+    {
+        load += other.load;
+        kernel += other.kernel;
+        retrieve += other.retrieve;
+        merge += other.merge;
+        return *this;
+    }
+};
+
+/** Result of one matrix-vector product on the PIM system. */
+template <typename V>
+struct MxvResult
+{
+    /** Dense output vector (additive-identity filled). */
+    std::vector<V> y;
+
+    /** Nonzero count of y (entries differing from the semiring zero). */
+    std::uint64_t outputNnz = 0;
+
+    /** Phase breakdown of this launch. */
+    PhaseTimes times;
+
+    /** Aggregated DPU profile (stalls, instruction mix, threads). */
+    upmem::LaunchProfile profile;
+
+    /** Semiring add+mul operations performed (for utilization). */
+    std::uint64_t semiringOps = 0;
+};
+
+} // namespace alphapim::core
+
+#endif // ALPHA_PIM_CORE_PHASE_TIMES_HH

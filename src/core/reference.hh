@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Straightforward host-side reference implementation of the semiring
+ * matrix-vector product. The oracle every PIM kernel is validated
+ * against in the test suite.
+ */
+
+#ifndef ALPHA_PIM_CORE_REFERENCE_HH
+#define ALPHA_PIM_CORE_REFERENCE_HH
+
+#include <vector>
+
+#include "core/semiring.hh"
+#include "sparse/coo.hh"
+#include "sparse/sparse_vector.hh"
+
+namespace alphapim::core
+{
+
+/**
+ * y = A (*) x over semiring S, computed entry by entry on the host.
+ */
+template <Semiring S>
+std::vector<typename S::Value>
+referenceMxv(const sparse::CooMatrix<float> &a,
+             const sparse::SparseVector<typename S::Value> &x)
+{
+    using Value = typename S::Value;
+    std::vector<Value> x_dense = x.toDense(S::zero());
+    std::vector<Value> y(a.numRows(), S::zero());
+    for (std::size_t k = 0; k < a.nnz(); ++k) {
+        const Value xv = x_dense[a.colAt(k)];
+        if (S::isZero(xv))
+            continue;
+        const Value contrib = S::mul(S::fromMatrix(a.valueAt(k)), xv);
+        y[a.rowAt(k)] = S::add(y[a.rowAt(k)], contrib);
+    }
+    return y;
+}
+
+/** Nonzero count of a dense vector under semiring S. */
+template <Semiring S>
+std::uint64_t
+denseNnz(const std::vector<typename S::Value> &v)
+{
+    std::uint64_t nnz = 0;
+    for (const auto &e : v) {
+        if (!S::isZero(e))
+            ++nnz;
+    }
+    return nnz;
+}
+
+} // namespace alphapim::core
+
+#endif // ALPHA_PIM_CORE_REFERENCE_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Algebraic semirings (Table 1 of the paper). A semiring supplies the
+ * (+) and (x) of the matrix-vector product together with the DPU
+ * instruction classes the operations map to, so one kernel template
+ * serves BFS (boolean or-and), SSSP (tropical min-plus) and PPR
+ * (arithmetic plus-times).
+ */
+
+#ifndef ALPHA_PIM_CORE_SEMIRING_HH
+#define ALPHA_PIM_CORE_SEMIRING_HH
+
+#include <algorithm>
+#include <concepts>
+#include <limits>
+
+#include "common/types.hh"
+#include "upmem/op.hh"
+
+namespace alphapim::core
+{
+
+/**
+ * Requirements on a semiring type used by the kernels.
+ *
+ * A semiring defines: the element type, the additive identity
+ * ("zero", the empty-slot marker of sparse storage), the
+ * multiplicative identity, add/mul, a conversion from the stored
+ * float matrix value, and the DPU op classes charged per add/mul.
+ */
+template <typename S>
+concept Semiring = requires(typename S::Value a, typename S::Value b,
+                            float m) {
+    { S::zero() } -> std::same_as<typename S::Value>;
+    { S::one() } -> std::same_as<typename S::Value>;
+    { S::add(a, b) } -> std::same_as<typename S::Value>;
+    { S::mul(a, b) } -> std::same_as<typename S::Value>;
+    { S::isZero(a) } -> std::same_as<bool>;
+    { S::fromMatrix(m) } -> std::same_as<typename S::Value>;
+    { S::addOp() } -> std::same_as<upmem::OpClass>;
+    { S::mulOp() } -> std::same_as<upmem::OpClass>;
+};
+
+/** Boolean (or, and): BFS reachability. */
+struct BoolOrAnd
+{
+    using Value = std::uint32_t;
+
+    static Value zero() { return 0; }
+    static Value one() { return 1; }
+    static Value add(Value a, Value b) { return a | b; }
+    static Value mul(Value a, Value b) { return a & b; }
+    static bool isZero(Value a) { return a == 0; }
+    static Value fromMatrix(float m) { return m != 0.0f ? 1u : 0u; }
+    static upmem::OpClass addOp() { return upmem::OpClass::Logic; }
+    static upmem::OpClass mulOp() { return upmem::OpClass::Logic; }
+    static const char *name() { return "bool-or-and"; }
+};
+
+/** Tropical (min, +) over R u {inf}: SSSP relaxation. */
+struct MinPlus
+{
+    using Value = float;
+
+    static Value zero() { return std::numeric_limits<float>::infinity(); }
+    static Value one() { return 0.0f; }
+    static Value add(Value a, Value b) { return std::min(a, b); }
+    static Value mul(Value a, Value b) { return a + b; }
+    static bool isZero(Value a) { return a == zero(); }
+    static Value fromMatrix(float m) { return m; }
+    static upmem::OpClass addOp() { return upmem::OpClass::Compare; }
+    static upmem::OpClass mulOp() { return upmem::OpClass::FloatAdd; }
+    static const char *name() { return "min-plus"; }
+};
+
+/**
+ * Arithmetic (+, x) over 32-bit integers: the INT32 configuration
+ * SparseP evaluates SpMV with (paper Figure 2). Uses the DPU's
+ * native adder and the expanded 8x8 hardware multiplier.
+ */
+struct IntPlusTimes
+{
+    using Value = std::uint32_t;
+
+    static Value zero() { return 0; }
+    static Value one() { return 1; }
+    static Value add(Value a, Value b) { return a + b; }
+    static Value mul(Value a, Value b) { return a * b; }
+    static bool isZero(Value a) { return a == 0; }
+    static Value
+    fromMatrix(float m)
+    {
+        return static_cast<Value>(m);
+    }
+    static upmem::OpClass addOp() { return upmem::OpClass::IntAdd; }
+    static upmem::OpClass mulOp() { return upmem::OpClass::IntMul; }
+    static const char *name() { return "int-plus-times"; }
+};
+
+/** Arithmetic (+, x) over R: PPR / PageRank. */
+struct PlusTimes
+{
+    using Value = float;
+
+    static Value zero() { return 0.0f; }
+    static Value one() { return 1.0f; }
+    static Value add(Value a, Value b) { return a + b; }
+    static Value mul(Value a, Value b) { return a * b; }
+    static bool isZero(Value a) { return a == 0.0f; }
+    static Value fromMatrix(float m) { return m; }
+    static upmem::OpClass addOp() { return upmem::OpClass::FloatAdd; }
+    static upmem::OpClass mulOp() { return upmem::OpClass::FloatMul; }
+    static const char *name() { return "plus-times"; }
+};
+
+/**
+ * (min, select-second) semiring over vertex labels: connected
+ * components by label propagation, an extension beyond the paper's
+ * three applications (its framework explicitly generalizes to other
+ * semiring algorithms). mul ignores the matrix value and forwards
+ * the input-vector label; add keeps the minimum label.
+ */
+struct MinSelect
+{
+    using Value = std::uint32_t;
+
+    static Value zero() { return invalidNode; }
+    static Value one() { return 0; }
+    static Value add(Value a, Value b) { return std::min(a, b); }
+    static Value mul(Value a, Value b) { (void)a; return b; }
+    static bool isZero(Value a) { return a == invalidNode; }
+    static Value
+    fromMatrix(float m)
+    {
+        return m != 0.0f ? one() : zero();
+    }
+    static upmem::OpClass addOp() { return upmem::OpClass::Compare; }
+    static upmem::OpClass mulOp() { return upmem::OpClass::Move; }
+    static const char *name() { return "min-select"; }
+};
+
+} // namespace alphapim::core
+
+#endif // ALPHA_PIM_CORE_SEMIRING_HH

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Coordinate-list (COO) sparse matrix: the construction and interchange
+ * format. Graph generators emit COO; partitioners slice COO blocks and
+ * convert them to CSR/CSC per strategy.
+ */
+
+#ifndef ALPHA_PIM_SPARSE_COO_HH
+#define ALPHA_PIM_SPARSE_COO_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace alphapim::sparse
+{
+
+/**
+ * COO matrix with parallel (row, col, value) arrays.
+ *
+ * @tparam T value type
+ */
+template <typename T>
+class CooMatrix
+{
+  public:
+    CooMatrix() = default;
+
+    /** Empty matrix of the given shape. */
+    CooMatrix(NodeId rows, NodeId cols) : rows_(rows), cols_(cols) {}
+
+    /** Number of rows. */
+    NodeId numRows() const { return rows_; }
+
+    /** Number of columns. */
+    NodeId numCols() const { return cols_; }
+
+    /** Number of stored entries. */
+    std::size_t nnz() const { return rowIdx_.size(); }
+
+    /** Row index of entry k. */
+    NodeId rowAt(std::size_t k) const { return rowIdx_[k]; }
+
+    /** Column index of entry k. */
+    NodeId colAt(std::size_t k) const { return colIdx_[k]; }
+
+    /** Value of entry k. */
+    T valueAt(std::size_t k) const { return values_[k]; }
+
+    /** Raw row-index array. */
+    const std::vector<NodeId> &rowIndices() const { return rowIdx_; }
+
+    /** Raw column-index array. */
+    const std::vector<NodeId> &colIndices() const { return colIdx_; }
+
+    /** Raw value array. */
+    const std::vector<T> &values() const { return values_; }
+
+    /** Append one entry (no dedup; see coalesce()). */
+    void
+    addEntry(NodeId r, NodeId c, T v)
+    {
+        ALPHA_ASSERT(r < rows_ && c < cols_, "COO entry out of range");
+        rowIdx_.push_back(r);
+        colIdx_.push_back(c);
+        values_.push_back(v);
+    }
+
+    /** Reserve storage for n entries. */
+    void
+    reserve(std::size_t n)
+    {
+        rowIdx_.reserve(n);
+        colIdx_.reserve(n);
+        values_.reserve(n);
+    }
+
+    /** Sort entries by (row, col). */
+    void
+    sortRowMajor()
+    {
+        applyOrder(makeOrder([&](std::size_t a, std::size_t b) {
+            if (rowIdx_[a] != rowIdx_[b])
+                return rowIdx_[a] < rowIdx_[b];
+            return colIdx_[a] < colIdx_[b];
+        }));
+    }
+
+    /** Sort entries by (col, row). */
+    void
+    sortColMajor()
+    {
+        applyOrder(makeOrder([&](std::size_t a, std::size_t b) {
+            if (colIdx_[a] != colIdx_[b])
+                return colIdx_[a] < colIdx_[b];
+            return rowIdx_[a] < rowIdx_[b];
+        }));
+    }
+
+    /**
+     * Merge duplicate (row, col) entries, keeping the first value.
+     * Graph adjacency matrices treat parallel edges as one edge, so
+     * keep-first matches the generators' intent. Sorts row-major.
+     */
+    void
+    coalesce()
+    {
+        sortRowMajor();
+        std::size_t out = 0;
+        for (std::size_t k = 0; k < nnz(); ++k) {
+            if (out > 0 && rowIdx_[k] == rowIdx_[out - 1] &&
+                colIdx_[k] == colIdx_[out - 1]) {
+                continue;
+            }
+            rowIdx_[out] = rowIdx_[k];
+            colIdx_[out] = colIdx_[k];
+            values_[out] = values_[k];
+            ++out;
+        }
+        rowIdx_.resize(out);
+        colIdx_.resize(out);
+        values_.resize(out);
+    }
+
+    /** Return the transposed matrix (rows and columns swapped). */
+    CooMatrix
+    transposed() const
+    {
+        CooMatrix t(cols_, rows_);
+        t.rowIdx_ = colIdx_;
+        t.colIdx_ = rowIdx_;
+        t.values_ = values_;
+        return t;
+    }
+
+    /**
+     * Extract the sub-block rows [r0, r1) x cols [c0, c1) with indices
+     * rebased to the block origin. Used by every partitioner.
+     */
+    CooMatrix
+    extractBlock(NodeId r0, NodeId r1, NodeId c0, NodeId c1) const
+    {
+        ALPHA_ASSERT(r0 <= r1 && r1 <= rows_, "bad row range");
+        ALPHA_ASSERT(c0 <= c1 && c1 <= cols_, "bad col range");
+        CooMatrix block(r1 - r0, c1 - c0);
+        for (std::size_t k = 0; k < nnz(); ++k) {
+            const NodeId r = rowIdx_[k];
+            const NodeId c = colIdx_[k];
+            if (r >= r0 && r < r1 && c >= c0 && c < c1)
+                block.addEntry(r - r0, c - c0, values_[k]);
+        }
+        return block;
+    }
+
+    /** Bytes of the COO arrays (two index arrays + values). */
+    Bytes
+    storageBytes() const
+    {
+        return static_cast<Bytes>(nnz()) * (2 * sizeof(NodeId) + sizeof(T));
+    }
+
+  private:
+    template <typename Cmp>
+    std::vector<std::size_t>
+    makeOrder(Cmp cmp) const
+    {
+        std::vector<std::size_t> order(nnz());
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(), cmp);
+        return order;
+    }
+
+    void
+    applyOrder(const std::vector<std::size_t> &order)
+    {
+        std::vector<NodeId> r(nnz()), c(nnz());
+        std::vector<T> v(nnz());
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            r[i] = rowIdx_[order[i]];
+            c[i] = colIdx_[order[i]];
+            v[i] = values_[order[i]];
+        }
+        rowIdx_ = std::move(r);
+        colIdx_ = std::move(c);
+        values_ = std::move(v);
+    }
+
+    NodeId rows_ = 0;
+    NodeId cols_ = 0;
+    std::vector<NodeId> rowIdx_;
+    std::vector<NodeId> colIdx_;
+    std::vector<T> values_;
+};
+
+} // namespace alphapim::sparse
+
+#endif // ALPHA_PIM_SPARSE_COO_HH

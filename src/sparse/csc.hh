@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Compressed Sparse Column (CSC) matrix: col_ptr / row_indices /
+ * values. The workhorse format of ALPHA-PIM: all competitive SpMSpV
+ * variants (CSC-R, CSC-C, CSC-2D) iterate over *active columns*, i.e.
+ * the columns named by the sparse input vector's nonzero indices.
+ */
+
+#ifndef ALPHA_PIM_SPARSE_CSC_HH
+#define ALPHA_PIM_SPARSE_CSC_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "sparse/coo.hh"
+
+namespace alphapim::sparse
+{
+
+/**
+ * CSC matrix. Columns are contiguous runs in rowIdx/values delimited
+ * by colPtr; rows within a column are sorted ascending.
+ *
+ * @tparam T value type
+ */
+template <typename T>
+class CscMatrix
+{
+  public:
+    CscMatrix() = default;
+
+    /** Convert from COO (entries are sorted internally). */
+    static CscMatrix
+    fromCoo(const CooMatrix<T> &coo)
+    {
+        CscMatrix m;
+        m.rows_ = coo.numRows();
+        m.cols_ = coo.numCols();
+        m.colPtr_.assign(static_cast<std::size_t>(m.cols_) + 1, 0);
+        m.rowIdx_.resize(coo.nnz());
+        m.values_.resize(coo.nnz());
+
+        for (std::size_t k = 0; k < coo.nnz(); ++k)
+            ++m.colPtr_[coo.colAt(k) + 1];
+        for (std::size_t c = 0; c < m.cols_; ++c)
+            m.colPtr_[c + 1] += m.colPtr_[c];
+
+        std::vector<EdgeId> cursor(m.colPtr_.begin(), m.colPtr_.end() - 1);
+        CooMatrix<T> sorted = coo;
+        sorted.sortColMajor();
+        for (std::size_t k = 0; k < sorted.nnz(); ++k) {
+            const EdgeId pos = cursor[sorted.colAt(k)]++;
+            m.rowIdx_[pos] = sorted.rowAt(k);
+            m.values_[pos] = sorted.valueAt(k);
+        }
+        return m;
+    }
+
+    /** Number of rows. */
+    NodeId numRows() const { return rows_; }
+
+    /** Number of columns. */
+    NodeId numCols() const { return cols_; }
+
+    /** Number of stored entries. */
+    std::size_t nnz() const { return rowIdx_.size(); }
+
+    /** Start offset of column c in rowIndices()/values(). */
+    EdgeId colBegin(NodeId c) const { return colPtr_[c]; }
+
+    /** One-past-the-end offset of column c. */
+    EdgeId colEnd(NodeId c) const { return colPtr_[c + 1]; }
+
+    /** Number of entries in column c. */
+    EdgeId colLength(NodeId c) const { return colEnd(c) - colBegin(c); }
+
+    /** Column-pointer array of length numCols()+1. */
+    const std::vector<EdgeId> &colPtr() const { return colPtr_; }
+
+    /** Row indices, grouped by column. */
+    const std::vector<NodeId> &rowIndices() const { return rowIdx_; }
+
+    /** Values parallel to rowIndices(). */
+    const std::vector<T> &values() const { return values_; }
+
+    /** Bytes of the CSC arrays. */
+    Bytes
+    storageBytes() const
+    {
+        return static_cast<Bytes>(colPtr_.size()) * sizeof(EdgeId) +
+               static_cast<Bytes>(nnz()) * (sizeof(NodeId) + sizeof(T));
+    }
+
+  private:
+    NodeId rows_ = 0;
+    NodeId cols_ = 0;
+    std::vector<EdgeId> colPtr_;
+    std::vector<NodeId> rowIdx_;
+    std::vector<T> values_;
+};
+
+} // namespace alphapim::sparse
+
+#endif // ALPHA_PIM_SPARSE_CSC_HH

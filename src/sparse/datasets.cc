@@ -1,0 +1,144 @@
+#include "datasets.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "sparse/generators.hh"
+
+namespace alphapim::sparse
+{
+
+const char *
+graphFamilyName(GraphFamily family)
+{
+    switch (family) {
+      case GraphFamily::ScaleFree:
+        return "scale-free";
+      case GraphFamily::Regular:
+        return "regular";
+      case GraphFamily::Synthetic:
+        return "synthetic";
+    }
+    return "unknown";
+}
+
+const std::vector<DatasetSpec> &
+table2Specs()
+{
+    // Node/edge/degree targets transcribed from the paper's Table 2.
+    // 'r-PA' (roadNet-PA) is referenced in section 6.1 and appended
+    // after the 13 tabulated datasets.
+    static const std::vector<DatasetSpec> specs = {
+        {"amazon0302", "A302", GraphFamily::ScaleFree,
+         899792, 262111, 6.86, 5.41},
+        {"as20000102", "as00", GraphFamily::ScaleFree,
+         12572, 6474, 3.88, 24.99},
+        {"ca-GrQc", "ca-Q", GraphFamily::ScaleFree,
+         14484, 5242, 5.52, 7.91},
+        {"cit-HepPh", "cit-HP", GraphFamily::ScaleFree,
+         420877, 34546, 24.36, 30.87},
+        {"email-Enron", "e-En", GraphFamily::ScaleFree,
+         183831, 36692, 10.02, 36.1},
+        {"facebook_combined", "face", GraphFamily::ScaleFree,
+         88234, 4039, 43.69, 52.41},
+        {"graph500-scale18", "g-18", GraphFamily::Synthetic,
+         3800348, 174147, 43.64, 229.92},
+        {"loc-brightkite_edges", "loc-b", GraphFamily::ScaleFree,
+         214078, 58228, 7.35, 20.35},
+        {"p2p-Gnutella24", "p2p-24", GraphFamily::ScaleFree,
+         65369, 26518, 4.93, 5.91},
+        {"roadNet-TX", "r-TX", GraphFamily::Regular,
+         1541898, 1088092, 2.78, 1.0},
+        {"soc-Slashdot0902", "s-S02", GraphFamily::ScaleFree,
+         504230, 82168, 12.27, 41.07},
+        {"soc-Slashdot0811", "s-S11", GraphFamily::ScaleFree,
+         469180, 77360, 12.12, 40.45},
+        {"flickrEdges", "flk-E", GraphFamily::ScaleFree,
+         2316948, 105938, 43.74, 115.58},
+        {"roadNet-PA", "r-PA", GraphFamily::Regular,
+         1541514, 1087562, 2.83, 1.0},
+    };
+    return specs;
+}
+
+const DatasetSpec &
+findSpec(const std::string &abbreviation)
+{
+    for (const auto &spec : table2Specs()) {
+        if (spec.abbreviation == abbreviation || spec.name == abbreviation)
+            return spec;
+    }
+    fatal("unknown dataset '%s'", abbreviation.c_str());
+}
+
+namespace
+{
+
+/** FNV-1a hash so each dataset gets an independent RNG stream. */
+std::uint64_t
+hashName(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+Dataset
+buildDataset(const DatasetSpec &spec, double scale, std::uint64_t seed)
+{
+    ALPHA_ASSERT(scale > 0.0 && scale <= 1.0,
+                 "dataset scale must be in (0, 1]");
+    Rng rng(seed ^ hashName(spec.name));
+
+    const auto nodes = std::max<NodeId>(
+        64, static_cast<NodeId>(std::llround(spec.nodes * scale)));
+    const auto edges = std::max<EdgeId>(
+        128, static_cast<EdgeId>(std::llround(
+                 static_cast<double>(spec.edges) * scale)));
+
+    EdgeList list;
+    switch (spec.family) {
+      case GraphFamily::ScaleFree:
+        list = generateScaleMatched(nodes, spec.avgDegree,
+                                    spec.degreeStd, rng);
+        break;
+      case GraphFamily::Regular:
+        list = generateRoadLattice(nodes, edges, rng);
+        break;
+      case GraphFamily::Synthetic: {
+        // Invert the compaction: the initial R-MAT vertex space is a
+        // power of two larger than the surviving node count.
+        const double initial =
+            static_cast<double>(nodes) * 262144.0 / 174147.0;
+        const auto rmat_scale = static_cast<unsigned>(
+            std::clamp(std::llround(std::log2(initial)), 8LL, 22LL));
+        const double edge_factor =
+            static_cast<double>(edges) /
+            std::pow(2.0, static_cast<double>(rmat_scale));
+        list = generateRmat(rmat_scale, edge_factor, rng);
+        break;
+      }
+    }
+
+    Dataset dataset;
+    dataset.spec = spec;
+    dataset.adjacency = edgeListToSymmetricCoo(list);
+    dataset.stats = computeGraphStats(dataset.adjacency);
+    return dataset;
+}
+
+Dataset
+buildDataset(const std::string &abbreviation, double scale,
+             std::uint64_t seed)
+{
+    return buildDataset(findSpec(abbreviation), scale, seed);
+}
+
+} // namespace alphapim::sparse

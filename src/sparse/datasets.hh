@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Registry of the 13 representative datasets from the paper's Table 2,
+ * regenerated synthetically with matched node counts, edge counts and
+ * degree statistics (see DESIGN.md for the substitution rationale).
+ */
+
+#ifndef ALPHA_PIM_SPARSE_DATASETS_HH
+#define ALPHA_PIM_SPARSE_DATASETS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sparse/coo.hh"
+#include "sparse/graph_stats.hh"
+
+namespace alphapim::sparse
+{
+
+/** Structural family a dataset belongs to. */
+enum class GraphFamily
+{
+    ScaleFree, ///< skewed degrees: social, web, citation, p2p
+    Regular,   ///< uniform low degrees: road networks
+    Synthetic, ///< R-MAT (graph500)
+};
+
+/** Human-readable family name. */
+const char *graphFamilyName(GraphFamily family);
+
+/** Static description of one Table 2 dataset. */
+struct DatasetSpec
+{
+    std::string name;         ///< SNAP-style full name
+    std::string abbreviation; ///< paper's short label
+    GraphFamily family;
+    EdgeId edges;             ///< undirected edge target (Table 2)
+    NodeId nodes;             ///< node count target (Table 2)
+    double avgDegree;         ///< Table 2 AVG-Deg (= 2E/N)
+    double degreeStd;         ///< Table 2 Deg-std
+};
+
+/** A generated dataset: spec + adjacency + measured statistics. */
+struct Dataset
+{
+    DatasetSpec spec;
+    CooMatrix<float> adjacency; ///< symmetric pattern (values = 1)
+    GraphStats stats;           ///< measured on the generated graph
+};
+
+/** All 13 Table 2 specs, in the paper's order. */
+const std::vector<DatasetSpec> &table2Specs();
+
+/** Look up a spec by abbreviation ('A302', 'r-TX', ...). Fatal if
+ * unknown. */
+const DatasetSpec &findSpec(const std::string &abbreviation);
+
+/**
+ * Generate a dataset from its spec.
+ *
+ * @param spec  which dataset
+ * @param scale linear down-scaling factor in (0, 1]; nodes and edges
+ *              shrink proportionally (used to keep tests fast)
+ * @param seed  RNG seed; the same (spec, scale, seed) triple always
+ *              produces the same graph
+ */
+Dataset buildDataset(const DatasetSpec &spec, double scale = 1.0,
+                     std::uint64_t seed = 42);
+
+/** Shorthand: buildDataset(findSpec(abbrev), scale, seed). */
+Dataset buildDataset(const std::string &abbreviation, double scale = 1.0,
+                     std::uint64_t seed = 42);
+
+} // namespace alphapim::sparse
+
+#endif // ALPHA_PIM_SPARSE_DATASETS_HH

@@ -1,0 +1,281 @@
+#include "generators.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace alphapim::sparse
+{
+
+namespace
+{
+
+/** Pack an undirected edge (u < v) into one 64-bit key. */
+std::uint64_t
+packEdge(NodeId u, NodeId v)
+{
+    if (u > v)
+        std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/** Mix a 64-bit value (splitmix64 finalizer) for hashing edges. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Remove isolated vertices and renumber the survivors densely. */
+EdgeList
+compactVertices(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges)
+{
+    std::vector<NodeId> remap(n, invalidNode);
+    NodeId next = 0;
+    for (const auto &[u, v] : edges) {
+        if (remap[u] == invalidNode)
+            remap[u] = next++;
+        if (remap[v] == invalidNode)
+            remap[v] = next++;
+    }
+    for (auto &[u, v] : edges) {
+        u = remap[u];
+        v = remap[v];
+        if (u > v)
+            std::swap(u, v);
+    }
+    EdgeList out;
+    out.nodes = next;
+    out.edges = std::move(edges);
+    return out;
+}
+
+} // namespace
+
+EdgeList
+generateErdosRenyi(NodeId n, EdgeId m, Rng &rng)
+{
+    ALPHA_ASSERT(n >= 2, "ER graph needs at least two vertices");
+    const EdgeId max_edges =
+        static_cast<EdgeId>(n) * (n - 1) / 2;
+    if (m > max_edges)
+        m = max_edges;
+
+    EdgeList out;
+    out.nodes = n;
+    out.edges.reserve(m);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(m * 2);
+    while (out.edges.size() < m) {
+        const auto u = static_cast<NodeId>(rng.nextBounded(n));
+        const auto v = static_cast<NodeId>(rng.nextBounded(n));
+        if (u == v)
+            continue;
+        const std::uint64_t key = packEdge(u, v);
+        if (!seen.insert(key).second)
+            continue;
+        out.edges.emplace_back(std::min(u, v), std::max(u, v));
+    }
+    return out;
+}
+
+EdgeList
+generateRmat(unsigned scale, double edge_factor, Rng &rng,
+             double a, double b, double c)
+{
+    ALPHA_ASSERT(scale >= 4 && scale <= 26, "unreasonable R-MAT scale");
+    const double d = 1.0 - a - b - c;
+    ALPHA_ASSERT(d > 0.0, "R-MAT quadrant probabilities must sum < 1");
+
+    const NodeId n = NodeId{1} << scale;
+    const auto target =
+        static_cast<EdgeId>(edge_factor * static_cast<double>(n));
+
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(target);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(target * 2);
+
+    // Cap attempts so adversarial parameters cannot loop forever.
+    const EdgeId max_attempts = target * 8;
+    for (EdgeId attempt = 0;
+         attempt < max_attempts && edges.size() < target; ++attempt) {
+        NodeId u = 0, v = 0;
+        for (unsigned level = 0; level < scale; ++level) {
+            const double p = rng.nextDouble();
+            // Quadrant choice: a | b / c | d, with light noise per
+            // level as in the graph500 reference implementation.
+            const unsigned bit_u = (p >= a + b) ? 1 : 0;
+            const unsigned bit_v = (p >= a && p < a + b) ||
+                                   (p >= a + b + c) ? 1 : 0;
+            u = (u << 1) | bit_u;
+            v = (v << 1) | bit_v;
+        }
+        if (u == v)
+            continue;
+        if (!seen.insert(packEdge(u, v)).second)
+            continue;
+        edges.emplace_back(std::min(u, v), std::max(u, v));
+    }
+    return compactVertices(n, std::move(edges));
+}
+
+EdgeList
+generateRoadLattice(NodeId n, EdgeId target_edges, Rng &rng)
+{
+    ALPHA_ASSERT(n >= 4, "road lattice needs at least four vertices");
+    const auto side = static_cast<NodeId>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+
+    // Count candidate lattice edges among the first n row-major cells.
+    auto cell_id = [&](NodeId row, NodeId col) {
+        return row * side + col;
+    };
+    EdgeId candidates = 0;
+    for (NodeId row = 0; row < side; ++row) {
+        for (NodeId col = 0; col < side; ++col) {
+            const NodeId id = cell_id(row, col);
+            if (id >= n)
+                continue;
+            if (col + 1 < side && cell_id(row, col + 1) < n)
+                ++candidates;
+            if (row + 1 < side && cell_id(row + 1, col) < n)
+                ++candidates;
+        }
+    }
+    const double keep =
+        std::min(1.0, static_cast<double>(target_edges) /
+                          static_cast<double>(candidates));
+
+    EdgeList out;
+    out.nodes = n;
+    out.edges.reserve(target_edges);
+    for (NodeId row = 0; row < side; ++row) {
+        for (NodeId col = 0; col < side; ++col) {
+            const NodeId id = cell_id(row, col);
+            if (id >= n)
+                continue;
+            if (col + 1 < side && cell_id(row, col + 1) < n &&
+                rng.nextBernoulli(keep)) {
+                out.edges.emplace_back(id, cell_id(row, col + 1));
+            }
+            if (row + 1 < side && cell_id(row + 1, col) < n &&
+                rng.nextBernoulli(keep)) {
+                out.edges.emplace_back(id, cell_id(row + 1, col));
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<NodeId>
+sampleLognormalDegrees(NodeId n, double target_mean, double target_std,
+                       Rng &rng)
+{
+    ALPHA_ASSERT(target_mean >= 1.0, "degree mean below one");
+    // Lognormal with moments matched to (mean, std):
+    //   sigma^2 = ln(1 + (std/mean)^2),  mu = ln(mean) - sigma^2 / 2
+    const double ratio = target_std / target_mean;
+    const double sigma2 = std::log(1.0 + ratio * ratio);
+    const double mu = std::log(target_mean) - sigma2 / 2.0;
+    const double sigma = std::sqrt(sigma2);
+
+    std::vector<NodeId> degrees(n);
+    for (NodeId i = 0; i < n; ++i) {
+        const double raw = rng.nextLognormal(mu, sigma);
+        auto deg = static_cast<std::uint64_t>(std::llround(raw));
+        deg = std::clamp<std::uint64_t>(deg, 1, n - 1);
+        degrees[i] = static_cast<NodeId>(deg);
+    }
+    return degrees;
+}
+
+EdgeList
+generateConfigurationModel(const std::vector<NodeId> &degrees, Rng &rng)
+{
+    const auto n = static_cast<NodeId>(degrees.size());
+    std::uint64_t stub_count = 0;
+    for (NodeId deg : degrees)
+        stub_count += deg;
+
+    std::vector<NodeId> stubs;
+    stubs.reserve(stub_count);
+    for (NodeId v = 0; v < n; ++v) {
+        for (NodeId k = 0; k < degrees[v]; ++k)
+            stubs.push_back(v);
+    }
+    // Fisher-Yates shuffle, then pair consecutive stubs. Pairs that
+    // would create a self loop or duplicate edge are dropped, which
+    // slightly undershoots hub degrees -- the standard erased-
+    // configuration-model behaviour.
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+        const std::size_t j = rng.nextBounded(i);
+        std::swap(stubs[i - 1], stubs[j]);
+    }
+
+    EdgeList out;
+    out.nodes = n;
+    out.edges.reserve(stubs.size() / 2);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(stubs.size());
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+        const NodeId u = stubs[i];
+        const NodeId v = stubs[i + 1];
+        if (u == v)
+            continue;
+        if (!seen.insert(packEdge(u, v)).second)
+            continue;
+        out.edges.emplace_back(std::min(u, v), std::max(u, v));
+    }
+    return out;
+}
+
+EdgeList
+generateScaleMatched(NodeId n, double avg_degree, double degree_std,
+                     Rng &rng)
+{
+    const auto degrees =
+        sampleLognormalDegrees(n, avg_degree, degree_std, rng);
+    return generateConfigurationModel(degrees, rng);
+}
+
+CooMatrix<float>
+edgeListToSymmetricCoo(const EdgeList &list)
+{
+    CooMatrix<float> coo(list.nodes, list.nodes);
+    coo.reserve(list.edges.size() * 2);
+    for (const auto &[u, v] : list.edges) {
+        coo.addEntry(u, v, 1.0f);
+        coo.addEntry(v, u, 1.0f);
+    }
+    coo.coalesce();
+    return coo;
+}
+
+CooMatrix<float>
+assignSymmetricWeights(const CooMatrix<float> &pattern, float wmin,
+                       float wmax, Rng &rng)
+{
+    ALPHA_ASSERT(wmax >= wmin && wmin > 0.0f, "bad weight range");
+    // Hash each undirected edge with a per-call salt so that the two
+    // directed entries of an edge receive the same weight.
+    const std::uint64_t salt = rng.next();
+    const auto span = static_cast<std::uint64_t>(wmax - wmin) + 1;
+
+    CooMatrix<float> out(pattern.numRows(), pattern.numCols());
+    out.reserve(pattern.nnz());
+    for (std::size_t k = 0; k < pattern.nnz(); ++k) {
+        const NodeId r = pattern.rowAt(k);
+        const NodeId c = pattern.colAt(k);
+        const std::uint64_t h = mix64(packEdge(r, c) ^ salt);
+        const float w = wmin + static_cast<float>(h % span);
+        out.addEntry(r, c, w);
+    }
+    return out;
+}
+
+} // namespace alphapim::sparse

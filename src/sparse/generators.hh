@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Synthetic graph generators substituting for the paper's SNAP /
+ * GraphChallenge datasets (see DESIGN.md section 1).
+ *
+ * Three structural families cover the paper's dataset classes:
+ *  - configuration model with a lognormal degree sequence matched to a
+ *    target (mean, std): social / web / citation / p2p graphs;
+ *  - R-MAT: graph500-style synthetic scale-free graphs;
+ *  - degraded 2-D lattice: road networks (low, uniform degree).
+ *
+ * All generators produce an undirected simple graph as a symmetric
+ * COO adjacency pattern (both (u,v) and (v,u) stored, no self loops,
+ * no duplicates). The paper's Table 2 "Edge" column counts undirected
+ * edges, i.e. nnz/2 of the symmetric matrix.
+ */
+
+#ifndef ALPHA_PIM_SPARSE_GENERATORS_HH
+#define ALPHA_PIM_SPARSE_GENERATORS_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "sparse/coo.hh"
+
+namespace alphapim::sparse
+{
+
+/** Undirected edge list produced by the generators. */
+struct EdgeList
+{
+    NodeId nodes = 0;
+    /** Each pair (u, v) with u != v appears at most once, u < v. */
+    std::vector<std::pair<NodeId, NodeId>> edges;
+};
+
+/**
+ * Erdős–Rényi G(n, m): m distinct undirected edges drawn uniformly.
+ * Baseline "no structure" generator used by the property tests.
+ */
+EdgeList generateErdosRenyi(NodeId n, EdgeId m, Rng &rng);
+
+/**
+ * R-MAT recursive generator (Chakrabarti et al.) with the graph500
+ * default parameters a=0.57, b=0.19, c=0.19. Produces a heavy-tailed
+ * degree distribution with many isolated vertices, which are compacted
+ * away so the resulting node count matches graph500 conventions.
+ *
+ * @param scale  log2 of the initial vertex-space size
+ * @param edge_factor undirected edges per (initial-space) vertex
+ */
+EdgeList generateRmat(unsigned scale, double edge_factor, Rng &rng,
+                      double a = 0.57, double b = 0.19, double c = 0.19);
+
+/**
+ * Road-network surrogate: a sqrt(n) x sqrt(n) 4-neighbour lattice with
+ * edges kept independently so the expected undirected edge count hits
+ * target_edges. Degree mean ~2E/N and std ~1, matching r-TX / r-PA.
+ */
+EdgeList generateRoadLattice(NodeId n, EdgeId target_edges, Rng &rng);
+
+/**
+ * Sample a degree sequence of length n from a lognormal distribution
+ * whose moments match (target_mean, target_std); entries are clamped
+ * to [1, n-1] so the configuration model can realize them.
+ */
+std::vector<NodeId> sampleLognormalDegrees(NodeId n, double target_mean,
+                                           double target_std, Rng &rng);
+
+/**
+ * Configuration model: wire an undirected simple graph realizing the
+ * degree sequence as closely as possible (stub matching with rejection
+ * of self loops and duplicate edges; unmatched stubs are dropped).
+ */
+EdgeList generateConfigurationModel(const std::vector<NodeId> &degrees,
+                                    Rng &rng);
+
+/**
+ * Convenience wrapper: lognormal degree sequence + configuration
+ * model, the surrogate for all SNAP social/web/citation datasets.
+ */
+EdgeList generateScaleMatched(NodeId n, double avg_degree,
+                              double degree_std, Rng &rng);
+
+/** Build a symmetric COO adjacency pattern from an undirected list. */
+CooMatrix<float> edgeListToSymmetricCoo(const EdgeList &list);
+
+/**
+ * Assign integer-valued edge weights uniform in [wmin, wmax] to every
+ * stored entry, keeping the matrix symmetric (w(u,v) == w(v,u)).
+ * Used by SSSP.
+ */
+CooMatrix<float> assignSymmetricWeights(const CooMatrix<float> &pattern,
+                                        float wmin, float wmax, Rng &rng);
+
+} // namespace alphapim::sparse
+
+#endif // ALPHA_PIM_SPARSE_GENERATORS_HH

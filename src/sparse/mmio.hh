@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal Matrix Market (.mtx) reader/writer so users can load real
+ * SNAP / SuiteSparse graphs into the framework instead of the bundled
+ * synthetic generators.
+ *
+ * Supports the 'matrix coordinate (real|integer|pattern)
+ * (general|symmetric)' subset, which covers every graph dataset the
+ * paper uses.
+ */
+
+#ifndef ALPHA_PIM_SPARSE_MMIO_HH
+#define ALPHA_PIM_SPARSE_MMIO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hh"
+
+namespace alphapim::sparse
+{
+
+/** Parse a Matrix Market stream into COO. Fatal on malformed input. */
+CooMatrix<float> readMatrixMarket(std::istream &in);
+
+/** Load a .mtx file from disk. Fatal if the file cannot be opened. */
+CooMatrix<float> readMatrixMarketFile(const std::string &path);
+
+/** Write COO as 'matrix coordinate real general'. */
+void writeMatrixMarket(const CooMatrix<float> &matrix, std::ostream &out);
+
+/** Write a .mtx file to disk. Fatal if the file cannot be created. */
+void writeMatrixMarketFile(const CooMatrix<float> &matrix,
+                           const std::string &path);
+
+} // namespace alphapim::sparse
+
+#endif // ALPHA_PIM_SPARSE_MMIO_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Compressed sparse vector: the frontier/input-vector representation
+ * that SpMSpV consumes. Indices are kept sorted ascending so kernels
+ * can merge against matrix structure in a single pass.
+ */
+
+#ifndef ALPHA_PIM_SPARSE_SPARSE_VECTOR_HH
+#define ALPHA_PIM_SPARSE_SPARSE_VECTOR_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace alphapim::sparse
+{
+
+/**
+ * A length-N vector stored as (index, value) pairs for its nonzeros.
+ *
+ * @tparam T element type (uint32_t for BFS/SSSP, float for PPR)
+ */
+template <typename T>
+class SparseVector
+{
+  public:
+    SparseVector() = default;
+
+    /** Empty vector of logical dimension n. */
+    explicit SparseVector(NodeId n) : dim_(n) {}
+
+    /** Build from parallel index/value arrays (will be sorted). */
+    SparseVector(NodeId n, std::vector<NodeId> idx, std::vector<T> val)
+        : dim_(n), indices_(std::move(idx)), values_(std::move(val))
+    {
+        ALPHA_ASSERT(indices_.size() == values_.size(),
+                     "index/value arrays must be the same length");
+        sortByIndex();
+    }
+
+    /** Logical dimension N. */
+    NodeId dim() const { return dim_; }
+
+    /** Number of stored nonzeros. */
+    std::size_t nnz() const { return indices_.size(); }
+
+    /** Fraction of entries that are nonzero, in [0, 1]. */
+    double
+    density() const
+    {
+        return dim_ == 0
+            ? 0.0
+            : static_cast<double>(nnz()) / static_cast<double>(dim_);
+    }
+
+    /** Sorted nonzero indices. */
+    const std::vector<NodeId> &indices() const { return indices_; }
+
+    /** Values parallel to indices(). */
+    const std::vector<T> &values() const { return values_; }
+
+    /** Append a nonzero; call sortByIndex() before handing to kernels. */
+    void
+    append(NodeId i, T v)
+    {
+        ALPHA_ASSERT(i < dim_, "sparse vector index out of range");
+        indices_.push_back(i);
+        values_.push_back(v);
+    }
+
+    /** Drop all nonzeros, keeping the dimension. */
+    void
+    clear()
+    {
+        indices_.clear();
+        values_.clear();
+    }
+
+    /** Restore the sorted-by-index invariant after appends. */
+    void
+    sortByIndex()
+    {
+        if (std::is_sorted(indices_.begin(), indices_.end()))
+            return;
+        std::vector<std::size_t> order(indices_.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return indices_[a] < indices_[b];
+                  });
+        std::vector<NodeId> idx(indices_.size());
+        std::vector<T> val(values_.size());
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            idx[i] = indices_[order[i]];
+            val[i] = values_[order[i]];
+        }
+        indices_ = std::move(idx);
+        values_ = std::move(val);
+    }
+
+    /** Expand to a dense array with `zero` in empty slots. */
+    std::vector<T>
+    toDense(T zero) const
+    {
+        std::vector<T> out(dim_, zero);
+        for (std::size_t k = 0; k < indices_.size(); ++k)
+            out[indices_[k]] = values_[k];
+        return out;
+    }
+
+    /** Compress a dense array, dropping entries equal to `zero`. */
+    static SparseVector
+    fromDense(const std::vector<T> &dense, T zero)
+    {
+        SparseVector out(static_cast<NodeId>(dense.size()));
+        for (NodeId i = 0; i < dense.size(); ++i) {
+            if (dense[i] != zero)
+                out.append(i, dense[i]);
+        }
+        return out;
+    }
+
+    /** Bytes of the compressed representation (index + value pairs). */
+    Bytes
+    compressedBytes() const
+    {
+        return static_cast<Bytes>(nnz()) * (sizeof(NodeId) + sizeof(T));
+    }
+
+    /** Bytes of the equivalent dense representation. */
+    Bytes
+    denseBytes() const
+    {
+        return static_cast<Bytes>(dim_) * sizeof(T);
+    }
+
+  private:
+    NodeId dim_ = 0;
+    std::vector<NodeId> indices_;
+    std::vector<T> values_;
+};
+
+} // namespace alphapim::sparse
+
+#endif // ALPHA_PIM_SPARSE_SPARSE_VECTOR_HH

@@ -1,0 +1,64 @@
+#include "op.hh"
+
+namespace alphapim::upmem
+{
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAdd:
+        return "int-add";
+      case OpClass::IntMul:
+        return "int-mul";
+      case OpClass::FloatAdd:
+        return "float-add";
+      case OpClass::FloatMul:
+        return "float-mul";
+      case OpClass::Compare:
+        return "compare";
+      case OpClass::Logic:
+        return "logic";
+      case OpClass::Move:
+        return "move";
+      case OpClass::LoadWram:
+        return "load-wram";
+      case OpClass::StoreWram:
+        return "store-wram";
+      case OpClass::Control:
+        return "control";
+      case OpClass::DmaRead:
+        return "dma-read";
+      case OpClass::DmaWrite:
+        return "dma-write";
+      case OpClass::MutexLock:
+        return "mutex-lock";
+      case OpClass::MutexUnlock:
+        return "mutex-unlock";
+      case OpClass::Barrier:
+        return "barrier";
+      default:
+        return "unknown";
+    }
+}
+
+const char *
+opCategoryName(OpCategory cat)
+{
+    switch (cat) {
+      case OpCategory::Arithmetic:
+        return "arithmetic";
+      case OpCategory::Scratchpad:
+        return "scratchpad";
+      case OpCategory::Dma:
+        return "dma";
+      case OpCategory::Control:
+        return "control";
+      case OpCategory::Sync:
+        return "sync";
+      default:
+        return "unknown";
+    }
+}
+
+} // namespace alphapim::upmem

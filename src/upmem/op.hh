@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Instruction taxonomy of the simulated DPU. Kernels record abstract
+ * operation classes; the scheduler charges dispatch slots and the
+ * profiler groups them into the categories of the paper's Figure 11
+ * (synchronization / arithmetic / scratchpad / DMA / control).
+ */
+
+#ifndef ALPHA_PIM_UPMEM_OP_HH
+#define ALPHA_PIM_UPMEM_OP_HH
+
+#include <cstdint>
+
+namespace alphapim::upmem
+{
+
+/** Abstract instruction classes recorded by kernels. */
+enum class OpClass : std::uint8_t
+{
+    IntAdd,      ///< integer add/sub, address arithmetic
+    IntMul,      ///< integer multiply (expanded, 8x8 multiplier)
+    FloatAdd,    ///< software-emulated float add (expanded)
+    FloatMul,    ///< software-emulated float multiply (expanded)
+    Compare,     ///< comparisons, min/max
+    Logic,       ///< and/or/xor/shift
+    Move,        ///< register moves, immediates
+    LoadWram,    ///< scratchpad load
+    StoreWram,   ///< scratchpad store
+    Control,     ///< branches, loop overhead
+    DmaRead,     ///< MRAM -> WRAM DMA (blocking)
+    DmaWrite,    ///< WRAM -> MRAM DMA (blocking)
+    MutexLock,   ///< acquire (spins while contended)
+    MutexUnlock, ///< release
+    Barrier,     ///< barrier arrival
+    NumClasses,
+};
+
+/** Figure 11 reporting buckets. */
+enum class OpCategory : std::uint8_t
+{
+    Arithmetic,
+    Scratchpad,
+    Dma,
+    Control,
+    Sync,
+    NumCategories,
+};
+
+/** Number of distinct op classes. */
+inline constexpr unsigned numOpClasses =
+    static_cast<unsigned>(OpClass::NumClasses);
+
+/** Number of reporting categories. */
+inline constexpr unsigned numOpCategories =
+    static_cast<unsigned>(OpCategory::NumCategories);
+
+/** Reporting bucket for an op class. */
+constexpr OpCategory
+opCategory(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAdd:
+      case OpClass::IntMul:
+      case OpClass::FloatAdd:
+      case OpClass::FloatMul:
+      case OpClass::Compare:
+      case OpClass::Logic:
+      case OpClass::Move:
+        return OpCategory::Arithmetic;
+      case OpClass::LoadWram:
+      case OpClass::StoreWram:
+        return OpCategory::Scratchpad;
+      case OpClass::DmaRead:
+      case OpClass::DmaWrite:
+        return OpCategory::Dma;
+      case OpClass::Control:
+        return OpCategory::Control;
+      case OpClass::MutexLock:
+      case OpClass::MutexUnlock:
+      case OpClass::Barrier:
+        return OpCategory::Sync;
+      default:
+        return OpCategory::Control;
+    }
+}
+
+/** Human-readable op class name. */
+const char *opClassName(OpClass cls);
+
+/** Human-readable category name. */
+const char *opCategoryName(OpCategory cat);
+
+/** True for register-register ALU classes that can suffer the
+ * even/odd register-file bank hazard. */
+constexpr bool
+isAluClass(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAdd:
+      case OpClass::IntMul:
+      case OpClass::FloatAdd:
+      case OpClass::FloatMul:
+      case OpClass::Compare:
+      case OpClass::Logic:
+      case OpClass::Move:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace alphapim::upmem
+
+#endif // ALPHA_PIM_UPMEM_OP_HH

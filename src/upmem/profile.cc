@@ -1,0 +1,35 @@
+#include "profile.hh"
+
+namespace alphapim::upmem
+{
+
+const char *
+stallReasonName(StallReason reason)
+{
+    switch (reason) {
+      case StallReason::Memory:
+        return "memory";
+      case StallReason::Revolver:
+        return "revolver";
+      case StallReason::RfHazard:
+        return "rf-hazard";
+      case StallReason::Sync:
+        return "sync";
+      default:
+        return "unknown";
+    }
+}
+
+void
+DpuProfile::merge(const DpuProfile &other)
+{
+    totalCycles += other.totalCycles;
+    issuedCycles += other.issuedCycles;
+    for (std::size_t i = 0; i < stallCycles.size(); ++i)
+        stallCycles[i] += other.stallCycles[i];
+    for (std::size_t i = 0; i < instrByClass.size(); ++i)
+        instrByClass[i] += other.instrByClass[i];
+    activeThreadCycles += other.activeThreadCycles;
+}
+
+} // namespace alphapim::upmem

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Profiling counters produced by the revolver-pipeline scheduler:
+ * the PIMulator-style metrics behind the paper's Figures 9-11
+ * (stall breakdown, instruction mix, average active threads).
+ */
+
+#ifndef ALPHA_PIM_UPMEM_PROFILE_HH
+#define ALPHA_PIM_UPMEM_PROFILE_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "upmem/op.hh"
+
+namespace alphapim::upmem
+{
+
+/** Why the dispatch slot of a cycle went unused. */
+enum class StallReason : std::uint8_t
+{
+    Memory,   ///< every runnable tasklet was waiting on a DMA
+    Revolver, ///< binding constraint was the 11-cycle dispatch gap
+    RfHazard, ///< even/odd register-file bank conflict
+    Sync,     ///< blocked on a mutex holder / barrier stragglers
+    NumReasons,
+};
+
+/** Human-readable stall reason name. */
+const char *stallReasonName(StallReason reason);
+
+/** Counters for one DPU kernel execution. */
+struct DpuProfile
+{
+    /** Total cycles from launch to last retiring dispatch. */
+    Cycles totalCycles = 0;
+
+    /** Cycles in which an instruction was dispatched. */
+    Cycles issuedCycles = 0;
+
+    /** Idle dispatch slots by cause. */
+    std::array<Cycles, static_cast<std::size_t>(
+        StallReason::NumReasons)> stallCycles{};
+
+    /** Dispatched instructions per op class (includes spin retries). */
+    std::array<std::uint64_t, numOpClasses> instrByClass{};
+
+    /** Integral of active tasklets over time (for Figure 10). */
+    double activeThreadCycles = 0.0;
+
+    /** Issued fraction of all cycles. */
+    double
+    issuedFraction() const
+    {
+        return totalCycles ? static_cast<double>(issuedCycles) /
+                                 static_cast<double>(totalCycles)
+                           : 0.0;
+    }
+
+    /** Idle fraction attributed to `reason`. */
+    double
+    stallFraction(StallReason reason) const
+    {
+        return totalCycles
+            ? static_cast<double>(
+                  stallCycles[static_cast<std::size_t>(reason)]) /
+                  static_cast<double>(totalCycles)
+            : 0.0;
+    }
+
+    /** Average number of active tasklets per cycle. */
+    double
+    avgActiveThreads() const
+    {
+        return totalCycles
+            ? activeThreadCycles / static_cast<double>(totalCycles)
+            : 0.0;
+    }
+
+    /** Total dispatched instructions. */
+    std::uint64_t
+    totalInstructions() const
+    {
+        std::uint64_t n = 0;
+        for (auto c : instrByClass)
+            n += c;
+        return n;
+    }
+
+    /** Dispatched instructions in a Figure 11 category. */
+    std::uint64_t
+    instructionsInCategory(OpCategory cat) const
+    {
+        std::uint64_t n = 0;
+        for (unsigned c = 0; c < numOpClasses; ++c) {
+            if (opCategory(static_cast<OpClass>(c)) == cat)
+                n += instrByClass[c];
+        }
+        return n;
+    }
+
+    /** Fold another DPU's profile into this aggregate. All counters
+     * accumulate, including totalCycles, so an aggregate profile is
+     * denominated in DPU-cycles; wall-clock kernel time (max cycles
+     * over DPUs) is tracked separately by the launcher. */
+    void merge(const DpuProfile &other);
+};
+
+/** Result of launching one kernel across all DPUs. */
+struct LaunchProfile
+{
+    /** Aggregate counters over every DPU (DPU-cycle denominated). */
+    DpuProfile aggregate;
+
+    /** Slowest DPU's cycle count: determines kernel wall time. */
+    Cycles maxCycles = 0;
+
+    /** Number of DPUs that had any work. */
+    unsigned activeDpus = 0;
+
+    /** Fold in the profile of one more DPU. */
+    void
+    add(const DpuProfile &dpu)
+    {
+        aggregate.merge(dpu);
+        if (dpu.totalCycles > maxCycles)
+            maxCycles = dpu.totalCycles;
+        if (dpu.totalInstructions() > 0)
+            ++activeDpus;
+    }
+
+    /** Merge a whole LaunchProfile (accumulating across launches). */
+    void
+    add(const LaunchProfile &other)
+    {
+        aggregate.merge(other.aggregate);
+        maxCycles += other.maxCycles; // sequential launches add up
+        activeDpus = std::max(activeDpus, other.activeDpus);
+    }
+};
+
+} // namespace alphapim::upmem
+
+#endif // ALPHA_PIM_UPMEM_PROFILE_HH

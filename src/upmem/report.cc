@@ -1,0 +1,76 @@
+#include "report.hh"
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace alphapim::upmem
+{
+
+std::string
+renderProfileSummary(const DpuProfile &profile)
+{
+    std::ostringstream out;
+    out << "issued " << TextTable::pct(profile.issuedFraction(), 1)
+        << " | mem "
+        << TextTable::pct(
+               profile.stallFraction(StallReason::Memory), 1)
+        << " | revolver "
+        << TextTable::pct(
+               profile.stallFraction(StallReason::Revolver), 1)
+        << " | rf "
+        << TextTable::pct(
+               profile.stallFraction(StallReason::RfHazard), 1)
+        << " | sync "
+        << TextTable::pct(profile.stallFraction(StallReason::Sync), 1)
+        << " | " << TextTable::num(profile.avgActiveThreads(), 2)
+        << " active threads";
+    return out.str();
+}
+
+std::string
+renderProfileReport(const LaunchProfile &profile,
+                    const SystemConfig &cfg)
+{
+    const DpuProfile &p = profile.aggregate;
+    std::ostringstream out;
+    out << "=== DPU profile ===\n";
+    out << "active DPUs: " << profile.activeDpus << " / "
+        << cfg.numDpus << "\n";
+    out << "kernel wall cycles (slowest DPU, summed over launches): "
+        << profile.maxCycles << " ("
+        << TextTable::num(
+               toMillis(static_cast<double>(profile.maxCycles) /
+                        cfg.dpu.clockHz),
+               3)
+        << " ms at " << TextTable::num(cfg.dpu.clockHz / 1e6, 0)
+        << " MHz)\n";
+    out << "aggregate DPU-cycles: " << p.totalCycles << "\n";
+    out << "pipeline: " << renderProfileSummary(p) << "\n";
+
+    TextTable mix("instruction mix");
+    mix.setHeader({"category", "instructions", "share"});
+    const double total = static_cast<double>(p.totalInstructions());
+    for (unsigned c = 0; c < numOpCategories; ++c) {
+        const auto cat = static_cast<OpCategory>(c);
+        const auto count = p.instructionsInCategory(cat);
+        mix.addRow({opCategoryName(cat), std::to_string(count),
+                    total > 0 ? TextTable::pct(count / total, 1)
+                              : "0%"});
+    }
+    out << mix.render();
+
+    TextTable classes("hot instruction classes");
+    classes.setHeader({"class", "instructions"});
+    for (unsigned c = 0; c < numOpClasses; ++c) {
+        const auto count = p.instrByClass[c];
+        if (count == 0)
+            continue;
+        classes.addRow({opClassName(static_cast<OpClass>(c)),
+                        std::to_string(count)});
+    }
+    out << classes.render();
+    return out.str();
+}
+
+} // namespace alphapim::upmem

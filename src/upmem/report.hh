@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Human-readable rendering of DPU profiles: the PIMulator-style
+ * characterization report (cycle breakdown, instruction mix, thread
+ * activity) used by the CLI tool and examples.
+ */
+
+#ifndef ALPHA_PIM_UPMEM_REPORT_HH
+#define ALPHA_PIM_UPMEM_REPORT_HH
+
+#include <string>
+
+#include "upmem/dpu_config.hh"
+#include "upmem/profile.hh"
+
+namespace alphapim::upmem
+{
+
+/** Render a launch profile as a multi-line text report. */
+std::string renderProfileReport(const LaunchProfile &profile,
+                                const SystemConfig &cfg);
+
+/** One-line summary: "issued 43.1% | mem 31% | rev 22% | ...". */
+std::string renderProfileSummary(const DpuProfile &profile);
+
+} // namespace alphapim::upmem
+
+#endif // ALPHA_PIM_UPMEM_REPORT_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Recording context handed to device kernels, one per tasklet.
+ *
+ * The context translates kernel-level actions (stream a buffer from
+ * MRAM, do a semiring multiply-accumulate, grab the output mutex)
+ * into trace records, applying the DPU's software-emulation
+ * expansions for floating point and integer multiply.
+ */
+
+#ifndef ALPHA_PIM_UPMEM_TASKLET_CTX_HH
+#define ALPHA_PIM_UPMEM_TASKLET_CTX_HH
+
+#include <algorithm>
+
+#include "common/types.hh"
+#include "upmem/dpu_config.hh"
+#include "upmem/trace.hh"
+
+namespace alphapim::upmem
+{
+
+/**
+ * Per-tasklet recording facade over TaskletTrace.
+ *
+ * Kernels should express their work in terms of these primitives so
+ * the recorded instruction mix matches what the hand-written UPMEM C
+ * kernels in SparseP / ALPHA-PIM would execute.
+ */
+class TaskletCtx
+{
+  public:
+    /** @param cfg shared DPU configuration; @param trace sink */
+    TaskletCtx(const DpuConfig &cfg, TaskletTrace &trace)
+        : cfg_(cfg), trace_(trace)
+    {
+    }
+
+    /** The underlying trace (for the scheduler). */
+    TaskletTrace &trace() { return trace_; }
+
+    /**
+     * Record `count` operations of class `cls`, applying the
+     * software expansion factors for emulated classes.
+     */
+    void
+    op(OpClass cls, std::uint32_t count = 1)
+    {
+        switch (cls) {
+          case OpClass::FloatAdd:
+            trace_.ops(OpClass::FloatAdd, count * cfg_.floatAddInstrs);
+            break;
+          case OpClass::FloatMul:
+            trace_.ops(OpClass::FloatMul, count * cfg_.floatMulInstrs);
+            break;
+          case OpClass::IntMul:
+            trace_.ops(OpClass::IntMul, count * cfg_.intMulInstrs);
+            break;
+          default:
+            trace_.ops(cls, count);
+            break;
+        }
+    }
+
+    /** Scratchpad load of `count` words. */
+    void loadWram(std::uint32_t count = 1)
+    {
+        trace_.ops(OpClass::LoadWram, count);
+    }
+
+    /** Scratchpad store of `count` words. */
+    void storeWram(std::uint32_t count = 1)
+    {
+        trace_.ops(OpClass::StoreWram, count);
+    }
+
+    /** Loop/branch overhead instructions. */
+    void control(std::uint32_t count = 1)
+    {
+        trace_.ops(OpClass::Control, count);
+    }
+
+    /**
+     * Stream `bytes` from MRAM through the WRAM staging buffer:
+     * one blocking DMA per wramChunkBytes chunk plus the loop
+     * overhead of issuing it.
+     */
+    void
+    streamFromMram(Bytes bytes)
+    {
+        while (bytes > 0) {
+            const auto chunk = static_cast<std::uint32_t>(
+                std::min<Bytes>(bytes, cfg_.wramChunkBytes));
+            trace_.dmaRead(chunk);
+            trace_.ops(OpClass::Control, 2);
+            bytes -= chunk;
+        }
+    }
+
+    /** Stream `bytes` from WRAM back to MRAM in chunks. */
+    void
+    streamToMram(Bytes bytes)
+    {
+        while (bytes > 0) {
+            const auto chunk = static_cast<std::uint32_t>(
+                std::min<Bytes>(bytes, cfg_.wramChunkBytes));
+            trace_.dmaWrite(chunk);
+            trace_.ops(OpClass::Control, 2);
+            bytes -= chunk;
+        }
+    }
+
+    /** Single random-access MRAM read of `bytes` (irregular access). */
+    void randomMramRead(std::uint32_t bytes) { trace_.dmaRead(bytes); }
+
+    /** Single random-access MRAM write of `bytes`. */
+    void randomMramWrite(std::uint32_t bytes) { trace_.dmaWrite(bytes); }
+
+    /** Acquire mutex `id` (contention is resolved by the scheduler). */
+    void mutexLock(std::uint32_t id) { trace_.mutexLock(id); }
+
+    /** Release mutex `id`. */
+    void mutexUnlock(std::uint32_t id) { trace_.mutexUnlock(id); }
+
+    /** Arrive at barrier `id` (all tasklets must arrive to pass). */
+    void barrier(std::uint32_t id) { trace_.barrier(id); }
+
+  private:
+    const DpuConfig &cfg_;
+    TaskletTrace &trace_;
+};
+
+} // namespace alphapim::upmem
+
+#endif // ALPHA_PIM_UPMEM_TASKLET_CTX_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Run-length-encoded tasklet instruction traces.
+ *
+ * Kernels execute functionally on the host while recording, per
+ * tasklet, the abstract instruction stream the equivalent DPU code
+ * would issue. The RevolverScheduler then replays the traces of one
+ * DPU's tasklets to obtain cycle-accurate-style timing.
+ */
+
+#ifndef ALPHA_PIM_UPMEM_TRACE_HH
+#define ALPHA_PIM_UPMEM_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "upmem/op.hh"
+
+namespace alphapim::upmem
+{
+
+/** Kind of trace record. */
+enum class RecordKind : std::uint8_t
+{
+    Ops,    ///< `count` back-to-back instructions of class `cls`
+    Dma,    ///< one blocking DMA instruction moving `bytes`
+    Mutex,  ///< lock (count==1) or unlock (count==0) of mutex `id`
+    Barrier ///< barrier arrival on barrier `id`
+};
+
+/** One run-length-encoded trace element. */
+struct TraceRecord
+{
+    RecordKind kind;
+    OpClass cls;         ///< for Ops / Dma (DmaRead or DmaWrite)
+    std::uint32_t count; ///< Ops: run length; Mutex: 1=lock 0=unlock
+    std::uint32_t arg;   ///< Dma: bytes; Mutex/Barrier: id
+};
+
+/** Instruction stream of one tasklet. */
+class TaskletTrace
+{
+  public:
+    /** Append `count` instructions of class `cls` (merges runs). */
+    void
+    ops(OpClass cls, std::uint32_t count = 1)
+    {
+        if (count == 0)
+            return;
+        if (!records_.empty()) {
+            auto &back = records_.back();
+            if (back.kind == RecordKind::Ops && back.cls == cls) {
+                back.count += count;
+                return;
+            }
+        }
+        records_.push_back({RecordKind::Ops, cls, count, 0});
+    }
+
+    /** Append one blocking DMA read of `bytes` from MRAM. */
+    void
+    dmaRead(std::uint32_t bytes)
+    {
+        records_.push_back(
+            {RecordKind::Dma, OpClass::DmaRead, 1, bytes});
+    }
+
+    /** Append one blocking DMA write of `bytes` to MRAM. */
+    void
+    dmaWrite(std::uint32_t bytes)
+    {
+        records_.push_back(
+            {RecordKind::Dma, OpClass::DmaWrite, 1, bytes});
+    }
+
+    /** Append a mutex acquire on mutex `id`. */
+    void
+    mutexLock(std::uint32_t id)
+    {
+        records_.push_back({RecordKind::Mutex, OpClass::MutexLock, 1, id});
+    }
+
+    /** Append a mutex release on mutex `id`. */
+    void
+    mutexUnlock(std::uint32_t id)
+    {
+        records_.push_back(
+            {RecordKind::Mutex, OpClass::MutexUnlock, 0, id});
+    }
+
+    /** Append a barrier arrival on barrier `id`. */
+    void
+    barrier(std::uint32_t id)
+    {
+        records_.push_back({RecordKind::Barrier, OpClass::Barrier, 1, id});
+    }
+
+    /** Recorded records. */
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+    /** True when nothing was recorded. */
+    bool empty() const { return records_.empty(); }
+
+    /** Total dispatched instructions ignoring spin retries. */
+    std::uint64_t
+    instructionCount() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &r : records_)
+            n += (r.kind == RecordKind::Ops) ? r.count : 1;
+        return n;
+    }
+
+    /** Drop all records. */
+    void clear() { records_.clear(); }
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace alphapim::upmem
+
+#endif // ALPHA_PIM_UPMEM_TRACE_HH

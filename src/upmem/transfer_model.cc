@@ -1,0 +1,99 @@
+#include "transfer_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace alphapim::upmem
+{
+
+double
+TransferModel::rankBandwidth(TransferDirection dir) const
+{
+    return dir == TransferDirection::HostToDpu ? cfg_.rankBwHostToDpu
+                                               : cfg_.rankBwDpuToHost;
+}
+
+Seconds
+TransferModel::scatterGather(const std::vector<Bytes> &per_dpu_bytes,
+                             TransferDirection dir) const
+{
+    Bytes total = 0;
+    Bytes slowest_rank_payload = 0;
+    unsigned distinct = 0;
+
+    const unsigned per_rank = cfg_.dpusPerRank;
+    for (std::size_t base = 0; base < per_dpu_bytes.size();
+         base += per_rank) {
+        const std::size_t end =
+            std::min(per_dpu_bytes.size(),
+                     base + static_cast<std::size_t>(per_rank));
+        Bytes rank_max = 0;
+        for (std::size_t d = base; d < end; ++d) {
+            const Bytes b = per_dpu_bytes[d];
+            total += b;
+            if (b > 0)
+                ++distinct;
+            rank_max = std::max(rank_max, b);
+        }
+        // Parallel rank transfers are padded to the largest buffer.
+        slowest_rank_payload = std::max(
+            slowest_rank_payload,
+            rank_max * static_cast<Bytes>(end - base));
+    }
+    if (total == 0)
+        return 0.0;
+
+    if (cfg_.directInterconnect) {
+        // Future hardware: DPUs exchange directly, in parallel.
+        Bytes max_per_dpu = 0;
+        for (Bytes b : per_dpu_bytes)
+            max_per_dpu = std::max(max_per_dpu, b);
+        return cfg_.interconnectLatency +
+               static_cast<double>(max_per_dpu) /
+                   cfg_.interDpuBandwidth;
+    }
+
+    const Seconds bus_time =
+        static_cast<double>(slowest_rank_payload) / rankBandwidth(dir);
+    const Seconds copy_time =
+        static_cast<double>(total) / cfg_.hostCopyBw;
+    return cfg_.launchLatency + cfg_.perDpuSetup * distinct +
+           std::max(bus_time, copy_time);
+}
+
+Seconds
+TransferModel::broadcast(Bytes bytes, unsigned num_dpus) const
+{
+    if (bytes == 0 || num_dpus == 0)
+        return 0.0;
+    if (cfg_.directInterconnect) {
+        // Tree broadcast over the interconnect: log2(D) hops.
+        double hops = 1.0;
+        for (unsigned d = num_dpus; d > 1; d >>= 1)
+            hops += 1.0;
+        return cfg_.interconnectLatency +
+               hops * static_cast<double>(bytes) /
+                   cfg_.interDpuBandwidth;
+    }
+    const unsigned in_last_rank = num_dpus % cfg_.dpusPerRank;
+    const unsigned busiest_rank =
+        num_dpus >= cfg_.dpusPerRank ? cfg_.dpusPerRank
+        : (in_last_rank ? in_last_rank : cfg_.dpusPerRank);
+    const Seconds bus_time =
+        static_cast<double>(bytes) * busiest_rank /
+        rankBandwidth(TransferDirection::HostToDpu);
+    // One source buffer: a single CPU-side staging pass.
+    const Seconds copy_time = static_cast<double>(bytes) / cfg_.hostCopyBw;
+    return cfg_.launchLatency + bus_time + copy_time;
+}
+
+Seconds
+TransferModel::uniformScatter(Bytes bytes_per_dpu, unsigned num_dpus,
+                              TransferDirection dir) const
+{
+    std::vector<Bytes> sizes(num_dpus, bytes_per_dpu);
+    return scatterGather(sizes, dir);
+}
+
+} // namespace alphapim::upmem

@@ -1,0 +1,43 @@
+#include "upmem_system.hh"
+
+#include <mutex>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+
+namespace alphapim::upmem
+{
+
+UpmemSystem::UpmemSystem(SystemConfig cfg)
+    : cfg_(cfg), transfer_(cfg_.transfer), host_(cfg_.host)
+{
+    ALPHA_ASSERT(cfg_.numDpus > 0, "system needs at least one DPU");
+    ALPHA_ASSERT(cfg_.dpu.tasklets > 0 &&
+                     cfg_.dpu.tasklets <= cfg_.dpu.maxTasklets,
+                 "tasklet count outside hardware limits");
+}
+
+LaunchProfile
+UpmemSystem::launchKernel(
+    unsigned num_dpus,
+    const std::function<void(unsigned, std::vector<TaskletTrace> &)>
+        &generate) const
+{
+    ALPHA_ASSERT(num_dpus > 0 && num_dpus <= cfg_.numDpus,
+                 "launch requests more DPUs than allocated");
+
+    const RevolverScheduler scheduler(cfg_.dpu);
+    LaunchProfile launch;
+    std::mutex accumulate;
+
+    parallelFor(num_dpus, [&](std::size_t dpu) {
+        std::vector<TaskletTrace> traces(cfg_.dpu.tasklets);
+        generate(static_cast<unsigned>(dpu), traces);
+        const DpuProfile profile = scheduler.run(traces);
+        std::lock_guard<std::mutex> lock(accumulate);
+        launch.add(profile);
+    });
+    return launch;
+}
+
+} // namespace alphapim::upmem

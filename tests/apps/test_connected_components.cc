@@ -1,0 +1,122 @@
+/** @file Connected-components extension app: correctness across
+ * strategies and structural behaviour. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "apps/graph_apps.hh"
+#include "apps/reference_algorithms.hh"
+#include "common/random.hh"
+#include "sparse/generators.hh"
+
+using namespace alphapim;
+using namespace alphapim::apps;
+
+namespace
+{
+
+upmem::UpmemSystem
+testSystem(unsigned dpus = 16)
+{
+    upmem::SystemConfig cfg;
+    cfg.numDpus = dpus;
+    cfg.dpu.tasklets = 8;
+    return upmem::UpmemSystem(cfg);
+}
+
+/** Several disconnected ER blobs. */
+sparse::CooMatrix<float>
+multiComponentGraph(std::uint64_t seed)
+{
+    Rng rng(seed);
+    sparse::CooMatrix<float> m(300, 300);
+    // Three blocks of 100 vertices, wired internally only.
+    for (unsigned block = 0; block < 3; ++block) {
+        const NodeId base = block * 100;
+        for (unsigned e = 0; e < 300; ++e) {
+            const auto u =
+                base + static_cast<NodeId>(rng.nextBounded(100));
+            const auto v =
+                base + static_cast<NodeId>(rng.nextBounded(100));
+            if (u == v)
+                continue;
+            m.addEntry(u, v, 1.0f);
+            m.addEntry(v, u, 1.0f);
+        }
+    }
+    m.coalesce();
+    return m;
+}
+
+} // namespace
+
+TEST(ConnectedComponents, MatchesReferenceOnRandomGraph)
+{
+    Rng rng(1);
+    const auto list = sparse::generateErdosRenyi(400, 500, rng);
+    const auto adj = sparse::edgeListToSymmetricCoo(list);
+    const auto sys = testSystem();
+    const auto result = runConnectedComponents(sys, adj);
+    EXPECT_EQ(result.levels, referenceComponents(adj));
+    EXPECT_TRUE(result.converged);
+}
+
+TEST(ConnectedComponents, ThreeIsolatedBlobs)
+{
+    const auto adj = multiComponentGraph(2);
+    const auto sys = testSystem();
+    const auto result = runConnectedComponents(sys, adj);
+    const auto expected = referenceComponents(adj);
+    EXPECT_EQ(result.levels, expected);
+    // Labels take at most 3 distinct values plus singletons.
+    std::set<std::uint32_t> labels(result.levels.begin(),
+                                   result.levels.end());
+    EXPECT_GE(labels.size(), 3u);
+}
+
+TEST(ConnectedComponents, AllStrategiesAgree)
+{
+    Rng rng(3);
+    const auto list = sparse::generateScaleMatched(300, 6, 15, rng);
+    const auto adj = sparse::edgeListToSymmetricCoo(list);
+    const auto sys = testSystem();
+    const auto expected = referenceComponents(adj);
+    for (auto strategy :
+         {core::MxvStrategy::Adaptive, core::MxvStrategy::SpmspvOnly,
+          core::MxvStrategy::SpmvOnly}) {
+        AppConfig cfg;
+        cfg.strategy = strategy;
+        const auto result = runConnectedComponents(sys, adj, cfg);
+        EXPECT_EQ(result.levels, expected)
+            << core::mxvStrategyName(strategy);
+    }
+}
+
+TEST(ConnectedComponents, FrontierShrinksToConvergence)
+{
+    Rng rng(4);
+    const auto list = sparse::generateErdosRenyi(500, 1500, rng);
+    const auto adj = sparse::edgeListToSymmetricCoo(list);
+    const auto sys = testSystem();
+    const auto result = runConnectedComponents(sys, adj);
+    ASSERT_GE(result.iterations.size(), 2u);
+    // First iteration starts fully dense; the last produces nothing.
+    EXPECT_DOUBLE_EQ(result.iterations.front().inputDensity, 1.0);
+    EXPECT_DOUBLE_EQ(result.iterations.back().outputDensity, 0.0);
+}
+
+TEST(ConnectedComponents, PathGraphTakesLinearIterations)
+{
+    // A path propagates the min label one hop per iteration.
+    sparse::CooMatrix<float> path(20, 20);
+    for (NodeId v = 0; v + 1 < 20; ++v) {
+        path.addEntry(v, v + 1, 1.0f);
+        path.addEntry(v + 1, v, 1.0f);
+    }
+    const auto sys = testSystem(4);
+    const auto result = runConnectedComponents(sys, path);
+    for (auto label : result.levels)
+        EXPECT_EQ(label, 0u);
+    EXPECT_GE(result.iterations.size(), 19u);
+}

@@ -1,0 +1,63 @@
+/** @file GPU model and energy accounting properties. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/energy_model.hh"
+#include "baseline/gpu_model.hh"
+
+using namespace alphapim;
+using namespace alphapim::baseline;
+
+TEST(GpuModel, BfsScalesWithLevels)
+{
+    GpuModel gpu{GpuSpec{}};
+    const auto few = gpu.bfs({1000, 2000}, 10000);
+    const auto many =
+        gpu.bfs(std::vector<std::uint64_t>(30, 1000), 10000);
+    EXPECT_LT(few.seconds, many.seconds);
+}
+
+TEST(GpuModel, SsspIsOverheadDominatedAndFlat)
+{
+    GpuModel gpu{GpuSpec{}};
+    const auto small = gpu.sssp(std::vector<std::uint64_t>(10, 1000),
+                                6000);
+    const auto large = gpu.sssp(std::vector<std::uint64_t>(40, 50000),
+                                260000);
+    // The paper's flat ~13 ms: within 2x across very different
+    // datasets because the fixed chain dominates.
+    EXPECT_GT(small.seconds, 0.012);
+    EXPECT_LT(large.seconds, 2.0 * small.seconds);
+}
+
+TEST(GpuModel, PprScalesWithIterationsAndEdges)
+{
+    GpuModel gpu{GpuSpec{}};
+    const auto base = gpu.ppr(10, 1'000'000, 100000);
+    const auto more_iters = gpu.ppr(20, 1'000'000, 100000);
+    const auto more_edges = gpu.ppr(10, 10'000'000, 100000);
+    EXPECT_GT(more_iters.seconds, base.seconds);
+    EXPECT_GT(more_edges.seconds, base.seconds);
+}
+
+TEST(GpuModel, OpsAccumulate)
+{
+    GpuModel gpu{GpuSpec{}};
+    const auto run = gpu.bfs({100, 200, 300}, 1000);
+    EXPECT_EQ(run.ops, 2 * 600u);
+}
+
+TEST(EnergyModel, JoulesAreLinearInTime)
+{
+    EnergyModel model{CpuSpec{}, GpuSpec{}, UpmemPowerSpec{}};
+    EXPECT_DOUBLE_EQ(model.cpuJoules(2.0), 2.0 * model.cpuJoules(1.0));
+    EXPECT_DOUBLE_EQ(model.gpuJoules(0.5) * 4, model.gpuJoules(2.0));
+    EXPECT_GT(model.upmemJoules(1.0), model.cpuJoules(1.0));
+}
+
+TEST(Utilization, DefinitionAndEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(computeUtilization(1000, 1.0, 1e6), 1e-3);
+    EXPECT_DOUBLE_EQ(computeUtilization(0, 1.0, 1e6), 0.0);
+    EXPECT_DOUBLE_EQ(computeUtilization(10, 0.0, 1e6), 0.0);
+}

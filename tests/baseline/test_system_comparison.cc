@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Table 4 harness integration test: the qualitative ordering of the
+ * three systems must reproduce the paper's observations on a small
+ * scale-free dataset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/system_comparison.hh"
+
+using namespace alphapim;
+using namespace alphapim::baseline;
+
+namespace
+{
+
+/** Shared fixture: one small dataset, one simulated machine. */
+class SystemComparisonTest : public testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        upmem::SystemConfig cfg;
+        cfg.numDpus = 64;
+        cfg.dpu.tasklets = 8;
+        sys_ = new upmem::UpmemSystem(cfg);
+        data_ = new sparse::Dataset(
+            sparse::buildDataset("as00", 0.5, 11));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete sys_;
+        delete data_;
+        sys_ = nullptr;
+        data_ = nullptr;
+    }
+
+    static upmem::UpmemSystem *sys_;
+    static sparse::Dataset *data_;
+};
+
+upmem::UpmemSystem *SystemComparisonTest::sys_ = nullptr;
+sparse::Dataset *SystemComparisonTest::data_ = nullptr;
+
+} // namespace
+
+TEST_F(SystemComparisonTest, BfsOrderingMatchesPaper)
+{
+    const SystemComparison cmp(*sys_);
+    const auto row = cmp.compare(Algo::Bfs, *data_);
+    // GPU fastest; UPMEM kernel beats CPU; total includes transfers.
+    EXPECT_LT(row.gpuMs, row.cpuMs);
+    EXPECT_LT(row.upmemKernelMs, row.cpuMs);
+    EXPECT_LT(row.upmemKernelMs, row.upmemTotalMs);
+    // UPMEM utilization beats both baselines (paper observation 2).
+    EXPECT_GT(row.upmemKernelUtilPct, row.cpuUtilPct);
+    EXPECT_GT(row.upmemKernelUtilPct, row.gpuUtilPct);
+    // GPU most energy-efficient (paper observation 3).
+    EXPECT_LT(row.gpuJ, row.cpuJ);
+}
+
+TEST_F(SystemComparisonTest, SsspKernelSpeedupIsComparable)
+{
+    const SystemComparison cmp(*sys_);
+    const auto bfs = cmp.compare(Algo::Bfs, *data_);
+    const auto sssp = cmp.compare(Algo::Sssp, *data_);
+    const double bfs_speedup = bfs.cpuMs / bfs.upmemKernelMs;
+    const double sssp_speedup = sssp.cpuMs / sssp.upmemKernelMs;
+    // Paper: SSSP shows the largest kernel speedup (48.8x vs
+    // 10.2x), driven by GridGraph revisiting edges over many
+    // weighted relaxation rounds. Our frontier-based CPU SSSP takes
+    // about as many rounds as the PIM version, so the two speedups
+    // land in the same range rather than 5x apart (documented in
+    // EXPERIMENTS.md); both must still be large.
+    EXPECT_GT(sssp_speedup, 0.7 * bfs_speedup);
+    EXPECT_GT(sssp_speedup, 3.0);
+    EXPECT_GT(bfs_speedup, 3.0);
+}
+
+TEST_F(SystemComparisonTest, PprIsKernelDominated)
+{
+    const SystemComparison cmp(*sys_);
+    apps::AppConfig cfg;
+    cfg.pprTolerance = 0.0;
+    cfg.pprIterations = 10;
+    const auto row = cmp.compare(Algo::Ppr, *data_, cfg);
+    // PPR's software-emulated floats make the kernel a large share
+    // of total time (paper section 6.3.1 observation 2).
+    EXPECT_GT(row.upmemKernelMs, 0.3 * row.upmemTotalMs);
+}
+
+TEST_F(SystemComparisonTest, RowIsLabelled)
+{
+    const SystemComparison cmp(*sys_);
+    const auto row = cmp.compare(Algo::Bfs, *data_);
+    EXPECT_EQ(row.dataset, "as00");
+    EXPECT_EQ(row.algo, Algo::Bfs);
+    EXPECT_STREQ(algoName(Algo::Sssp), "SSSP");
+}
+
+TEST_F(SystemComparisonTest, DeterministicAcrossCalls)
+{
+    const SystemComparison cmp(*sys_);
+    const auto r1 = cmp.compare(Algo::Bfs, *data_);
+    const auto r2 = cmp.compare(Algo::Bfs, *data_);
+    EXPECT_DOUBLE_EQ(r1.cpuMs, r2.cpuMs);
+    EXPECT_DOUBLE_EQ(r1.gpuMs, r2.gpuMs);
+    EXPECT_DOUBLE_EQ(r1.upmemTotalMs, r2.upmemTotalMs);
+}

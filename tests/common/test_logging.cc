@@ -1,0 +1,48 @@
+/** @file Log level plumbing and assertion macro. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+using namespace alphapim;
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(LogLevel::Verbose);
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    setLogLevel(before);
+}
+
+TEST(Logging, WarnAndInformDoNotCrash)
+{
+    setLogLevel(LogLevel::Silent);
+    warn("suppressed %d", 1);
+    inform("suppressed %s", "too");
+    debugLog("suppressed");
+    setLogLevel(LogLevel::Normal);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    ALPHA_ASSERT(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeath, AssertPanicsOnFalse)
+{
+    EXPECT_DEATH(ALPHA_ASSERT(false, "must fail"), "must fail");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"),
+                testing::ExitedWithCode(1), "bad config");
+}

@@ -1,0 +1,42 @@
+/** @file parallelFor coverage and independence. */
+
+#include <atomic>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+
+using namespace alphapim;
+
+TEST(ParallelFor, VisitsEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop)
+{
+    bool called = false;
+    parallelFor(0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SmallCountsRunSerially)
+{
+    std::vector<int> order;
+    parallelFor(3, [&](std::size_t i) {
+        order.push_back(static_cast<int>(i));
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ParallelFor, ResultsAreDeterministicPerSlot)
+{
+    std::vector<std::uint64_t> out(500);
+    parallelFor(500, [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < 500; ++i)
+        EXPECT_EQ(out[i], i * i);
+}

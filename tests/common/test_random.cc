@@ -1,0 +1,95 @@
+/** @file Deterministic RNG behaviour and distribution sanity. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+
+using namespace alphapim;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    unsigned same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3u);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(11);
+    std::vector<bool> seen(10, false);
+    for (int i = 0; i < 2000; ++i)
+        seen[rng.nextBounded(10)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(5);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.nextGaussian());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, LognormalMatchedMoments)
+{
+    // mu/sigma chosen so the lognormal has mean ~6, std ~5.
+    const double mean = 6.0, std = 5.0;
+    const double ratio = std / mean;
+    const double sigma2 = std::log(1 + ratio * ratio);
+    const double mu = std::log(mean) - sigma2 / 2;
+    Rng rng(9);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.nextLognormal(mu, std::sqrt(sigma2)));
+    EXPECT_NEAR(stats.mean(), mean, 0.15);
+    EXPECT_NEAR(stats.stddev(), std, 0.5);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.nextBernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(21);
+    Rng child = parent.split();
+    unsigned same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next() == child.next() ? 1 : 0;
+    EXPECT_LT(same, 3u);
+}

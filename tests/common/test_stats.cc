@@ -1,0 +1,89 @@
+/** @file RunningStats / geometric mean / histogram behaviour. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace alphapim;
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, KnownPopulation)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0); // textbook population example
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, LargeShiftedValuesStayStable)
+{
+    RunningStats s;
+    const double base = 1e12;
+    for (int i = 0; i < 1000; ++i)
+        s.add(base + (i % 10));
+    EXPECT_NEAR(s.mean(), base + 4.5, 1e-3);
+    EXPECT_NEAR(s.stddev(), 2.872, 0.01);
+}
+
+TEST(GeometricMean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 9.0}), 6.0);
+    EXPECT_NEAR(geometricMean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(GeometricMean, SingleValue)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({3.5}), 3.5);
+}
+
+TEST(Histogram, BinsAndMean)
+{
+    Histogram h(4, 8.0);
+    h.add(1.0);
+    h.add(3.0);
+    h.add(5.0);
+    h.add(7.0);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(h.binWeight(i), 1.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Histogram, OverflowLandsInLastBin)
+{
+    Histogram h(4, 8.0);
+    h.add(100.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(3), 1.0);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h(2, 2.0);
+    h.add(0.5, 3.0);
+    h.add(1.5, 1.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(0), 3.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 4.0);
+    EXPECT_DOUBLE_EQ(h.mean(), (0.5 * 3 + 1.5) / 4.0);
+}

@@ -1,0 +1,58 @@
+/** @file Text table rendering. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+using namespace alphapim;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAreAligned)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.addRow({"xxxx", "1"});
+    t.addRow({"y", "2"});
+    const std::string out = t.render();
+    // Both value cells start at the same column.
+    const auto l1 = out.find("xxxx  1");
+    const auto l2 = out.find("y     2");
+    EXPECT_NE(l1, std::string::npos);
+    EXPECT_NE(l2, std::string::npos);
+}
+
+TEST(TextTable, SeparatorRendered)
+{
+    TextTable t;
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    const std::string out = t.render();
+    // Header separator plus the explicit one.
+    std::size_t dashes = 0, pos = 0;
+    while ((pos = out.find("-\n", pos)) != std::string::npos) {
+        ++dashes;
+        ++pos;
+    }
+    EXPECT_GE(dashes, 2u);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::pct(0.1234, 1), "12.3%");
+}

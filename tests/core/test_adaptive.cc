@@ -1,0 +1,86 @@
+/** @file Decision tree training and the kernel switch model. */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hh"
+
+using namespace alphapim;
+using namespace alphapim::core;
+
+TEST(DecisionTree, UntrainedDefaultsToScaleFree)
+{
+    DegreeDecisionTree tree;
+    EXPECT_TRUE(tree.classifyScaleFree(3.0, 1.0));
+}
+
+TEST(DecisionTree, LearnsLinearlySeparableSplit)
+{
+    // Regular class: low degree std; scale-free: high std.
+    std::vector<GraphSample> samples;
+    for (double std : {0.5, 0.8, 1.0, 1.2})
+        samples.push_back({3.0, std, false});
+    for (double std : {10.0, 25.0, 40.0, 120.0})
+        samples.push_back({10.0, std, true});
+    DegreeDecisionTree tree;
+    tree.train(samples, 2);
+    EXPECT_FALSE(tree.classifyScaleFree(2.8, 1.0));
+    EXPECT_TRUE(tree.classifyScaleFree(12.0, 40.0));
+    EXPECT_GT(tree.nodeCount(), 1u);
+}
+
+TEST(DecisionTree, PureCorpusYieldsLeaf)
+{
+    std::vector<GraphSample> samples = {
+        {1.0, 1.0, true}, {2.0, 2.0, true}};
+    DegreeDecisionTree tree;
+    tree.train(samples, 3);
+    EXPECT_EQ(tree.nodeCount(), 1u);
+    EXPECT_TRUE(tree.classifyScaleFree(100.0, 100.0));
+}
+
+TEST(DecisionTree, DepthZeroIsMajorityVote)
+{
+    std::vector<GraphSample> samples = {{1, 1, false},
+                                        {2, 2, false},
+                                        {3, 3, true}};
+    DegreeDecisionTree tree;
+    tree.train(samples, 0);
+    EXPECT_FALSE(tree.classifyScaleFree(3, 3));
+}
+
+TEST(SwitchModel, ClassifiesTable2Correctly)
+{
+    const KernelSwitchModel model;
+    for (const auto &spec : sparse::table2Specs()) {
+        sparse::GraphStats stats;
+        stats.avgDegree = spec.avgDegree;
+        stats.degreeStd = spec.degreeStd;
+        const bool expect_scale_free =
+            spec.family != sparse::GraphFamily::Regular;
+        EXPECT_EQ(model.isScaleFree(stats), expect_scale_free)
+            << spec.abbreviation;
+    }
+}
+
+TEST(SwitchModel, ThresholdsMatchPaper)
+{
+    const KernelSwitchModel model;
+    sparse::GraphStats road;
+    road.avgDegree = 2.78;
+    road.degreeStd = 1.0;
+    EXPECT_DOUBLE_EQ(model.switchThreshold(road), 0.20);
+
+    sparse::GraphStats social;
+    social.avgDegree = 12.0;
+    social.degreeStd = 40.0;
+    EXPECT_DOUBLE_EQ(model.switchThreshold(social), 0.50);
+}
+
+TEST(SwitchModel, GeneratedDatasetsClassifyByFamily)
+{
+    const KernelSwitchModel model;
+    const auto road = sparse::buildDataset("r-TX", 0.02, 3);
+    EXPECT_FALSE(model.isScaleFree(road.stats));
+    const auto social = sparse::buildDataset("s-S11", 0.1, 3);
+    EXPECT_TRUE(model.isScaleFree(social.stats));
+}

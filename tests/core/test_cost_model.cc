@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Empirical cost model (paper section 4.2.1): structural properties
+ * and agreement with the simulator within a modest factor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/cost_model.hh"
+#include "core/engine.hh"
+#include "core/kernels.hh"
+#include "sparse/generators.hh"
+
+using namespace alphapim;
+using namespace alphapim::core;
+
+namespace
+{
+
+upmem::UpmemSystem
+testSystem(unsigned dpus)
+{
+    upmem::SystemConfig cfg;
+    cfg.numDpus = dpus;
+    return upmem::UpmemSystem(cfg);
+}
+
+sparse::CooMatrix<float>
+testGraph(NodeId n, double deg, double std, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return sparse::edgeListToSymmetricCoo(
+        sparse::generateScaleMatched(n, deg, std, rng));
+}
+
+} // namespace
+
+TEST(CostModel, SpmspvCostIsMonotoneInDensity)
+{
+    const auto sys = testSystem(256);
+    const auto a = testGraph(5000, 10, 30, 1);
+    const KernelCostModel model(sys, sparse::computeGraphStats(a),
+                                256);
+    double prev = 0.0;
+    for (double d : {0.01, 0.05, 0.1, 0.3, 0.6, 1.0}) {
+        const double total = model.estimateSpmspv(d).total();
+        EXPECT_GE(total, prev);
+        prev = total;
+    }
+}
+
+TEST(CostModel, SpmvCostIsDensityInvariant)
+{
+    const auto sys = testSystem(256);
+    const auto a = testGraph(5000, 10, 30, 2);
+    const KernelCostModel model(sys, sparse::computeGraphStats(a),
+                                256);
+    EXPECT_DOUBLE_EQ(model.estimateSpmv().total(),
+                     model.estimateSpmv().total());
+    EXPECT_GT(model.estimateSpmv().total(), 0.0);
+}
+
+TEST(CostModel, ExpectedOutputNnzSaturates)
+{
+    const auto sys = testSystem(64);
+    const auto a = testGraph(3000, 12, 20, 3);
+    const auto stats = sparse::computeGraphStats(a);
+    const KernelCostModel model(sys, stats, 64);
+    const auto low = model.expectedOutputNnz(0.01);
+    const auto high = model.expectedOutputNnz(1.0);
+    EXPECT_LT(low, high);
+    EXPECT_LE(high, stats.nodes);
+    // At full density nearly every row is covered.
+    EXPECT_GT(high, stats.nodes * 9 / 10);
+}
+
+TEST(CostModel, SwitchDensityIsInUnitInterval)
+{
+    const auto sys = testSystem(512);
+    for (std::uint64_t seed : {4u, 5u, 6u}) {
+        const auto a = testGraph(8000, 8, 25, seed);
+        const KernelCostModel model(
+            sys, sparse::computeGraphStats(a), 512);
+        const double d = model.predictedSwitchDensity();
+        EXPECT_GT(d, 0.0);
+        EXPECT_LE(d, 1.0);
+    }
+}
+
+TEST(CostModel, PredictionsTrackSimulationWithinFactor)
+{
+    // The model is a planning heuristic, not a replacement for the
+    // simulator: require agreement within 5x on both kernels.
+    const auto sys = testSystem(128);
+    const auto a = testGraph(6000, 10, 30, 7);
+    const auto stats = sparse::computeGraphStats(a);
+    const KernelCostModel model(sys, stats, 128);
+
+    Rng rng(8);
+    sparse::SparseVector<std::uint32_t> x(a.numRows());
+    for (NodeId i = 0; i < a.numRows(); ++i) {
+        if (rng.nextBernoulli(0.2))
+            x.append(i, 1u);
+    }
+    const auto spmspv = makeKernel<IntPlusTimes>(
+        KernelVariant::SpmspvCsc2d, sys, a, 128);
+    const auto spmv = makeKernel<IntPlusTimes>(
+        KernelVariant::SpmvDcoo2d, sys, a, 128);
+    const double sim_spmspv = spmspv->run(x).times.total();
+    const double sim_spmv = spmv->run(x).times.total();
+    const double est_spmspv = model.estimateSpmspv(0.2).total();
+    const double est_spmv = model.estimateSpmv().total();
+
+    EXPECT_LT(est_spmspv, 5.0 * sim_spmspv);
+    EXPECT_GT(est_spmspv, sim_spmspv / 5.0);
+    EXPECT_LT(est_spmv, 5.0 * sim_spmv);
+    EXPECT_GT(est_spmv, sim_spmv / 5.0);
+}
+
+TEST(CostModel, EngineStrategyUsesPredictedThreshold)
+{
+    const auto sys = testSystem(64);
+    const auto a = testGraph(2000, 8, 20, 9);
+    PimEngine<BoolOrAnd> engine(sys, a, 64,
+                                MxvStrategy::CostModel);
+    EXPECT_GT(engine.switchThreshold(), 0.0);
+    EXPECT_LE(engine.switchThreshold(), 1.0);
+    EXPECT_STREQ(mxvStrategyName(MxvStrategy::CostModel),
+                 "cost-model");
+
+    // Results stay correct regardless of the threshold choice.
+    sparse::SparseVector<std::uint32_t> x(a.numRows());
+    x.append(0, 1u);
+    const auto y = engine.multiply(x).y;
+    EXPECT_EQ(y.size(), a.numRows());
+}

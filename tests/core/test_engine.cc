@@ -1,0 +1,108 @@
+/** @file PimEngine strategy behaviour and result invariance. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/engine.hh"
+#include "core/reference.hh"
+#include "sparse/generators.hh"
+
+using namespace alphapim;
+using namespace alphapim::core;
+
+namespace
+{
+
+upmem::UpmemSystem
+testSystem(unsigned dpus = 16)
+{
+    upmem::SystemConfig cfg;
+    cfg.numDpus = dpus;
+    cfg.dpu.tasklets = 8;
+    return upmem::UpmemSystem(cfg);
+}
+
+sparse::CooMatrix<float>
+testGraph(std::uint64_t seed = 3)
+{
+    Rng rng(seed);
+    const auto list = sparse::generateScaleMatched(400, 10, 30, rng);
+    return sparse::edgeListToSymmetricCoo(list);
+}
+
+sparse::SparseVector<std::uint32_t>
+inputAtDensity(NodeId n, double density, std::uint64_t seed)
+{
+    Rng rng(seed);
+    sparse::SparseVector<std::uint32_t> x(n);
+    for (NodeId i = 0; i < n; ++i) {
+        if (rng.nextBernoulli(density))
+            x.append(i, 1u);
+    }
+    return x;
+}
+
+} // namespace
+
+TEST(PimEngine, AdaptiveSwitchesOnDensity)
+{
+    const auto sys = testSystem();
+    const auto a = testGraph();
+    PimEngine<BoolOrAnd> engine(sys, a, 16, MxvStrategy::Adaptive,
+                                0.30);
+    const NodeId n = a.numRows();
+
+    engine.multiply(inputAtDensity(n, 0.05, 1));
+    EXPECT_FALSE(engine.lastUsedSpmv());
+    engine.multiply(inputAtDensity(n, 0.80, 2));
+    EXPECT_TRUE(engine.lastUsedSpmv());
+    EXPECT_EQ(engine.spmspvLaunches(), 1u);
+    EXPECT_EQ(engine.spmvLaunches(), 1u);
+}
+
+TEST(PimEngine, StrategiesAgreeOnResults)
+{
+    const auto sys = testSystem();
+    const auto a = testGraph();
+    const NodeId n = a.numRows();
+    const auto x = inputAtDensity(n, 0.4, 5);
+
+    PimEngine<BoolOrAnd> adaptive(sys, a, 16, MxvStrategy::Adaptive);
+    PimEngine<BoolOrAnd> sparse_only(sys, a, 16,
+                                     MxvStrategy::SpmspvOnly);
+    PimEngine<BoolOrAnd> dense_only(sys, a, 16, MxvStrategy::SpmvOnly);
+
+    const auto ya = adaptive.multiply(x).y;
+    const auto ys = sparse_only.multiply(x).y;
+    const auto yd = dense_only.multiply(x).y;
+    const auto expected = referenceMxv<BoolOrAnd>(a, x);
+    EXPECT_EQ(ya, expected);
+    EXPECT_EQ(ys, expected);
+    EXPECT_EQ(yd, expected);
+}
+
+TEST(PimEngine, ModelThresholdUsedWhenUnspecified)
+{
+    const auto sys = testSystem();
+    const auto a = testGraph(); // scale-free corpus => 0.50
+    PimEngine<BoolOrAnd> engine(sys, a, 16, MxvStrategy::Adaptive);
+    EXPECT_DOUBLE_EQ(engine.switchThreshold(), 0.50);
+}
+
+TEST(PimEngine, SpmvOnlyNeverUsesSpmspv)
+{
+    const auto sys = testSystem();
+    const auto a = testGraph();
+    PimEngine<BoolOrAnd> engine(sys, a, 16, MxvStrategy::SpmvOnly);
+    engine.multiply(inputAtDensity(a.numRows(), 0.01, 9));
+    EXPECT_TRUE(engine.lastUsedSpmv());
+    EXPECT_EQ(engine.spmspvLaunches(), 0u);
+}
+
+TEST(PimEngine, StrategyNames)
+{
+    EXPECT_STREQ(mxvStrategyName(MxvStrategy::Adaptive), "adaptive");
+    EXPECT_STREQ(mxvStrategyName(MxvStrategy::SpmspvOnly),
+                 "spmspv-only");
+    EXPECT_STREQ(mxvStrategyName(MxvStrategy::SpmvOnly), "spmv-only");
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Parallelization-invariance properties: functional results must be
+ * identical regardless of DPU count, tasklet count, or kernel
+ * variant -- only the timing model may change.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/graph_apps.hh"
+#include "common/random.hh"
+#include "core/kernels.hh"
+#include "core/reference.hh"
+#include "sparse/generators.hh"
+#include "sparse/graph_stats.hh"
+
+using namespace alphapim;
+using namespace alphapim::core;
+
+namespace
+{
+
+sparse::CooMatrix<float>
+testGraph(std::uint64_t seed)
+{
+    Rng rng(seed);
+    return sparse::edgeListToSymmetricCoo(
+        sparse::generateScaleMatched(350, 9, 22, rng));
+}
+
+sparse::SparseVector<std::uint32_t>
+testInput(NodeId n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    sparse::SparseVector<std::uint32_t> x(n);
+    for (NodeId i = 0; i < n; ++i) {
+        if (rng.nextBernoulli(0.15))
+            x.append(i, 1u + static_cast<std::uint32_t>(
+                                rng.nextBounded(7)));
+    }
+    return x;
+}
+
+} // namespace
+
+TEST(Invariance, ResultsIndependentOfDpuCount)
+{
+    const auto a = testGraph(1);
+    const auto x = testInput(a.numRows(), 2);
+    const auto expected = referenceMxv<IntPlusTimes>(a, x);
+    for (unsigned dpus : {1u, 3u, 16u, 64u}) {
+        upmem::SystemConfig cfg;
+        cfg.numDpus = dpus;
+        cfg.dpu.tasklets = 8;
+        const upmem::UpmemSystem sys(cfg);
+        for (auto v : {KernelVariant::SpmspvCsc2d,
+                       KernelVariant::SpmspvCscC,
+                       KernelVariant::SpmvDcoo2d}) {
+            const auto kernel =
+                makeKernel<IntPlusTimes>(v, sys, a, dpus);
+            EXPECT_EQ(kernel->run(x).y, expected)
+                << kernelVariantName(v) << " at " << dpus
+                << " DPUs";
+        }
+    }
+}
+
+TEST(Invariance, ResultsIndependentOfTaskletCount)
+{
+    const auto a = testGraph(3);
+    const auto x = testInput(a.numRows(), 4);
+    const auto expected = referenceMxv<IntPlusTimes>(a, x);
+    for (unsigned tasklets : {1u, 2u, 11u, 24u}) {
+        upmem::SystemConfig cfg;
+        cfg.numDpus = 8;
+        cfg.dpu.tasklets = tasklets;
+        const upmem::UpmemSystem sys(cfg);
+        const auto kernel = makeKernel<IntPlusTimes>(
+            KernelVariant::SpmspvCsc2d, sys, a, 8);
+        EXPECT_EQ(kernel->run(x).y, expected)
+            << tasklets << " tasklets";
+    }
+}
+
+TEST(Invariance, MoreTaskletsNeverSlowTheKernelMuch)
+{
+    // Thread-level parallelism must help (or at least not hurt
+    // beyond sync noise) -- paper section 4.1.2.
+    const auto a = testGraph(5);
+    const auto x = testInput(a.numRows(), 6);
+    double t1 = 0.0, t16 = 0.0;
+    for (unsigned tasklets : {1u, 16u}) {
+        upmem::SystemConfig cfg;
+        cfg.numDpus = 4;
+        cfg.dpu.tasklets = tasklets;
+        const upmem::UpmemSystem sys(cfg);
+        const auto kernel = makeKernel<IntPlusTimes>(
+            KernelVariant::SpmspvCsc2d, sys, a, 4);
+        const double t = kernel->run(x).times.kernel;
+        (tasklets == 1 ? t1 : t16) = t;
+    }
+    EXPECT_LT(t16, t1);
+}
+
+TEST(Invariance, BfsLevelsIndependentOfDpuCount)
+{
+    const auto a = testGraph(7);
+    const NodeId source = sparse::largestComponentVertex(a);
+    std::vector<std::uint32_t> first;
+    for (unsigned dpus : {2u, 8u, 32u}) {
+        upmem::SystemConfig cfg;
+        cfg.numDpus = dpus;
+        cfg.dpu.tasklets = 8;
+        const upmem::UpmemSystem sys(cfg);
+        const auto result = apps::runBfs(sys, a, source);
+        if (first.empty())
+            first = result.levels;
+        else
+            EXPECT_EQ(result.levels, first) << dpus << " DPUs";
+    }
+}
+
+TEST(Invariance, FutureHardwareKnobsPreserveResults)
+{
+    const auto a = testGraph(9);
+    const auto x = testInput(a.numRows(), 10);
+    const auto expected = referenceMxv<IntPlusTimes>(a, x);
+    upmem::SystemConfig cfg;
+    cfg.numDpus = 16;
+    cfg.dpu.tasklets = 8;
+    cfg.dpu.nonBlockingDma = true;
+    cfg.dpu.hardwareAtomics = true;
+    cfg.dpu.revolverGap = 4;
+    cfg.transfer.directInterconnect = true;
+    const upmem::UpmemSystem sys(cfg);
+    const auto kernel = makeKernel<IntPlusTimes>(
+        KernelVariant::SpmspvCsc2d, sys, a, 16);
+    EXPECT_EQ(kernel->run(x).y, expected);
+}

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Equivalence tests: every PIM kernel variant must produce exactly
+ * the reference semiring product for every semiring, matrix shape,
+ * DPU count, and input-vector density.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/kernels.hh"
+#include "core/reference.hh"
+#include "sparse/generators.hh"
+
+using namespace alphapim;
+using namespace alphapim::core;
+
+namespace
+{
+
+/** Small simulated machine so the tests run fast. */
+upmem::UpmemSystem
+testSystem(unsigned dpus)
+{
+    upmem::SystemConfig cfg;
+    cfg.numDpus = dpus;
+    cfg.dpu.tasklets = 8;
+    return upmem::UpmemSystem(cfg);
+}
+
+/** Random symmetric test graph with weights in [1, 16]. */
+sparse::CooMatrix<float>
+testGraph(NodeId n, EdgeId m, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const auto list = sparse::generateErdosRenyi(n, m, rng);
+    const auto pattern = sparse::edgeListToSymmetricCoo(list);
+    return sparse::assignSymmetricWeights(pattern, 1.0f, 16.0f, rng);
+}
+
+/** Random sparse input vector of the given density. */
+template <typename S>
+sparse::SparseVector<typename S::Value>
+randomInput(NodeId n, double density, std::uint64_t seed)
+{
+    Rng rng(seed);
+    sparse::SparseVector<typename S::Value> x(n);
+    for (NodeId i = 0; i < n; ++i) {
+        if (rng.nextBernoulli(density)) {
+            if constexpr (std::is_same_v<S, BoolOrAnd>) {
+                x.append(i, 1u);
+            } else {
+                x.append(i, 1.0f + static_cast<float>(
+                                       rng.nextBounded(8)));
+            }
+        }
+    }
+    return x;
+}
+
+template <typename S>
+void
+expectMatchesReference(KernelVariant variant, unsigned dpus,
+                       NodeId n, EdgeId m, double density,
+                       std::uint64_t seed)
+{
+    const auto sys = testSystem(dpus);
+    const auto a = testGraph(n, m, seed);
+    const auto x = randomInput<S>(n, density, seed * 13 + 7);
+    const auto kernel = makeKernel<S>(variant, sys, a, dpus);
+    const auto result = kernel->run(x);
+    const auto expected = referenceMxv<S>(a, x);
+
+    ASSERT_EQ(result.y.size(), expected.size());
+    for (NodeId i = 0; i < expected.size(); ++i) {
+        if constexpr (std::is_same_v<typename S::Value, float>) {
+            if (std::isinf(expected[i])) {
+                // MinPlus zero is +inf; NEAR would produce NaN.
+                EXPECT_EQ(result.y[i], expected[i])
+                    << "row " << i << " variant "
+                    << kernelVariantName(variant);
+            } else {
+                EXPECT_NEAR(result.y[i], expected[i],
+                            1e-3 * (1.0 + std::abs(expected[i])))
+                    << "row " << i << " variant "
+                    << kernelVariantName(variant);
+            }
+        } else {
+            EXPECT_EQ(result.y[i], expected[i])
+                << "row " << i << " variant "
+                << kernelVariantName(variant);
+        }
+    }
+    EXPECT_EQ(result.outputNnz, denseNnz<S>(expected));
+    EXPECT_GT(result.times.total(), 0.0);
+    if (x.nnz() > 0 && a.nnz() > 0) {
+        EXPECT_GT(result.profile.aggregate.totalInstructions(), 0u);
+    }
+}
+
+struct KernelCase
+{
+    KernelVariant variant;
+    unsigned dpus;
+    double density;
+};
+
+std::string
+caseName(const testing::TestParamInfo<KernelCase> &info)
+{
+    std::string name = kernelVariantName(info.param.variant);
+    for (char &c : name) {
+        if (c == '-' || c == '.')
+            c = '_';
+    }
+    return name + "_d" + std::to_string(info.param.dpus) + "_p" +
+           std::to_string(static_cast<int>(
+               info.param.density * 100));
+}
+
+class KernelEquivalence : public testing::TestWithParam<KernelCase>
+{
+};
+
+} // namespace
+
+TEST_P(KernelEquivalence, BoolOrAndMatchesReference)
+{
+    const auto p = GetParam();
+    expectMatchesReference<BoolOrAnd>(p.variant, p.dpus, 300, 1200,
+                                      p.density, 42);
+}
+
+TEST_P(KernelEquivalence, MinPlusMatchesReference)
+{
+    const auto p = GetParam();
+    expectMatchesReference<MinPlus>(p.variant, p.dpus, 300, 1200,
+                                    p.density, 43);
+}
+
+TEST_P(KernelEquivalence, PlusTimesMatchesReference)
+{
+    const auto p = GetParam();
+    expectMatchesReference<PlusTimes>(p.variant, p.dpus, 300, 1200,
+                                      p.density, 44);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, KernelEquivalence,
+    testing::Values(
+        KernelCase{KernelVariant::SpmspvCoo, 8, 0.05},
+        KernelCase{KernelVariant::SpmspvCoo, 32, 0.50},
+        KernelCase{KernelVariant::SpmspvCsr, 8, 0.05},
+        KernelCase{KernelVariant::SpmspvCsr, 32, 0.50},
+        KernelCase{KernelVariant::SpmspvCscR, 8, 0.05},
+        KernelCase{KernelVariant::SpmspvCscR, 32, 0.50},
+        KernelCase{KernelVariant::SpmspvCscC, 8, 0.05},
+        KernelCase{KernelVariant::SpmspvCscC, 32, 0.50},
+        KernelCase{KernelVariant::SpmspvCsc2d, 8, 0.05},
+        KernelCase{KernelVariant::SpmspvCsc2d, 16, 0.20},
+        KernelCase{KernelVariant::SpmspvCsc2d, 32, 0.50},
+        KernelCase{KernelVariant::SpmvCoo1d, 8, 0.05},
+        KernelCase{KernelVariant::SpmvCoo1d, 32, 0.50},
+        KernelCase{KernelVariant::SpmvDcoo2d, 8, 0.05},
+        KernelCase{KernelVariant::SpmvDcoo2d, 16, 0.20},
+        KernelCase{KernelVariant::SpmvDcoo2d, 32, 0.50}),
+    caseName);
+
+TEST(KernelEdgeCases, EmptyInputVector)
+{
+    const auto sys = testSystem(8);
+    const auto a = testGraph(100, 300, 7);
+    sparse::SparseVector<std::uint32_t> empty(100);
+    const auto kernel =
+        makeKernel<BoolOrAnd>(KernelVariant::SpmspvCsc2d, sys, a, 8);
+    const auto result = kernel->run(empty);
+    EXPECT_EQ(result.outputNnz, 0u);
+    for (auto v : result.y)
+        EXPECT_EQ(v, 0u);
+}
+
+TEST(KernelEdgeCases, FullDensityEqualsSpmv)
+{
+    const auto sys = testSystem(8);
+    const auto a = testGraph(120, 500, 9);
+    const auto x = randomInput<PlusTimes>(120, 1.0, 11);
+    const auto spmspv =
+        makeKernel<PlusTimes>(KernelVariant::SpmspvCsc2d, sys, a, 8);
+    const auto spmv =
+        makeKernel<PlusTimes>(KernelVariant::SpmvDcoo2d, sys, a, 8);
+    const auto r1 = spmspv->run(x);
+    const auto r2 = spmv->run(x);
+    ASSERT_EQ(r1.y.size(), r2.y.size());
+    for (std::size_t i = 0; i < r1.y.size(); ++i)
+        EXPECT_NEAR(r1.y[i], r2.y[i], 1e-3 * (1.0 + std::abs(r1.y[i])));
+}
+
+TEST(KernelEdgeCases, SingleDpu)
+{
+    const auto sys = testSystem(1);
+    const auto a = testGraph(64, 200, 5);
+    const auto x = randomInput<MinPlus>(64, 0.2, 3);
+    for (auto variant :
+         {KernelVariant::SpmspvCoo, KernelVariant::SpmspvCscR,
+          KernelVariant::SpmspvCscC, KernelVariant::SpmspvCsc2d,
+          KernelVariant::SpmvCoo1d, KernelVariant::SpmvDcoo2d}) {
+        const auto kernel = makeKernel<MinPlus>(variant, sys, a, 1);
+        const auto result = kernel->run(x);
+        const auto expected = referenceMxv<MinPlus>(a, x);
+        for (NodeId i = 0; i < expected.size(); ++i)
+            EXPECT_FLOAT_EQ(result.y[i], expected[i]);
+    }
+}
+
+TEST(KernelMetadata, NamesAndKinds)
+{
+    const auto sys = testSystem(4);
+    const auto a = testGraph(50, 120, 1);
+    const auto csc2d =
+        makeKernel<BoolOrAnd>(KernelVariant::SpmspvCsc2d, sys, a, 4);
+    EXPECT_STREQ(csc2d->name(), "CSC-2D");
+    EXPECT_EQ(csc2d->kind(), KernelKind::SpMSpV);
+    EXPECT_EQ(csc2d->numRows(), 50u);
+    EXPECT_GT(csc2d->matrixBytes(), 0u);
+
+    const auto spmv =
+        makeKernel<BoolOrAnd>(KernelVariant::SpmvCoo1d, sys, a, 4);
+    EXPECT_EQ(spmv->kind(), KernelKind::SpMV);
+}

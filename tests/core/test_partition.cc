@@ -1,0 +1,112 @@
+/** @file Partitioner coverage, balance, and grid factorization. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/partition.hh"
+#include "sparse/generators.hh"
+
+using namespace alphapim;
+using namespace alphapim::core;
+
+namespace
+{
+
+sparse::CooMatrix<float>
+testMatrix(std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    const auto list = sparse::generateScaleMatched(500, 8.0, 20.0, rng);
+    return sparse::edgeListToSymmetricCoo(list);
+}
+
+} // namespace
+
+TEST(Partition1dTest, CoversExtentContiguously)
+{
+    const auto m = testMatrix();
+    const auto part = makeRowPartition(m, 7);
+    EXPECT_EQ(part.parts(), 7u);
+    EXPECT_EQ(part.begin(0), 0u);
+    EXPECT_EQ(part.end(6), m.numRows());
+    for (unsigned p = 0; p + 1 < 7; ++p)
+        EXPECT_EQ(part.end(p), part.begin(p + 1));
+}
+
+TEST(Partition1dTest, RangeOfIsConsistent)
+{
+    const auto m = testMatrix();
+    const auto part = makeRowPartition(m, 13);
+    for (NodeId i = 0; i < m.numRows(); ++i) {
+        const unsigned p = part.rangeOf(i);
+        EXPECT_GE(i, part.begin(p));
+        EXPECT_LT(i, part.end(p));
+    }
+}
+
+TEST(Partition1dTest, BalancedByWeight)
+{
+    const auto m = testMatrix();
+    const auto weights = rowWeights(m);
+    const unsigned parts = 8;
+    const auto part = balancedPartition(weights, parts);
+    EdgeId total = 0;
+    for (auto w : weights)
+        total += w;
+    for (unsigned p = 0; p < parts; ++p) {
+        EdgeId in_part = 0;
+        for (NodeId i = part.begin(p); i < part.end(p); ++i)
+            in_part += weights[i];
+        // Each part within 3x the fair share (hubs can spill).
+        EXPECT_LE(in_part, 3 * total / parts + 50);
+    }
+}
+
+TEST(Partition1dTest, UniformSplit)
+{
+    const auto part = uniformPartition(100, 3);
+    EXPECT_EQ(part.starts,
+              (std::vector<NodeId>{0, 33, 66, 100}));
+}
+
+TEST(GridShape, NearSquareFactorizations)
+{
+    unsigned r = 0, c = 0;
+    chooseGridShape(2048, r, c);
+    EXPECT_EQ(r * c, 2048u);
+    EXPECT_EQ(r, 32u);
+    EXPECT_EQ(c, 64u);
+
+    chooseGridShape(1024, r, c);
+    EXPECT_EQ(r, 32u);
+    EXPECT_EQ(c, 32u);
+
+    chooseGridShape(512, r, c);
+    EXPECT_EQ(r, 16u);
+    EXPECT_EQ(c, 32u);
+
+    chooseGridShape(7, r, c); // prime: degenerate 1 x 7
+    EXPECT_EQ(r, 1u);
+    EXPECT_EQ(c, 7u);
+}
+
+TEST(GridShape, TileIdsAreRowMajor)
+{
+    const auto m = testMatrix();
+    const auto grid = makeGrid2d(m, 12);
+    EXPECT_EQ(grid.gridRows * grid.gridCols, 12u);
+    EXPECT_EQ(grid.tileId(0, 0), 0u);
+    EXPECT_EQ(grid.tileId(1, 0), grid.gridCols);
+}
+
+TEST(WeightsTest, RowAndColCountsSumToNnz)
+{
+    const auto m = testMatrix();
+    EdgeId row_total = 0, col_total = 0;
+    for (auto w : rowWeights(m))
+        row_total += w;
+    for (auto w : colWeights(m))
+        col_total += w;
+    EXPECT_EQ(row_total, m.nnz());
+    EXPECT_EQ(col_total, m.nnz());
+}

@@ -1,0 +1,81 @@
+/** @file PhaseTimes arithmetic and helper utilities. */
+
+#include <gtest/gtest.h>
+
+#include "core/kernel_base.hh"
+#include "core/phase_times.hh"
+
+using namespace alphapim;
+using namespace alphapim::core;
+
+TEST(PhaseTimes, TotalSumsPhases)
+{
+    PhaseTimes t;
+    t.load = 1.0;
+    t.kernel = 2.0;
+    t.retrieve = 3.0;
+    t.merge = 4.0;
+    EXPECT_DOUBLE_EQ(t.total(), 10.0);
+}
+
+TEST(PhaseTimes, AccumulationIsPerPhase)
+{
+    PhaseTimes a, b;
+    a.load = 1.0;
+    a.kernel = 2.0;
+    b.load = 0.5;
+    b.merge = 0.25;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.load, 1.5);
+    EXPECT_DOUBLE_EQ(a.kernel, 2.0);
+    EXPECT_DOUBLE_EQ(a.merge, 0.25);
+    EXPECT_DOUBLE_EQ(a.total(), 3.75);
+}
+
+TEST(PhaseTimes, DefaultIsZero)
+{
+    PhaseTimes t;
+    EXPECT_DOUBLE_EQ(t.total(), 0.0);
+}
+
+TEST(EvenSplit, CoversTotalContiguously)
+{
+    const auto starts = detail::evenSplit(103, 8);
+    ASSERT_EQ(starts.size(), 9u);
+    EXPECT_EQ(starts.front(), 0u);
+    EXPECT_EQ(starts.back(), 103u);
+    for (unsigned p = 0; p < 8; ++p) {
+        const auto width = starts[p + 1] - starts[p];
+        EXPECT_GE(width, 103u / 8);
+        EXPECT_LE(width, 103u / 8 + 1);
+    }
+}
+
+TEST(EvenSplit, MorePartsThanItems)
+{
+    const auto starts = detail::evenSplit(3, 8);
+    EXPECT_EQ(starts.back(), 3u);
+    unsigned nonempty = 0;
+    for (unsigned p = 0; p < 8; ++p)
+        nonempty += starts[p + 1] > starts[p] ? 1 : 0;
+    EXPECT_EQ(nonempty, 3u);
+}
+
+TEST(SearchDepth, BinarySearchProbeCounts)
+{
+    EXPECT_EQ(detail::searchDepth(0), 1u);
+    EXPECT_EQ(detail::searchDepth(1), 1u);
+    EXPECT_EQ(detail::searchDepth(2), 2u);
+    EXPECT_EQ(detail::searchDepth(1023), 10u);
+    EXPECT_EQ(detail::searchDepth(1024), 11u);
+}
+
+TEST(WramBudgets, AreFractionsOfWram)
+{
+    upmem::DpuConfig cfg;
+    EXPECT_EQ(detail::wramOutputBudget(cfg), cfg.wramBytes / 2);
+    EXPECT_EQ(detail::wramInputBudget(cfg), cfg.wramBytes / 4);
+    EXPECT_LT(detail::wramOutputBudget(cfg) +
+                  detail::wramInputBudget(cfg),
+              cfg.wramBytes);
+}

@@ -1,0 +1,99 @@
+/** @file Semiring algebra laws for every instance. */
+
+#include <gtest/gtest.h>
+
+#include "core/semiring.hh"
+
+using namespace alphapim::core;
+
+namespace
+{
+
+/** Check the semiring axioms on a sample of elements. */
+template <Semiring S>
+void
+checkAxioms(const std::vector<typename S::Value> &elems)
+{
+    using V = typename S::Value;
+    const V zero = S::zero();
+    const V one = S::one();
+
+    for (const V &a : elems) {
+        // Additive identity and multiplicative identity/annihilator.
+        EXPECT_EQ(S::add(a, zero), a);
+        EXPECT_EQ(S::add(zero, a), a);
+        EXPECT_EQ(S::mul(a, one), a);
+        EXPECT_EQ(S::mul(one, a), a);
+        EXPECT_EQ(S::mul(a, zero), zero);
+        for (const V &b : elems) {
+            // Commutativity of (+).
+            EXPECT_EQ(S::add(a, b), S::add(b, a));
+            for (const V &c : elems) {
+                // Associativity and distributivity.
+                EXPECT_EQ(S::add(S::add(a, b), c),
+                          S::add(a, S::add(b, c)));
+                EXPECT_EQ(S::mul(a, S::add(b, c)),
+                          S::add(S::mul(a, b), S::mul(a, c)));
+            }
+        }
+    }
+    EXPECT_TRUE(S::isZero(zero));
+    EXPECT_FALSE(S::isZero(one));
+}
+
+} // namespace
+
+TEST(Semiring, BoolOrAndAxioms)
+{
+    checkAxioms<BoolOrAnd>({0u, 1u});
+}
+
+TEST(Semiring, MinPlusAxioms)
+{
+    checkAxioms<MinPlus>(
+        {0.0f, 1.0f, 2.5f, 7.0f, MinPlus::zero()});
+}
+
+TEST(Semiring, PlusTimesAxiomsOnSmallIntegers)
+{
+    // Small integers keep float arithmetic exact.
+    checkAxioms<PlusTimes>({0.0f, 1.0f, 2.0f, 3.0f});
+}
+
+TEST(Semiring, IntPlusTimesAxioms)
+{
+    checkAxioms<IntPlusTimes>({0u, 1u, 2u, 5u});
+}
+
+TEST(Semiring, IntPlusTimesUsesIntegerOps)
+{
+    using alphapim::upmem::OpClass;
+    EXPECT_EQ(IntPlusTimes::addOp(), OpClass::IntAdd);
+    EXPECT_EQ(IntPlusTimes::mulOp(), OpClass::IntMul);
+    EXPECT_EQ(IntPlusTimes::fromMatrix(3.0f), 3u);
+}
+
+TEST(Semiring, MatrixValueConversion)
+{
+    EXPECT_EQ(BoolOrAnd::fromMatrix(7.5f), 1u);
+    EXPECT_EQ(BoolOrAnd::fromMatrix(0.0f), 0u);
+    EXPECT_FLOAT_EQ(MinPlus::fromMatrix(4.0f), 4.0f);
+    EXPECT_FLOAT_EQ(PlusTimes::fromMatrix(0.25f), 0.25f);
+}
+
+TEST(Semiring, OpClassesMatchTable1)
+{
+    using alphapim::upmem::OpClass;
+    // BFS: logical or/and; SSSP: min and +; PPR: + and x.
+    EXPECT_EQ(BoolOrAnd::addOp(), OpClass::Logic);
+    EXPECT_EQ(MinPlus::addOp(), OpClass::Compare);
+    EXPECT_EQ(MinPlus::mulOp(), OpClass::FloatAdd);
+    EXPECT_EQ(PlusTimes::addOp(), OpClass::FloatAdd);
+    EXPECT_EQ(PlusTimes::mulOp(), OpClass::FloatMul);
+}
+
+TEST(Semiring, NamesAreDistinct)
+{
+    EXPECT_STRNE(BoolOrAnd::name(), MinPlus::name());
+    EXPECT_STRNE(MinPlus::name(), PlusTimes::name());
+}

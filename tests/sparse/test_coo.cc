@@ -1,0 +1,100 @@
+/** @file COO matrix construction, sorting, coalescing, slicing. */
+
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hh"
+
+using namespace alphapim;
+using namespace alphapim::sparse;
+
+TEST(Coo, EmptyMatrix)
+{
+    CooMatrix<float> m(5, 7);
+    EXPECT_EQ(m.numRows(), 5u);
+    EXPECT_EQ(m.numCols(), 7u);
+    EXPECT_EQ(m.nnz(), 0u);
+    EXPECT_EQ(m.storageBytes(), 0u);
+}
+
+TEST(Coo, AddAndAccess)
+{
+    CooMatrix<float> m(3, 3);
+    m.addEntry(0, 1, 2.0f);
+    m.addEntry(2, 0, 3.0f);
+    ASSERT_EQ(m.nnz(), 2u);
+    EXPECT_EQ(m.rowAt(0), 0u);
+    EXPECT_EQ(m.colAt(0), 1u);
+    EXPECT_FLOAT_EQ(m.valueAt(1), 3.0f);
+}
+
+TEST(CooDeath, OutOfRangeEntryPanics)
+{
+    CooMatrix<float> m(2, 2);
+    EXPECT_DEATH(m.addEntry(2, 0, 1.0f), "out of range");
+}
+
+TEST(Coo, SortRowMajor)
+{
+    CooMatrix<float> m(3, 3);
+    m.addEntry(2, 1, 1.0f);
+    m.addEntry(0, 2, 2.0f);
+    m.addEntry(0, 0, 3.0f);
+    m.sortRowMajor();
+    EXPECT_EQ(m.rowAt(0), 0u);
+    EXPECT_EQ(m.colAt(0), 0u);
+    EXPECT_EQ(m.rowAt(1), 0u);
+    EXPECT_EQ(m.colAt(1), 2u);
+    EXPECT_EQ(m.rowAt(2), 2u);
+}
+
+TEST(Coo, SortColMajor)
+{
+    CooMatrix<float> m(3, 3);
+    m.addEntry(1, 2, 1.0f);
+    m.addEntry(2, 0, 2.0f);
+    m.addEntry(0, 2, 3.0f);
+    m.sortColMajor();
+    EXPECT_EQ(m.colAt(0), 0u);
+    EXPECT_EQ(m.colAt(1), 2u);
+    EXPECT_EQ(m.rowAt(1), 0u);
+    EXPECT_EQ(m.colAt(2), 2u);
+    EXPECT_EQ(m.rowAt(2), 1u);
+}
+
+TEST(Coo, CoalesceKeepsFirst)
+{
+    CooMatrix<float> m(2, 2);
+    m.addEntry(1, 1, 5.0f);
+    m.addEntry(0, 0, 1.0f);
+    m.addEntry(1, 1, 9.0f);
+    m.coalesce();
+    ASSERT_EQ(m.nnz(), 2u);
+    EXPECT_FLOAT_EQ(m.valueAt(1), 5.0f);
+}
+
+TEST(Coo, Transpose)
+{
+    CooMatrix<float> m(2, 3);
+    m.addEntry(0, 2, 4.0f);
+    const auto t = m.transposed();
+    EXPECT_EQ(t.numRows(), 3u);
+    EXPECT_EQ(t.numCols(), 2u);
+    EXPECT_EQ(t.rowAt(0), 2u);
+    EXPECT_EQ(t.colAt(0), 0u);
+}
+
+TEST(Coo, ExtractBlockRebasesIndices)
+{
+    CooMatrix<float> m(4, 4);
+    m.addEntry(1, 1, 1.0f);
+    m.addEntry(2, 3, 2.0f);
+    m.addEntry(3, 0, 3.0f);
+    const auto block = m.extractBlock(1, 3, 1, 4);
+    ASSERT_EQ(block.nnz(), 2u);
+    EXPECT_EQ(block.numRows(), 2u);
+    EXPECT_EQ(block.numCols(), 3u);
+    EXPECT_EQ(block.rowAt(0), 0u);
+    EXPECT_EQ(block.colAt(0), 0u);
+    EXPECT_EQ(block.rowAt(1), 1u);
+    EXPECT_EQ(block.colAt(1), 2u);
+}

@@ -1,0 +1,113 @@
+/** @file CSR/CSC conversion round-trips and structure invariants. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "sparse/csc.hh"
+#include "sparse/csr.hh"
+
+using namespace alphapim;
+using namespace alphapim::sparse;
+
+namespace
+{
+
+CooMatrix<float>
+randomCoo(NodeId rows, NodeId cols, std::size_t entries,
+          std::uint64_t seed)
+{
+    Rng rng(seed);
+    CooMatrix<float> m(rows, cols);
+    for (std::size_t k = 0; k < entries; ++k) {
+        m.addEntry(static_cast<NodeId>(rng.nextBounded(rows)),
+                   static_cast<NodeId>(rng.nextBounded(cols)),
+                   rng.nextFloat() + 0.1f);
+    }
+    m.coalesce();
+    return m;
+}
+
+} // namespace
+
+TEST(Csr, StructureInvariants)
+{
+    const auto coo = randomCoo(50, 40, 300, 1);
+    const auto csr = CsrMatrix<float>::fromCoo(coo);
+    EXPECT_EQ(csr.nnz(), coo.nnz());
+    EXPECT_EQ(csr.rowPtr().front(), 0u);
+    EXPECT_EQ(csr.rowPtr().back(), coo.nnz());
+    for (NodeId r = 0; r < csr.numRows(); ++r) {
+        EXPECT_LE(csr.rowBegin(r), csr.rowEnd(r));
+        for (EdgeId e = csr.rowBegin(r); e + 1 < csr.rowEnd(r); ++e)
+            EXPECT_LT(csr.colIndices()[e], csr.colIndices()[e + 1]);
+    }
+}
+
+TEST(Csr, RoundTripPreservesEntries)
+{
+    const auto coo = randomCoo(30, 30, 150, 2);
+    const auto csr = CsrMatrix<float>::fromCoo(coo);
+    // Rebuild a dense image from both and compare.
+    std::vector<float> dense_coo(30 * 30, 0.0f);
+    for (std::size_t k = 0; k < coo.nnz(); ++k)
+        dense_coo[coo.rowAt(k) * 30 + coo.colAt(k)] = coo.valueAt(k);
+    std::vector<float> dense_csr(30 * 30, 0.0f);
+    for (NodeId r = 0; r < 30; ++r) {
+        for (EdgeId e = csr.rowBegin(r); e < csr.rowEnd(r); ++e)
+            dense_csr[r * 30 + csr.colIndices()[e]] = csr.values()[e];
+    }
+    EXPECT_EQ(dense_coo, dense_csr);
+}
+
+TEST(Csc, StructureInvariants)
+{
+    const auto coo = randomCoo(50, 40, 300, 3);
+    const auto csc = CscMatrix<float>::fromCoo(coo);
+    EXPECT_EQ(csc.nnz(), coo.nnz());
+    EXPECT_EQ(csc.colPtr().front(), 0u);
+    EXPECT_EQ(csc.colPtr().back(), coo.nnz());
+    for (NodeId c = 0; c < csc.numCols(); ++c) {
+        for (EdgeId e = csc.colBegin(c); e + 1 < csc.colEnd(c); ++e)
+            EXPECT_LT(csc.rowIndices()[e], csc.rowIndices()[e + 1]);
+    }
+}
+
+TEST(Csc, RoundTripPreservesEntries)
+{
+    const auto coo = randomCoo(25, 35, 180, 4);
+    const auto csc = CscMatrix<float>::fromCoo(coo);
+    std::vector<float> dense_coo(25 * 35, 0.0f);
+    for (std::size_t k = 0; k < coo.nnz(); ++k)
+        dense_coo[coo.rowAt(k) * 35 + coo.colAt(k)] = coo.valueAt(k);
+    std::vector<float> dense_csc(25 * 35, 0.0f);
+    for (NodeId c = 0; c < 35; ++c) {
+        for (EdgeId e = csc.colBegin(c); e < csc.colEnd(c); ++e)
+            dense_csc[csc.rowIndices()[e] * 35 + c] = csc.values()[e];
+    }
+    EXPECT_EQ(dense_coo, dense_csc);
+}
+
+TEST(CsrCsc, RowColumnLengthsAgree)
+{
+    const auto coo = randomCoo(20, 20, 100, 5);
+    const auto csr = CsrMatrix<float>::fromCoo(coo);
+    const auto csc = CscMatrix<float>::fromCoo(coo);
+    EdgeId total_rows = 0, total_cols = 0;
+    for (NodeId r = 0; r < 20; ++r)
+        total_rows += csr.rowLength(r);
+    for (NodeId c = 0; c < 20; ++c)
+        total_cols += csc.colLength(c);
+    EXPECT_EQ(total_rows, total_cols);
+    EXPECT_EQ(total_rows, coo.nnz());
+}
+
+TEST(CsrCsc, EmptyMatrixConverts)
+{
+    CooMatrix<float> empty(10, 10);
+    const auto csr = CsrMatrix<float>::fromCoo(empty);
+    const auto csc = CscMatrix<float>::fromCoo(empty);
+    EXPECT_EQ(csr.nnz(), 0u);
+    EXPECT_EQ(csc.nnz(), 0u);
+    EXPECT_EQ(csr.rowPtr().size(), 11u);
+    EXPECT_EQ(csc.colPtr().size(), 11u);
+}

@@ -1,0 +1,81 @@
+/** @file Dataset registry: Table 2 specs and generation fidelity. */
+
+#include <gtest/gtest.h>
+
+#include "sparse/datasets.hh"
+
+using namespace alphapim;
+using namespace alphapim::sparse;
+
+TEST(Datasets, RegistryHasTable2Plus)
+{
+    const auto &specs = table2Specs();
+    EXPECT_EQ(specs.size(), 14u); // 13 tabulated + r-PA
+    EXPECT_EQ(specs[0].abbreviation, "A302");
+    EXPECT_EQ(specs[9].abbreviation, "r-TX");
+}
+
+TEST(Datasets, FindSpecByAbbreviationOrName)
+{
+    EXPECT_EQ(findSpec("face").name, "facebook_combined");
+    EXPECT_EQ(findSpec("roadNet-TX").abbreviation, "r-TX");
+}
+
+TEST(DatasetsDeath, UnknownSpecIsFatal)
+{
+    EXPECT_EXIT(findSpec("no-such-graph"),
+                testing::ExitedWithCode(1), "unknown dataset");
+}
+
+TEST(Datasets, GenerationIsDeterministic)
+{
+    const auto d1 = buildDataset("as00", 1.0, 7);
+    const auto d2 = buildDataset("as00", 1.0, 7);
+    EXPECT_EQ(d1.adjacency.nnz(), d2.adjacency.nnz());
+    EXPECT_EQ(d1.adjacency.rowIndices(), d2.adjacency.rowIndices());
+}
+
+TEST(Datasets, DifferentSeedsDiffer)
+{
+    const auto d1 = buildDataset("as00", 1.0, 7);
+    const auto d2 = buildDataset("as00", 1.0, 8);
+    EXPECT_NE(d1.adjacency.rowIndices(), d2.adjacency.rowIndices());
+}
+
+TEST(Datasets, ScaleFreeTargetsApproximatelyMet)
+{
+    const auto d = buildDataset("e-En", 1.0, 42);
+    EXPECT_EQ(d.stats.nodes, d.spec.nodes);
+    // The erased configuration model drops some hub edges.
+    EXPECT_NEAR(static_cast<double>(d.stats.edges),
+                static_cast<double>(d.spec.edges),
+                0.2 * static_cast<double>(d.spec.edges));
+    EXPECT_NEAR(d.stats.avgDegree, d.spec.avgDegree,
+                0.3 * d.spec.avgDegree);
+    EXPECT_GT(d.stats.degreeStd, d.stats.avgDegree);
+}
+
+TEST(Datasets, RegularFamilyIsRegular)
+{
+    const auto d = buildDataset("r-TX", 0.05, 42);
+    EXPECT_LT(d.stats.degreeStd, 1.5);
+    EXPECT_LT(d.stats.avgDegree, 4.0);
+}
+
+TEST(Datasets, ScalingShrinksProportionally)
+{
+    const auto full = buildDataset("ca-Q", 1.0, 1);
+    const auto half = buildDataset("ca-Q", 0.5, 1);
+    EXPECT_NEAR(static_cast<double>(half.stats.nodes),
+                0.5 * static_cast<double>(full.stats.nodes), 10.0);
+    // Average degree is preserved under proportional scaling.
+    EXPECT_NEAR(half.stats.avgDegree, full.stats.avgDegree, 1.5);
+}
+
+TEST(Datasets, FamilyNames)
+{
+    EXPECT_STREQ(graphFamilyName(GraphFamily::Regular), "regular");
+    EXPECT_STREQ(graphFamilyName(GraphFamily::ScaleFree),
+                 "scale-free");
+    EXPECT_STREQ(graphFamilyName(GraphFamily::Synthetic), "synthetic");
+}

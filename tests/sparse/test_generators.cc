@@ -1,0 +1,172 @@
+/** @file Graph generator properties: simplicity, symmetry, targets. */
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "sparse/generators.hh"
+#include "sparse/graph_stats.hh"
+
+using namespace alphapim;
+using namespace alphapim::sparse;
+
+namespace
+{
+
+/** Every generator must emit a simple undirected edge list. */
+void
+expectSimple(const EdgeList &list)
+{
+    std::set<std::pair<NodeId, NodeId>> seen;
+    for (const auto &[u, v] : list.edges) {
+        EXPECT_NE(u, v) << "self loop";
+        EXPECT_LT(u, v) << "edges must be stored with u < v";
+        EXPECT_LT(v, list.nodes);
+        EXPECT_TRUE(seen.insert({u, v}).second) << "duplicate edge";
+    }
+}
+
+} // namespace
+
+TEST(ErdosRenyi, ExactEdgeCountAndSimplicity)
+{
+    Rng rng(1);
+    const auto list = generateErdosRenyi(200, 800, rng);
+    EXPECT_EQ(list.nodes, 200u);
+    EXPECT_EQ(list.edges.size(), 800u);
+    expectSimple(list);
+}
+
+TEST(ErdosRenyi, ClampsToCompleteGraph)
+{
+    Rng rng(2);
+    const auto list = generateErdosRenyi(10, 1000, rng);
+    EXPECT_EQ(list.edges.size(), 45u); // 10 choose 2
+}
+
+TEST(ErdosRenyi, Deterministic)
+{
+    Rng a(3), b(3);
+    const auto l1 = generateErdosRenyi(100, 300, a);
+    const auto l2 = generateErdosRenyi(100, 300, b);
+    EXPECT_EQ(l1.edges, l2.edges);
+}
+
+TEST(Rmat, ProducesSkewedDegrees)
+{
+    Rng rng(4);
+    const auto list = generateRmat(12, 8.0, rng);
+    expectSimple(list);
+    EXPECT_GT(list.edges.size(), 10000u);
+    const auto coo = edgeListToSymmetricCoo(list);
+    const auto stats = computeGraphStats(coo);
+    // R-MAT graphs are scale-free: degree std exceeds the mean.
+    EXPECT_GT(stats.degreeStd, stats.avgDegree);
+}
+
+TEST(Rmat, CompactsIsolatedVertices)
+{
+    Rng rng(5);
+    const auto list = generateRmat(12, 4.0, rng);
+    // Node count is the surviving (non-isolated) population: smaller
+    // than the 4096-vertex initial space.
+    EXPECT_LT(list.nodes, 4096u);
+    EXPECT_GT(list.nodes, 1000u);
+    std::vector<bool> touched(list.nodes, false);
+    for (const auto &[u, v] : list.edges) {
+        touched[u] = true;
+        touched[v] = true;
+    }
+    EXPECT_TRUE(std::all_of(touched.begin(), touched.end(),
+                            [](bool b) { return b; }));
+}
+
+TEST(RoadLattice, LowUniformDegrees)
+{
+    Rng rng(6);
+    const auto list = generateRoadLattice(10000, 14000, rng);
+    expectSimple(list);
+    EXPECT_NEAR(static_cast<double>(list.edges.size()), 14000.0,
+                800.0);
+    const auto stats =
+        computeGraphStats(edgeListToSymmetricCoo(list));
+    EXPECT_LT(stats.avgDegree, 4.0);
+    EXPECT_LT(stats.degreeStd, 1.5); // regular structure
+}
+
+TEST(LognormalDegrees, MatchesTargetMoments)
+{
+    Rng rng(7);
+    const auto degrees = sampleLognormalDegrees(50000, 10.0, 8.0, rng);
+    RunningStats stats;
+    for (auto d : degrees) {
+        EXPECT_GE(d, 1u);
+        stats.add(static_cast<double>(d));
+    }
+    EXPECT_NEAR(stats.mean(), 10.0, 0.5);
+    EXPECT_NEAR(stats.stddev(), 8.0, 1.0);
+}
+
+TEST(ConfigurationModel, ApproximatesDegreeSequence)
+{
+    Rng rng(8);
+    std::vector<NodeId> degrees(2000, 4);
+    degrees[0] = 100; // one hub
+    const auto list = generateConfigurationModel(degrees, rng);
+    expectSimple(list);
+    const auto coo = edgeListToSymmetricCoo(list);
+    const auto per_vertex = vertexDegrees(coo);
+    // Stub pairing drops only collisions: totals stay close.
+    EXPECT_NEAR(static_cast<double>(list.edges.size()),
+                (2000 * 4 + 96) / 2.0, 200.0);
+    EXPECT_GT(per_vertex[0], 50u); // the hub stays a hub
+}
+
+TEST(ScaleMatched, ReproducesTargetStatistics)
+{
+    Rng rng(9);
+    const auto list = generateScaleMatched(20000, 12.0, 40.0, rng);
+    const auto stats =
+        computeGraphStats(edgeListToSymmetricCoo(list));
+    // The erased configuration model undershoots hubs slightly.
+    EXPECT_NEAR(stats.avgDegree, 12.0, 2.0);
+    EXPECT_GT(stats.degreeStd, 20.0);
+}
+
+TEST(EdgeListToCoo, SymmetricPattern)
+{
+    EdgeList list;
+    list.nodes = 4;
+    list.edges = {{0, 1}, {1, 3}};
+    const auto coo = edgeListToSymmetricCoo(list);
+    EXPECT_EQ(coo.nnz(), 4u);
+    // Every (r, c) has its (c, r) mirror.
+    std::set<std::pair<NodeId, NodeId>> entries;
+    for (std::size_t k = 0; k < coo.nnz(); ++k)
+        entries.insert({coo.rowAt(k), coo.colAt(k)});
+    for (const auto &[r, c] : entries)
+        EXPECT_TRUE(entries.count({c, r}));
+}
+
+TEST(Weights, SymmetricAndInRange)
+{
+    Rng rng(10);
+    const auto list = generateErdosRenyi(100, 400, rng);
+    const auto pattern = edgeListToSymmetricCoo(list);
+    const auto weighted =
+        assignSymmetricWeights(pattern, 1.0f, 64.0f, rng);
+    ASSERT_EQ(weighted.nnz(), pattern.nnz());
+    std::map<std::pair<NodeId, NodeId>, float> values;
+    for (std::size_t k = 0; k < weighted.nnz(); ++k) {
+        const float w = weighted.valueAt(k);
+        EXPECT_GE(w, 1.0f);
+        EXPECT_LE(w, 64.0f);
+        values[{weighted.rowAt(k), weighted.colAt(k)}] = w;
+    }
+    for (const auto &[rc, w] : values)
+        EXPECT_FLOAT_EQ(values.at({rc.second, rc.first}), w);
+}

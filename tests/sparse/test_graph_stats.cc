@@ -1,0 +1,75 @@
+/** @file Graph statistics and reachability helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hh"
+#include "sparse/graph_stats.hh"
+
+using namespace alphapim;
+using namespace alphapim::sparse;
+
+namespace
+{
+
+/** Path graph 0-1-2-3 as a symmetric adjacency. */
+CooMatrix<float>
+pathGraph()
+{
+    EdgeList list;
+    list.nodes = 4;
+    list.edges = {{0, 1}, {1, 2}, {2, 3}};
+    return edgeListToSymmetricCoo(list);
+}
+
+} // namespace
+
+TEST(GraphStats, PathGraphNumbers)
+{
+    const auto stats = computeGraphStats(pathGraph());
+    EXPECT_EQ(stats.nodes, 4u);
+    EXPECT_EQ(stats.edges, 3u);
+    EXPECT_EQ(stats.nnz, 6u);
+    EXPECT_DOUBLE_EQ(stats.avgDegree, 1.5);
+    EXPECT_EQ(stats.maxDegree, 2u);
+    EXPECT_DOUBLE_EQ(stats.sparsity, 3.0 / 16.0);
+}
+
+TEST(GraphStats, DegreeVector)
+{
+    const auto degrees = vertexDegrees(pathGraph());
+    EXPECT_EQ(degrees, (std::vector<NodeId>{1, 2, 2, 1}));
+}
+
+TEST(Reachability, ConnectedPath)
+{
+    const auto visited = reachableFrom(pathGraph(), 0);
+    EXPECT_EQ(visited, std::vector<bool>(4, true));
+}
+
+TEST(Reachability, DisconnectedComponents)
+{
+    EdgeList list;
+    list.nodes = 5;
+    list.edges = {{0, 1}, {3, 4}};
+    const auto coo = edgeListToSymmetricCoo(list);
+    const auto visited = reachableFrom(coo, 0);
+    EXPECT_TRUE(visited[0]);
+    EXPECT_TRUE(visited[1]);
+    EXPECT_FALSE(visited[2]);
+    EXPECT_FALSE(visited[3]);
+}
+
+TEST(LargestComponent, PicksTheBigOne)
+{
+    EdgeList list;
+    list.nodes = 7;
+    // Component A: {0,1}; component B: {2,3,4,5}.
+    list.edges = {{0, 1}, {2, 3}, {3, 4}, {4, 5}};
+    const auto coo = edgeListToSymmetricCoo(list);
+    const NodeId v = largestComponentVertex(coo);
+    const auto visited = reachableFrom(coo, v);
+    std::size_t size = 0;
+    for (bool b : visited)
+        size += b ? 1 : 0;
+    EXPECT_EQ(size, 4u);
+}

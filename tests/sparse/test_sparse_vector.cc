@@ -1,0 +1,83 @@
+/** @file Sparse vector invariants and dense round-trips. */
+
+#include <gtest/gtest.h>
+
+#include "sparse/sparse_vector.hh"
+
+using namespace alphapim;
+using namespace alphapim::sparse;
+
+TEST(SparseVector, EmptyBasics)
+{
+    SparseVector<float> v(10);
+    EXPECT_EQ(v.dim(), 10u);
+    EXPECT_EQ(v.nnz(), 0u);
+    EXPECT_DOUBLE_EQ(v.density(), 0.0);
+}
+
+TEST(SparseVector, AppendAndSort)
+{
+    SparseVector<float> v(10);
+    v.append(7, 1.0f);
+    v.append(2, 2.0f);
+    v.append(5, 3.0f);
+    v.sortByIndex();
+    EXPECT_EQ(v.indices(), (std::vector<NodeId>{2, 5, 7}));
+    EXPECT_EQ(v.values(), (std::vector<float>{2.0f, 3.0f, 1.0f}));
+}
+
+TEST(SparseVector, ConstructorSorts)
+{
+    SparseVector<int> v(6, {4, 1, 3}, {40, 10, 30});
+    EXPECT_EQ(v.indices(), (std::vector<NodeId>{1, 3, 4}));
+    EXPECT_EQ(v.values(), (std::vector<int>{10, 30, 40}));
+}
+
+TEST(SparseVector, DensityComputation)
+{
+    SparseVector<float> v(4);
+    v.append(0, 1.0f);
+    v.append(3, 1.0f);
+    EXPECT_DOUBLE_EQ(v.density(), 0.5);
+}
+
+TEST(SparseVector, DenseRoundTrip)
+{
+    const std::vector<float> dense = {0, 1.5f, 0, 0, -2.5f, 0};
+    const auto v = SparseVector<float>::fromDense(dense, 0.0f);
+    EXPECT_EQ(v.nnz(), 2u);
+    EXPECT_EQ(v.toDense(0.0f), dense);
+}
+
+TEST(SparseVector, FromDenseWithCustomZero)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    const std::vector<float> dense = {inf, 3.0f, inf, 0.0f};
+    const auto v = SparseVector<float>::fromDense(dense, inf);
+    EXPECT_EQ(v.nnz(), 2u);
+    EXPECT_EQ(v.indices(), (std::vector<NodeId>{1, 3}));
+}
+
+TEST(SparseVector, ByteAccounting)
+{
+    SparseVector<float> v(100);
+    v.append(1, 1.0f);
+    v.append(2, 1.0f);
+    EXPECT_EQ(v.compressedBytes(), 2 * 8u);
+    EXPECT_EQ(v.denseBytes(), 400u);
+}
+
+TEST(SparseVector, ClearKeepsDimension)
+{
+    SparseVector<float> v(8);
+    v.append(1, 1.0f);
+    v.clear();
+    EXPECT_EQ(v.dim(), 8u);
+    EXPECT_EQ(v.nnz(), 0u);
+}
+
+TEST(SparseVectorDeath, OutOfRangeAppendPanics)
+{
+    SparseVector<float> v(3);
+    EXPECT_DEATH(v.append(3, 1.0f), "out of range");
+}

@@ -1,0 +1,138 @@
+/** @file Future-hardware knobs: each must strictly help its target
+ * bottleneck and leave functional behaviour untouched. */
+
+#include <gtest/gtest.h>
+
+#include "upmem/scheduler.hh"
+#include "upmem/transfer_model.hh"
+
+using namespace alphapim;
+using namespace alphapim::upmem;
+
+namespace
+{
+
+std::vector<TaskletTrace>
+dmaHeavyTraces(unsigned tasklets)
+{
+    std::vector<TaskletTrace> traces(tasklets);
+    for (auto &t : traces) {
+        for (int i = 0; i < 8; ++i) {
+            t.dmaRead(1024);
+            t.ops(OpClass::IntAdd, 20);
+        }
+    }
+    return traces;
+}
+
+std::vector<TaskletTrace>
+contentionTraces(unsigned tasklets)
+{
+    std::vector<TaskletTrace> traces(tasklets);
+    for (auto &t : traces) {
+        for (int i = 0; i < 20; ++i) {
+            t.mutexLock(0);
+            t.ops(OpClass::IntAdd, 4);
+            t.mutexUnlock(0);
+        }
+    }
+    return traces;
+}
+
+} // namespace
+
+TEST(FutureHw, NonBlockingDmaReducesCycles)
+{
+    DpuConfig base;
+    base.tasklets = 4;
+    DpuConfig nb = base;
+    nb.nonBlockingDma = true;
+
+    const auto traces = dmaHeavyTraces(4);
+    const auto p_base = RevolverScheduler(base).run(traces);
+    const auto p_nb = RevolverScheduler(nb).run(traces);
+    EXPECT_LT(p_nb.totalCycles, p_base.totalCycles);
+    // Same instructions execute either way.
+    EXPECT_EQ(p_nb.totalInstructions(), p_base.totalInstructions());
+}
+
+TEST(FutureHw, NonBlockingDmaStillBoundedByEngineBandwidth)
+{
+    DpuConfig nb;
+    nb.tasklets = 2;
+    nb.nonBlockingDma = true;
+    std::vector<TaskletTrace> traces(2);
+    traces[0].dmaRead(65536);
+    traces[1].dmaRead(65536);
+    const auto p = RevolverScheduler(nb).run(traces);
+    // Two 64 KiB transfers cannot finish faster than the engine
+    // streams them.
+    EXPECT_GE(p.totalCycles,
+              static_cast<Cycles>(2 * 65536 / nb.dmaBytesPerCycle));
+}
+
+TEST(FutureHw, HardwareAtomicsRemoveSpinning)
+{
+    DpuConfig base;
+    base.tasklets = 8;
+    DpuConfig atomics = base;
+    atomics.hardwareAtomics = true;
+
+    const auto traces = contentionTraces(8);
+    const auto p_base = RevolverScheduler(base).run(traces);
+    const auto p_atomic = RevolverScheduler(atomics).run(traces);
+    // No spin retries: exactly one lock instruction per acquire.
+    EXPECT_EQ(p_atomic.instrByClass[static_cast<std::size_t>(
+                  OpClass::MutexLock)],
+              8u * 20u);
+    EXPECT_GT(p_base.instrByClass[static_cast<std::size_t>(
+                  OpClass::MutexLock)],
+              8u * 20u);
+    EXPECT_LE(p_atomic.totalCycles, p_base.totalCycles);
+}
+
+TEST(FutureHw, ShorterRevolverGapHelpsLowParallelism)
+{
+    DpuConfig slow;
+    slow.tasklets = 2;
+    DpuConfig fast = slow;
+    fast.revolverGap = 4;
+
+    std::vector<TaskletTrace> traces(2);
+    traces[0].ops(OpClass::IntAdd, 500);
+    traces[1].ops(OpClass::Compare, 500);
+    const auto p_slow = RevolverScheduler(slow).run(traces);
+    const auto p_fast = RevolverScheduler(fast).run(traces);
+    EXPECT_LT(p_fast.totalCycles, p_slow.totalCycles);
+}
+
+TEST(FutureHw, InterconnectBeatsHostRoundTrip)
+{
+    TransferConfig host;
+    TransferConfig direct = host;
+    direct.directInterconnect = true;
+
+    const TransferModel via_host(host);
+    const TransferModel via_link(direct);
+    const auto scatter_host = via_host.uniformScatter(
+        1 << 16, 2048, TransferDirection::HostToDpu);
+    const auto scatter_link = via_link.uniformScatter(
+        1 << 16, 2048, TransferDirection::HostToDpu);
+    EXPECT_LT(scatter_link, scatter_host);
+
+    const auto bcast_host = via_host.broadcast(1 << 20, 2048);
+    const auto bcast_link = via_link.broadcast(1 << 20, 2048);
+    EXPECT_LT(bcast_link, bcast_host);
+}
+
+TEST(FutureHw, InterconnectScalesWithPerDpuBytesOnly)
+{
+    TransferConfig direct;
+    direct.directInterconnect = true;
+    const TransferModel model(direct);
+    const auto few = model.uniformScatter(
+        4096, 64, TransferDirection::HostToDpu);
+    const auto many = model.uniformScatter(
+        4096, 2048, TransferDirection::HostToDpu);
+    EXPECT_NEAR(few, many, 1e-12); // fully parallel exchange
+}

@@ -1,0 +1,44 @@
+/** @file Host merge / convergence cost model. */
+
+#include <gtest/gtest.h>
+
+#include "upmem/host_model.hh"
+
+using namespace alphapim;
+using namespace alphapim::upmem;
+
+TEST(HostModel, MergeHasFloorOverhead)
+{
+    HostConfig cfg;
+    HostModel model(cfg);
+    EXPECT_GE(model.mergeTime(0, 0), cfg.passOverhead);
+}
+
+TEST(HostModel, MergeMonotonicInBytesAndOps)
+{
+    HostConfig cfg;
+    HostModel model(cfg);
+    EXPECT_LT(model.mergeTime(1 << 10, 100),
+              model.mergeTime(1 << 24, 100));
+    EXPECT_LT(model.mergeTime(1 << 10, 100),
+              model.mergeTime(1 << 10, 1'000'000'000ull));
+}
+
+TEST(HostModel, MoreCoresMergeFaster)
+{
+    HostConfig few;
+    few.cores = 2;
+    HostConfig many;
+    many.cores = 32;
+    HostModel slow(few), fast(many);
+    const std::uint64_t ops = 1'000'000'000ull;
+    EXPECT_GT(slow.mergeTime(0, ops), fast.mergeTime(0, ops));
+}
+
+TEST(HostModel, ConvergenceScalesWithVector)
+{
+    HostConfig cfg;
+    HostModel model(cfg);
+    EXPECT_LT(model.convergenceTime(1 << 10),
+              model.convergenceTime(1 << 26));
+}

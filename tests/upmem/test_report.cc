@@ -1,0 +1,68 @@
+/** @file Profile report rendering. */
+
+#include <gtest/gtest.h>
+
+#include "upmem/report.hh"
+#include "upmem/scheduler.hh"
+
+using namespace alphapim;
+using namespace alphapim::upmem;
+
+namespace
+{
+
+LaunchProfile
+sampleProfile()
+{
+    DpuConfig cfg;
+    cfg.tasklets = 4;
+    RevolverScheduler sched(cfg);
+    std::vector<TaskletTrace> traces(4);
+    for (auto &t : traces) {
+        t.ops(OpClass::IntAdd, 20);
+        t.dmaRead(256);
+        t.mutexLock(0);
+        t.ops(OpClass::FloatMul, 5);
+        t.mutexUnlock(0);
+        t.barrier(0);
+    }
+    LaunchProfile launch;
+    launch.add(sched.run(traces));
+    return launch;
+}
+
+} // namespace
+
+TEST(Report, SummaryContainsAllStallKinds)
+{
+    const auto launch = sampleProfile();
+    const auto summary = renderProfileSummary(launch.aggregate);
+    EXPECT_NE(summary.find("issued"), std::string::npos);
+    EXPECT_NE(summary.find("mem"), std::string::npos);
+    EXPECT_NE(summary.find("revolver"), std::string::npos);
+    EXPECT_NE(summary.find("active threads"), std::string::npos);
+}
+
+TEST(Report, FullReportListsCategoriesAndClasses)
+{
+    SystemConfig cfg;
+    cfg.numDpus = 4;
+    const auto launch = sampleProfile();
+    const auto report = renderProfileReport(launch, cfg);
+    EXPECT_NE(report.find("instruction mix"), std::string::npos);
+    EXPECT_NE(report.find("arithmetic"), std::string::npos);
+    EXPECT_NE(report.find("int-add"), std::string::npos);
+    EXPECT_NE(report.find("float-mul"), std::string::npos);
+    EXPECT_NE(report.find("mutex-lock"), std::string::npos);
+    EXPECT_NE(report.find("active DPUs: 1 / 4"), std::string::npos);
+}
+
+TEST(Report, EmptyProfileDoesNotDivideByZero)
+{
+    SystemConfig cfg;
+    LaunchProfile empty;
+    const auto report = renderProfileReport(empty, cfg);
+    EXPECT_NE(report.find("DPU profile"), std::string::npos);
+    const auto summary = renderProfileSummary(empty.aggregate);
+    EXPECT_NE(summary.find("issued 0.0%"), std::string::npos);
+}

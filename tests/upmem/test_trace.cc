@@ -1,0 +1,132 @@
+/** @file Trace recording and run-length encoding. */
+
+#include <gtest/gtest.h>
+
+#include "upmem/tasklet_ctx.hh"
+#include "upmem/trace.hh"
+
+using namespace alphapim;
+using namespace alphapim::upmem;
+
+TEST(Trace, RunLengthMergesSameClass)
+{
+    TaskletTrace t;
+    t.ops(OpClass::IntAdd, 3);
+    t.ops(OpClass::IntAdd, 2);
+    ASSERT_EQ(t.records().size(), 1u);
+    EXPECT_EQ(t.records()[0].count, 5u);
+    EXPECT_EQ(t.instructionCount(), 5u);
+}
+
+TEST(Trace, DifferentClassesStaySeparate)
+{
+    TaskletTrace t;
+    t.ops(OpClass::IntAdd, 3);
+    t.ops(OpClass::Compare, 1);
+    t.ops(OpClass::IntAdd, 1);
+    EXPECT_EQ(t.records().size(), 3u);
+}
+
+TEST(Trace, ZeroCountIsIgnored)
+{
+    TaskletTrace t;
+    t.ops(OpClass::IntAdd, 0);
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(Trace, SyncAndDmaRecords)
+{
+    TaskletTrace t;
+    t.dmaRead(128);
+    t.mutexLock(3);
+    t.mutexUnlock(3);
+    t.barrier(1);
+    t.dmaWrite(64);
+    ASSERT_EQ(t.records().size(), 5u);
+    EXPECT_EQ(t.records()[0].kind, RecordKind::Dma);
+    EXPECT_EQ(t.records()[0].arg, 128u);
+    EXPECT_EQ(t.records()[1].count, 1u); // lock
+    EXPECT_EQ(t.records()[2].count, 0u); // unlock
+    EXPECT_EQ(t.records()[3].kind, RecordKind::Barrier);
+    EXPECT_EQ(t.instructionCount(), 5u);
+}
+
+TEST(TaskletCtx, FloatOpsAreExpanded)
+{
+    DpuConfig cfg;
+    TaskletTrace t;
+    TaskletCtx ctx(cfg, t);
+    ctx.op(OpClass::FloatMul, 2);
+    ctx.op(OpClass::FloatAdd, 1);
+    ctx.op(OpClass::IntMul, 1);
+    ctx.op(OpClass::IntAdd, 1);
+    EXPECT_EQ(t.instructionCount(),
+              2 * cfg.floatMulInstrs + cfg.floatAddInstrs +
+                  cfg.intMulInstrs + 1);
+}
+
+TEST(TaskletCtx, StreamingChunksDma)
+{
+    DpuConfig cfg;
+    cfg.wramChunkBytes = 256;
+    TaskletTrace t;
+    TaskletCtx ctx(cfg, t);
+    ctx.streamFromMram(1000);
+    // ceil(1000/256) = 4 DMA records (plus control overhead).
+    unsigned dmas = 0;
+    Bytes bytes = 0;
+    for (const auto &r : t.records()) {
+        if (r.kind == RecordKind::Dma) {
+            ++dmas;
+            bytes += r.arg;
+        }
+    }
+    EXPECT_EQ(dmas, 4u);
+    EXPECT_EQ(bytes, 1000u);
+}
+
+TEST(TaskletCtx, StreamToMramChunksToo)
+{
+    DpuConfig cfg;
+    cfg.wramChunkBytes = 512;
+    TaskletTrace t;
+    TaskletCtx ctx(cfg, t);
+    ctx.streamToMram(512);
+    unsigned writes = 0;
+    for (const auto &r : t.records()) {
+        if (r.kind == RecordKind::Dma &&
+            r.cls == OpClass::DmaWrite) {
+            ++writes;
+        }
+    }
+    EXPECT_EQ(writes, 1u);
+}
+
+TEST(OpTaxonomy, CategoriesAreStable)
+{
+    EXPECT_EQ(opCategory(OpClass::FloatMul), OpCategory::Arithmetic);
+    EXPECT_EQ(opCategory(OpClass::LoadWram), OpCategory::Scratchpad);
+    EXPECT_EQ(opCategory(OpClass::DmaRead), OpCategory::Dma);
+    EXPECT_EQ(opCategory(OpClass::MutexLock), OpCategory::Sync);
+    EXPECT_EQ(opCategory(OpClass::Barrier), OpCategory::Sync);
+    EXPECT_EQ(opCategory(OpClass::Control), OpCategory::Control);
+}
+
+TEST(OpTaxonomy, AluClassification)
+{
+    EXPECT_TRUE(isAluClass(OpClass::IntAdd));
+    EXPECT_TRUE(isAluClass(OpClass::Compare));
+    EXPECT_FALSE(isAluClass(OpClass::DmaRead));
+    EXPECT_FALSE(isAluClass(OpClass::MutexLock));
+    EXPECT_FALSE(isAluClass(OpClass::LoadWram));
+}
+
+TEST(OpTaxonomy, NamesExist)
+{
+    for (unsigned c = 0; c < numOpClasses; ++c)
+        EXPECT_STRNE(opClassName(static_cast<OpClass>(c)), "unknown");
+    for (unsigned c = 0; c < numOpCategories; ++c) {
+        EXPECT_STRNE(opCategoryName(static_cast<OpCategory>(c)),
+                     "unknown");
+    }
+}

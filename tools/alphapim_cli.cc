@@ -1,0 +1,305 @@
+/**
+ * @file
+ * alphapim: command-line driver for the ALPHA-PIM framework.
+ *
+ * Runs any of the graph applications on a bundled synthetic dataset
+ * or a user-supplied Matrix Market graph, on a configurable
+ * simulated UPMEM machine, with any kernel strategy; prints the
+ * phase breakdown, optionally the full DPU profile, a CPU-baseline
+ * comparison, and a per-iteration CSV for plotting.
+ *
+ * Examples:
+ *   alphapim --algo bfs  --dataset e-En
+ *   alphapim --algo sssp --mtx road.mtx --dpus 1024 --profile
+ *   alphapim --algo ppr  --dataset face --strategy spmv --csv it.csv
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "apps/graph_apps.hh"
+#include "apps/reference_algorithms.hh"
+#include "baseline/cpu_engine.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/table.hh"
+#include "sparse/datasets.hh"
+#include "sparse/generators.hh"
+#include "sparse/graph_stats.hh"
+#include "sparse/mmio.hh"
+#include "upmem/report.hh"
+
+using namespace alphapim;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string algo = "bfs";
+    std::string dataset;
+    std::string mtx;
+    std::string csv;
+    std::string strategy = "adaptive";
+    double scale = 0.25;
+    double threshold = -1.0;
+    unsigned dpus = 2048;
+    unsigned tasklets = 16;
+    unsigned pprIterations = 20;
+    std::uint64_t seed = 42;
+    long source = -1;
+    bool profile = false;
+    bool compareCpu = false;
+    bool validate = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: alphapim [options]\n"
+        "  --algo bfs|sssp|ppr|cc      application (default bfs)\n"
+        "  --dataset ABBREV            bundled Table 2 dataset\n"
+        "  --mtx FILE                  Matrix Market graph instead\n"
+        "  --scale X                   dataset generation scale\n"
+        "  --dpus N                    DPUs (default 2048)\n"
+        "  --tasklets N                tasklets per DPU (default 16)\n"
+        "  --strategy adaptive|spmspv|spmv\n"
+        "  --threshold X               switch density override\n"
+        "  --source V                  source vertex (default: in\n"
+        "                              the largest component)\n"
+        "  --iterations N              PPR power iterations\n"
+        "  --seed N                    RNG seed\n"
+        "  --profile                   print the DPU profile\n"
+        "  --compare-cpu               run the GridGraph CPU model\n"
+        "  --validate                  check against host reference\n"
+        "  --csv FILE                  per-iteration CSV output\n");
+    std::exit(2);
+}
+
+CliOptions
+parseCli(int argc, char **argv)
+{
+    CliOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--algo")
+            opt.algo = next();
+        else if (arg == "--dataset")
+            opt.dataset = next();
+        else if (arg == "--mtx")
+            opt.mtx = next();
+        else if (arg == "--csv")
+            opt.csv = next();
+        else if (arg == "--strategy")
+            opt.strategy = next();
+        else if (arg == "--scale")
+            opt.scale = std::atof(next());
+        else if (arg == "--threshold")
+            opt.threshold = std::atof(next());
+        else if (arg == "--dpus")
+            opt.dpus = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--tasklets")
+            opt.tasklets = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--iterations")
+            opt.pprIterations =
+                static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--seed")
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--source")
+            opt.source = std::atol(next());
+        else if (arg == "--profile")
+            opt.profile = true;
+        else if (arg == "--compare-cpu")
+            opt.compareCpu = true;
+        else if (arg == "--validate")
+            opt.validate = true;
+        else
+            usage();
+    }
+    if (opt.dataset.empty() && opt.mtx.empty())
+        opt.dataset = "e-En";
+    return opt;
+}
+
+core::MxvStrategy
+parseStrategy(const std::string &name)
+{
+    if (name == "adaptive")
+        return core::MxvStrategy::Adaptive;
+    if (name == "costmodel")
+        return core::MxvStrategy::CostModel;
+    if (name == "spmspv")
+        return core::MxvStrategy::SpmspvOnly;
+    if (name == "spmv")
+        return core::MxvStrategy::SpmvOnly;
+    fatal("unknown strategy '%s'", name.c_str());
+}
+
+void
+writeCsv(const std::string &path, const apps::AppResult &result)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot create CSV file '%s'", path.c_str());
+    out << "iteration,input_density,output_density,kernel,load_ms,"
+           "kernel_ms,retrieve_ms,merge_ms,total_ms,semiring_ops\n";
+    for (const auto &log : result.iterations) {
+        out << log.iteration << ',' << log.inputDensity << ','
+            << log.outputDensity << ','
+            << (log.usedSpmv ? "spmv" : "spmspv") << ','
+            << toMillis(log.times.load) << ','
+            << toMillis(log.times.kernel) << ','
+            << toMillis(log.times.retrieve) << ','
+            << toMillis(log.times.merge) << ','
+            << toMillis(log.times.total()) << ','
+            << log.semiringOps << '\n';
+    }
+    inform("wrote %zu iterations to %s", result.iterations.size(),
+           path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opt = parseCli(argc, argv);
+
+    // ---- graph ----
+    sparse::CooMatrix<float> adjacency;
+    std::string graph_name;
+    if (!opt.mtx.empty()) {
+        adjacency = sparse::readMatrixMarketFile(opt.mtx);
+        if (adjacency.numRows() != adjacency.numCols())
+            fatal("graph matrix must be square");
+        graph_name = opt.mtx;
+    } else {
+        const auto data =
+            sparse::buildDataset(opt.dataset, opt.scale, opt.seed);
+        adjacency = data.adjacency;
+        graph_name = data.spec.name;
+    }
+    const auto stats = sparse::computeGraphStats(adjacency);
+    std::printf("graph %s: %u vertices, %llu edges, degree %.2f "
+                "+/- %.2f\n",
+                graph_name.c_str(), stats.nodes,
+                static_cast<unsigned long long>(stats.edges),
+                stats.avgDegree, stats.degreeStd);
+
+    Rng rng(opt.seed);
+    sparse::CooMatrix<float> matrix = adjacency;
+    if (opt.algo == "sssp") {
+        matrix = sparse::assignSymmetricWeights(adjacency, 1.0f,
+                                                64.0f, rng);
+    }
+
+    const NodeId source =
+        opt.source >= 0 ? static_cast<NodeId>(opt.source)
+                        : sparse::largestComponentVertex(adjacency);
+    if (source >= stats.nodes)
+        fatal("source vertex out of range");
+
+    // ---- machine ----
+    upmem::SystemConfig sys_cfg;
+    sys_cfg.numDpus = opt.dpus;
+    sys_cfg.dpu.tasklets = opt.tasklets;
+    const upmem::UpmemSystem sys(sys_cfg);
+
+    apps::AppConfig cfg;
+    cfg.strategy = parseStrategy(opt.strategy);
+    cfg.switchThreshold = opt.threshold;
+    cfg.pprIterations = opt.pprIterations;
+
+    // ---- run ----
+    apps::AppResult result;
+    if (opt.algo == "bfs")
+        result = apps::runBfs(sys, matrix, source, cfg);
+    else if (opt.algo == "sssp")
+        result = apps::runSssp(sys, matrix, source, cfg);
+    else if (opt.algo == "ppr")
+        result = apps::runPpr(sys, matrix, source, cfg);
+    else if (opt.algo == "cc")
+        result = apps::runConnectedComponents(sys, matrix, cfg);
+    else
+        fatal("unknown algorithm '%s'", opt.algo.c_str());
+
+    std::printf("\n%s from vertex %u: %zu iterations (%s), "
+                "%u SpMSpV / %u SpMV launches\n",
+                opt.algo.c_str(), source, result.iterations.size(),
+                result.converged ? "converged" : "iteration cap",
+                result.spmspvLaunches, result.spmvLaunches);
+    TextTable phases("phase totals");
+    phases.setHeader({"load", "kernel", "retrieve", "merge",
+                      "total"});
+    phases.addRow({TextTable::num(toMillis(result.total.load), 3),
+                   TextTable::num(toMillis(result.total.kernel), 3),
+                   TextTable::num(toMillis(result.total.retrieve), 3),
+                   TextTable::num(toMillis(result.total.merge), 3),
+                   TextTable::num(toMillis(result.total.total()),
+                                  3)});
+    phases.print();
+
+    if (opt.validate) {
+        bool ok = true;
+        if (opt.algo == "bfs") {
+            ok = result.levels == apps::referenceBfs(matrix, source);
+        } else if (opt.algo == "cc") {
+            ok = result.levels == apps::referenceComponents(matrix);
+        } else if (opt.algo == "sssp") {
+            const auto expected =
+                apps::referenceSssp(matrix, source);
+            for (NodeId v = 0; ok && v < stats.nodes; ++v) {
+                const float a = result.distances[v];
+                const float b = expected[v];
+                ok = std::isinf(a) == std::isinf(b) &&
+                     (std::isinf(a) || std::abs(a - b) <= 1e-3);
+            }
+        } else {
+            const auto expected = apps::referencePpr(
+                matrix, source, cfg.pprAlpha, cfg.pprIterations);
+            for (NodeId v = 0; ok && v < stats.nodes; ++v) {
+                ok = std::abs(result.ranks[v] - expected[v]) <= 1e-3;
+            }
+        }
+        std::printf("validation vs host reference: %s\n",
+                    ok ? "OK" : "MISMATCH");
+        if (!ok)
+            return 1;
+    }
+
+    if (opt.profile) {
+        std::printf("\n%s",
+                    upmem::renderProfileReport(result.profile,
+                                               sys_cfg)
+                        .c_str());
+    }
+
+    if (opt.compareCpu && opt.algo != "cc") {
+        const baseline::CpuEngine cpu(baseline::CpuSpec{}, matrix);
+        baseline::CpuRunResult run;
+        if (opt.algo == "bfs")
+            run = cpu.bfs(source);
+        else if (opt.algo == "sssp")
+            run = cpu.sssp(source);
+        else
+            run = cpu.ppr(source, cfg.pprAlpha, cfg.pprIterations);
+        std::printf("\nGridGraph CPU model: %.2f ms; PIM kernel "
+                    "speedup %.1fx, total %.1fx\n",
+                    toMillis(run.seconds),
+                    run.seconds / result.total.kernel,
+                    run.seconds / result.total.total());
+    }
+
+    if (!opt.csv.empty())
+        writeCsv(opt.csv, result);
+    return 0;
+}
