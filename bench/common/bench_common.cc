@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "core/result_json.hh"
+#include "telemetry/telemetry.hh"
 
 namespace alphapim::bench
 {
@@ -36,7 +38,9 @@ usage(const char *prog)
     std::fprintf(
         stderr,
         "usage: %s [--dpus N] [--scale X] [--edge-target N]\n"
-        "          [--datasets a,b,c] [--seed N] [--quick]\n",
+        "          [--datasets a,b,c] [--seed N] [--quick]\n"
+        "          [--trace-out FILE] [--metrics-out FILE]\n"
+        "          [--json-out FILE] [--log-level LEVEL]\n",
         prog);
     std::exit(2);
 }
@@ -53,8 +57,19 @@ parseOptions(int argc, char **argv)
         opt.edgeTarget = std::strtoull(env, nullptr, 10);
 
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        // Accept both "--flag value" and "--flag=value".
+        std::string arg = argv[i];
+        std::string inline_value;
+        bool has_inline = false;
+        if (const std::size_t eq = arg.find('=');
+            eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            inline_value = arg.substr(eq + 1);
+            arg.resize(eq);
+            has_inline = true;
+        }
         auto next = [&]() -> const char * {
+            if (has_inline)
+                return inline_value.c_str();
             if (i + 1 >= argc)
                 usage(argv[0]);
             return argv[++i];
@@ -71,6 +86,14 @@ parseOptions(int argc, char **argv)
             opt.seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--quick") {
             opt.quick = true;
+        } else if (arg == "--trace-out") {
+            opt.traceOut = next();
+        } else if (arg == "--metrics-out") {
+            opt.metricsOut = next();
+        } else if (arg == "--json-out") {
+            opt.jsonOut = next();
+        } else if (arg == "--log-level") {
+            opt.logLevel = next();
         } else {
             usage(argv[0]);
         }
@@ -81,6 +104,16 @@ parseOptions(int argc, char **argv)
         opt.roadEdgeTarget =
             std::min<EdgeId>(opt.roadEdgeTarget, 20'000);
     }
+    if (!opt.logLevel.empty() &&
+        !setLogLevelByName(opt.logLevel.c_str())) {
+        std::fprintf(stderr, "unknown log level '%s'\n",
+                     opt.logLevel.c_str());
+        usage(argv[0]);
+    }
+    if (!opt.traceOut.empty())
+        telemetry::tracer().setEnabled(true);
+    if (!opt.metricsOut.empty() || !opt.jsonOut.empty())
+        telemetry::metrics().setEnabled(true);
     return opt;
 }
 
@@ -147,6 +180,43 @@ phaseCells(const core::PhaseTimes &t, double norm)
             TextTable::num(t.retrieve / norm, 3),
             TextTable::num(t.merge / norm, 3),
             TextTable::num(t.total() / norm, 3)};
+}
+
+void
+emitRunRecord(const BenchOptions &opt, const std::string &bench,
+              const std::string &dataset, const std::string &variant,
+              const core::PhaseTimes &times,
+              const upmem::LaunchProfile *profile,
+              std::size_t iterations)
+{
+    if (opt.jsonOut.empty())
+        return;
+    telemetry::JsonWriter w;
+    w.beginObject();
+    w.key("bench").value(bench);
+    w.key("dataset").value(dataset);
+    w.key("variant").value(variant);
+    w.key("dpus").value(static_cast<std::uint64_t>(opt.dpus));
+    w.key("seed").value(opt.seed);
+    w.key("iterations")
+        .value(static_cast<std::uint64_t>(iterations));
+    w.key("times");
+    core::writePhaseTimes(w, times);
+    if (profile) {
+        w.key("profile");
+        core::writeLaunchProfile(w, *profile);
+    }
+    w.endObject();
+    telemetry::appendJsonlRecord(opt.jsonOut, w.str());
+}
+
+void
+writeTelemetryOutputs(const BenchOptions &opt)
+{
+    if (!opt.traceOut.empty())
+        telemetry::writeTraceFile(opt.traceOut);
+    if (!opt.metricsOut.empty())
+        telemetry::writeMetricsFile(opt.metricsOut);
 }
 
 } // namespace alphapim::bench

@@ -11,7 +11,12 @@
  *   --datasets a,b,c  override the figure's dataset list
  *   --seed N          RNG seed
  *   --quick           small configuration for smoke runs
- * plus environment variables ALPHAPIM_SCALE / ALPHAPIM_EDGE_TARGET.
+ *   --trace-out FILE  Chrome trace-event JSON of the run
+ *   --metrics-out FILE  metrics registry dump (JSONL)
+ *   --json-out FILE   per-run result records (JSONL, appended)
+ *   --log-level L     silent|normal|verbose
+ * (every flag also accepts the --flag=value spelling) plus
+ * environment variables ALPHAPIM_SCALE / ALPHAPIM_EDGE_TARGET.
  * Down-scaled datasets keep their degree structure (DESIGN.md), so
  * figure *shapes* are preserved; EXPERIMENTS.md records the scales
  * used for the committed outputs.
@@ -43,9 +48,15 @@ struct BenchOptions
     std::uint64_t seed = 42;
     bool quick = false;
     std::vector<std::string> datasets;
+    std::string traceOut;   ///< Chrome trace JSON path ("" = off)
+    std::string metricsOut; ///< metrics JSONL path ("" = off)
+    std::string jsonOut;    ///< per-run record JSONL path ("" = off)
+    std::string logLevel;   ///< "" = leave the level alone
 };
 
-/** Parse argv; prints usage and exits on --help or bad flags. */
+/** Parse argv; prints usage and exits on --help or bad flags.
+ * Enables the telemetry tracer / metrics registry and applies the
+ * log level as a side effect of the corresponding flags. */
 BenchOptions parseOptions(int argc, char **argv);
 
 /** Effective generation scale for one dataset spec. */
@@ -100,6 +111,31 @@ randomInputVector(NodeId n, double density, std::uint64_t seed,
  * normalized by `norm` (use 1.0 for absolute seconds). */
 std::vector<std::string> phaseCells(const core::PhaseTimes &t,
                                     double norm);
+
+/**
+ * Append one per-run record to the --json-out JSONL file (no-op when
+ * the flag is absent): bench + dataset + variant identification, the
+ * run configuration, the phase breakdown, and, when a profile is
+ * given, stall fractions and the instruction mix.
+ *
+ * @param opt        parsed bench options (provides the sink path)
+ * @param bench      experiment name, e.g. "fig07"
+ * @param dataset    dataset abbreviation
+ * @param variant    strategy / configuration label of this run
+ * @param times      accumulated phase times of the run
+ * @param profile    accumulated DPU profile, or nullptr
+ * @param iterations iteration count of the run (0 if n/a)
+ */
+void emitRunRecord(const BenchOptions &opt, const std::string &bench,
+                   const std::string &dataset,
+                   const std::string &variant,
+                   const core::PhaseTimes &times,
+                   const upmem::LaunchProfile *profile,
+                   std::size_t iterations);
+
+/** Write the --trace-out / --metrics-out files if requested. Call
+ * once at the end of the bench's main(). */
+void writeTelemetryOutputs(const BenchOptions &opt);
 
 } // namespace alphapim::bench
 

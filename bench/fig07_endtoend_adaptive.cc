@@ -78,6 +78,14 @@ main(int argc, char **argv)
             const double speedup =
                 baseline.total.total() / adaptive.total.total();
             speedups.push_back(speedup);
+            const std::string algo_tag = algo_names[algo];
+            emitRunRecord(opt, "fig07", name,
+                          algo_tag + "/spmv-only", baseline.total,
+                          &baseline.profile,
+                          baseline.iterations.size());
+            emitRunRecord(opt, "fig07", name, algo_tag + "/adaptive",
+                          adaptive.total, &adaptive.profile,
+                          adaptive.iterations.size());
             table.addRow(
                 {algo_names[algo], name,
                  TextTable::num(toMillis(baseline.total.total()), 2),
@@ -96,5 +104,6 @@ main(int argc, char **argv)
 
     std::printf("\npaper expectation: adaptive switching beats "
                 "SpMV-only on all three applications\n");
+    writeTelemetryOutputs(opt);
     return 0;
 }

@@ -49,6 +49,11 @@ main(int argc, char **argv)
                 const auto &kernel = which == 0 ? spmv : spmspv;
                 const auto r = kernel->run(x);
                 const auto &p = r.profile.aggregate;
+                emitRunRecord(
+                    opt, "fig09", name,
+                    std::string(which == 0 ? "spmv" : "spmspv") +
+                        "/d" + TextTable::num(densities[di], 2),
+                    r.times, &r.profile, 1);
                 const double rev =
                     p.stallFraction(StallReason::Revolver);
                 const double sync =
@@ -74,5 +79,6 @@ main(int argc, char **argv)
         "\npaper expectation: SpMSpV issued%% rises with density; "
         "SpMSpV@1%% shows elevated revolver+sync stalls; SpMV "
         "carries more memory stalls at every density\n");
+    writeTelemetryOutputs(opt);
     return 0;
 }

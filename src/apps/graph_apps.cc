@@ -5,6 +5,7 @@
 
 #include "apps/reference_algorithms.hh"
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace alphapim::apps
 {
@@ -24,6 +25,51 @@ unsigned
 resolveMaxIters(const AppConfig &cfg, NodeId n)
 {
     return cfg.maxIterations == 0 ? n : cfg.maxIterations;
+}
+
+/**
+ * Record one application iteration with the telemetry subsystem: an
+ * "<app>.iteration" span on the engine track enclosing the launch's
+ * phase spans, plus the iteration counter. `host_merge_extra` is the
+ * host-side frontier/convergence time the app charged to the Merge
+ * phase after the launch; the model clock advances past it so the
+ * next iteration starts where this one ends.
+ */
+void
+recordIteration(const char *app, const IterationLog &log,
+                Seconds it_start, Seconds host_merge_extra)
+{
+    auto &t = telemetry::tracer();
+    if (t.enabled()) {
+        t.advance(host_merge_extra);
+        t.completeEvent(
+            telemetry::engineTrack,
+            std::string(app) + ".iteration", "app", it_start,
+            t.now() - it_start,
+            {telemetry::arg(
+                 "iteration",
+                 static_cast<std::uint64_t>(log.iteration)),
+             telemetry::arg("input_density", log.inputDensity),
+             telemetry::arg("output_density", log.outputDensity),
+             telemetry::arg("kernel",
+                            log.usedSpmv ? "spmv" : "spmspv")});
+    }
+    telemetry::metrics().addCounter("engine.iterations");
+}
+
+/** Emit the convergence instant + counter when a run converged. */
+void
+recordConvergence(const char *app, bool converged)
+{
+    if (!converged)
+        return;
+    auto &t = telemetry::tracer();
+    if (t.enabled()) {
+        t.instantEvent(telemetry::engineTrack,
+                       std::string(app) + ".converged", "app",
+                       t.now());
+    }
+    telemetry::metrics().addCounter("app.converged_runs");
 }
 
 } // namespace
@@ -55,12 +101,14 @@ runBfs(const upmem::UpmemSystem &sys,
         IterationLog log;
         log.iteration = iter;
         log.inputDensity = frontier.density();
+        const Seconds it_start = telemetry::tracer().now();
 
         auto r = engine.multiply(frontier);
         // Mask out visited vertices and build the next frontier --
         // host work accounted in the Merge phase together with the
         // convergence check.
-        r.times.merge += sys.host().convergenceTime(vec_bytes);
+        const Seconds host_extra = sys.host().convergenceTime(vec_bytes);
+        r.times.merge += host_extra;
         sparse::SparseVector<std::uint32_t> next(n);
         for (NodeId v = 0; v < n; ++v) {
             if (r.y[v] != 0 && !visited[v]) {
@@ -75,6 +123,7 @@ runBfs(const upmem::UpmemSystem &sys,
         log.times = r.times;
         log.semiringOps = r.semiringOps;
         result.addIteration(log, r.profile);
+        recordIteration("bfs", log, it_start, host_extra);
 
         frontier = std::move(next);
         if (frontier.nnz() == 0) {
@@ -82,6 +131,7 @@ runBfs(const upmem::UpmemSystem &sys,
             break;
         }
     }
+    recordConvergence("bfs", result.converged);
     return result;
 }
 
@@ -111,9 +161,11 @@ runSssp(const upmem::UpmemSystem &sys,
         IterationLog log;
         log.iteration = iter;
         log.inputDensity = frontier.density();
+        const Seconds it_start = telemetry::tracer().now();
 
         auto r = engine.multiply(frontier);
-        r.times.merge += sys.host().convergenceTime(vec_bytes);
+        const Seconds host_extra = sys.host().convergenceTime(vec_bytes);
+        r.times.merge += host_extra;
 
         // Relax: keep vertices whose tentative distance improved.
         sparse::SparseVector<float> next(n);
@@ -129,6 +181,7 @@ runSssp(const upmem::UpmemSystem &sys,
         log.times = r.times;
         log.semiringOps = r.semiringOps;
         result.addIteration(log, r.profile);
+        recordIteration("sssp", log, it_start, host_extra);
 
         frontier = std::move(next);
         if (frontier.nnz() == 0) {
@@ -136,6 +189,7 @@ runSssp(const upmem::UpmemSystem &sys,
             break;
         }
     }
+    recordConvergence("sssp", result.converged);
     return result;
 }
 
@@ -167,10 +221,13 @@ runPpr(const upmem::UpmemSystem &sys,
         IterationLog log;
         log.iteration = iter;
         log.inputDensity = x.density();
+        const Seconds it_start = telemetry::tracer().now();
 
         auto r = engine.multiply(x);
         // Damping + restart + delta check on the host (Merge phase).
-        r.times.merge += sys.host().mergeTime(2 * vec_bytes, n);
+        const Seconds host_extra =
+            sys.host().mergeTime(2 * vec_bytes, n);
+        r.times.merge += host_extra;
 
         double delta = 0.0;
         sparse::SparseVector<float> next(n);
@@ -189,6 +246,7 @@ runPpr(const upmem::UpmemSystem &sys,
         log.times = r.times;
         log.semiringOps = r.semiringOps;
         result.addIteration(log, r.profile);
+        recordIteration("ppr", log, it_start, host_extra);
 
         x = std::move(next);
         if (config.pprTolerance > 0.0 &&
@@ -199,6 +257,7 @@ runPpr(const upmem::UpmemSystem &sys,
     }
     if (!result.converged && config.pprTolerance == 0.0)
         result.converged = true; // fixed-iteration mode
+    recordConvergence("ppr", result.converged);
     return result;
 }
 
@@ -230,9 +289,11 @@ runConnectedComponents(const upmem::UpmemSystem &sys,
         IterationLog log;
         log.iteration = iter;
         log.inputDensity = frontier.density();
+        const Seconds it_start = telemetry::tracer().now();
 
         auto r = engine.multiply(frontier);
-        r.times.merge += sys.host().convergenceTime(vec_bytes);
+        const Seconds host_extra = sys.host().convergenceTime(vec_bytes);
+        r.times.merge += host_extra;
 
         sparse::SparseVector<std::uint32_t> next(n);
         for (NodeId v = 0; v < n; ++v) {
@@ -247,6 +308,7 @@ runConnectedComponents(const upmem::UpmemSystem &sys,
         log.times = r.times;
         log.semiringOps = r.semiringOps;
         result.addIteration(log, r.profile);
+        recordIteration("cc", log, it_start, host_extra);
 
         frontier = std::move(next);
         if (frontier.nnz() == 0) {
@@ -254,6 +316,7 @@ runConnectedComponents(const upmem::UpmemSystem &sys,
             break;
         }
     }
+    recordConvergence("cc", result.converged);
     return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace alphapim
 {
@@ -20,12 +21,42 @@ emit(const char *tag, const char *fmt, va_list args)
     std::fprintf(stderr, "\n");
 }
 
+/** Applies ALPHA_PIM_LOG once before main() runs. */
+struct LogEnvInit
+{
+    LogEnvInit() { refreshLogLevelFromEnv(); }
+} logEnvInit;
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
     globalLevel = level;
+}
+
+bool
+setLogLevelByName(const char *name)
+{
+    if (std::strcmp(name, "silent") == 0)
+        globalLevel = LogLevel::Silent;
+    else if (std::strcmp(name, "normal") == 0)
+        globalLevel = LogLevel::Normal;
+    else if (std::strcmp(name, "verbose") == 0)
+        globalLevel = LogLevel::Verbose;
+    else
+        return false;
+    return true;
+}
+
+void
+refreshLogLevelFromEnv()
+{
+    const char *env = std::getenv("ALPHA_PIM_LOG");
+    if (!env || *env == '\0')
+        return;
+    if (!setLogLevelByName(env))
+        warn("ignoring unknown ALPHA_PIM_LOG level '%s'", env);
 }
 
 LogLevel
@@ -77,13 +108,15 @@ inform(const char *fmt, ...)
 }
 
 void
-debugLog(const char *fmt, ...)
+debugLog(const char *subsystem, const char *fmt, ...)
 {
     if (globalLevel != LogLevel::Verbose)
         return;
+    char tag[64];
+    std::snprintf(tag, sizeof(tag), "debug[%s]", subsystem);
     va_list args;
     va_start(args, fmt);
-    emit("debug", fmt, args);
+    emit(tag, fmt, args);
     va_end(args);
 }
 

@@ -30,8 +30,23 @@ enum class LogLevel
 /** Set the global verbosity for warn()/inform()/debugLog(). */
 void setLogLevel(LogLevel level);
 
+/**
+ * Set the verbosity by name ("silent" / "normal" / "verbose",
+ * case-sensitive). Returns false (and leaves the level unchanged)
+ * for unknown names.
+ */
+bool setLogLevelByName(const char *name);
+
 /** Current global verbosity. */
 LogLevel logLevel();
+
+/**
+ * Re-read the ALPHA_PIM_LOG environment variable and apply it if it
+ * names a valid level. Called automatically at startup, so
+ * `ALPHA_PIM_LOG=verbose ./bench/fig07_endtoend_adaptive` works
+ * without code edits; exposed for tests and long-lived embedders.
+ */
+void refreshLogLevelFromEnv();
 
 /** Abort with a formatted message; use for internal bugs. */
 [[noreturn]] void panic(const char *fmt, ...)
@@ -47,8 +62,13 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Emit an informational message (suppressed at LogLevel::Silent). */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Emit a debug message (only at LogLevel::Verbose). */
-void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+/**
+ * Emit a debug message (only at LogLevel::Verbose), prefixed with a
+ * subsystem tag: `debug[xfer]: ...`. The tag lets `ALPHA_PIM_LOG=
+ * verbose` output from different layers be filtered with grep.
+ */
+void debugLog(const char *subsystem, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
 
 } // namespace alphapim
 

@@ -14,6 +14,7 @@
 
 #include "core/adaptive.hh"
 #include "core/cost_model.hh"
+#include "core/launch_scope.hh"
 #include "core/spmspv.hh"
 #include "core/spmv.hh"
 
@@ -78,6 +79,8 @@ class PimEngine
             threshold_ =
                 model.switchThreshold(sparse::computeGraphStats(a));
         }
+        telemetry::metrics().setScalar("engine.switch_threshold",
+                                       threshold_);
     }
 
     /** One matrix-vector product; picks the kernel per strategy. */
@@ -90,13 +93,23 @@ class PimEngine
         const bool use_spmv =
             strategy_ == MxvStrategy::SpmvOnly ||
             (switching && x.density() > threshold_);
+        const bool switched =
+            (spmvLaunches_ + spmspvLaunches_ > 0) &&
+            use_spmv != lastUsedSpmv_;
         lastUsedSpmv_ = use_spmv;
-        if (use_spmv) {
+        const PimMxvKernel<S> &kernel =
+            use_spmv ? static_cast<const PimMxvKernel<S> &>(*spmv_)
+                     : static_cast<const PimMxvKernel<S> &>(*spmspv_);
+        if (use_spmv)
             ++spmvLaunches_;
-            return spmv_->run(x);
-        }
-        ++spmspvLaunches_;
-        return spmspv_->run(x);
+        else
+            ++spmspvLaunches_;
+        LaunchScope scope(kernel.name(), use_spmv, switched,
+                          x.density());
+        auto result = kernel.run(x);
+        scope.finish(result.times, result.profile,
+                     result.semiringOps);
+        return result;
     }
 
     /** Density above which the adaptive strategy switches to SpMV. */

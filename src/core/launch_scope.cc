@@ -1,0 +1,73 @@
+#include "launch_scope.hh"
+
+namespace alphapim::core
+{
+
+LaunchScope::LaunchScope(const char *kernel_name, bool used_spmv,
+                         bool switched, double input_density)
+    : kernel_(kernel_name), usedSpmv_(used_spmv),
+      switched_(switched), density_(input_density),
+      tracing_(telemetry::tracer().enabled())
+{
+    if (tracing_)
+        start_ = telemetry::tracer().now();
+}
+
+void
+LaunchScope::finish(const PhaseTimes &times,
+                    const upmem::LaunchProfile &profile,
+                    std::uint64_t semiring_ops)
+{
+    if (tracing_) {
+        auto &t = telemetry::tracer();
+        t.nameTrack(telemetry::engineTrack, "engine");
+        t.completeEvent(
+            telemetry::engineTrack, kernel_, "multiply", start_,
+            times.total(),
+            {telemetry::arg("input_density", density_),
+             telemetry::arg("semiring_ops", semiring_ops),
+             telemetry::arg("active_dpus",
+                            static_cast<std::uint64_t>(
+                                profile.activeDpus))});
+        Seconds at = start_;
+        const struct
+        {
+            const char *name;
+            Seconds duration;
+        } phases[] = {{"load", times.load},
+                      {"kernel", times.kernel},
+                      {"retrieve", times.retrieve},
+                      {"merge", times.merge}};
+        for (const auto &phase : phases) {
+            if (phase.duration > 0.0) {
+                t.completeEvent(telemetry::engineTrack, phase.name,
+                                "phase", at, phase.duration);
+            }
+            at += phase.duration;
+        }
+        // Sub-emitters (transfer model, kernel launcher) advanced
+        // the clock piecemeal; the phase total is authoritative.
+        t.advanceTo(start_ + times.total());
+        if (switched_) {
+            t.instantEvent(telemetry::engineTrack, "kernel-switch",
+                           "adaptive", start_,
+                           {telemetry::arg("to", kernel_)});
+        }
+    }
+
+    auto &m = telemetry::metrics();
+    if (m.enabled()) {
+        m.addCounter(usedSpmv_ ? "engine.spmv_launches"
+                               : "engine.spmspv_launches");
+        if (switched_)
+            m.addCounter("engine.kernel_switches");
+        m.addCounter("engine.semiring_ops", semiring_ops);
+        m.addScalar("phase.load_seconds", times.load);
+        m.addScalar("phase.kernel_seconds", times.kernel);
+        m.addScalar("phase.retrieve_seconds", times.retrieve);
+        m.addScalar("phase.merge_seconds", times.merge);
+        m.addSample("engine.input_density", density_);
+    }
+}
+
+} // namespace alphapim::core

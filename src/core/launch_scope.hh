@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Telemetry glue between PimEngine and the tracer/metrics registry:
+ * one LaunchScope wraps one matrix-vector launch, marks the thread
+ * as accounting an actual launch (so the transfer model emits its
+ * per-rank events), and, on finish, turns the launch's PhaseTimes
+ * and LaunchProfile into engine-track spans and phase/engine
+ * metrics. All of it collapses to a couple of relaxed atomic loads
+ * when telemetry is disabled.
+ */
+
+#ifndef ALPHA_PIM_CORE_LAUNCH_SCOPE_HH
+#define ALPHA_PIM_CORE_LAUNCH_SCOPE_HH
+
+#include "core/phase_times.hh"
+#include "telemetry/telemetry.hh"
+
+namespace alphapim::core
+{
+
+/** RAII telemetry scope around one PimEngine matrix-vector launch. */
+class LaunchScope
+{
+  public:
+    /**
+     * @param kernel_name  display name of the kernel being launched
+     * @param used_spmv    true when the SpMV (dense) kernel runs
+     * @param switched     true when the adaptive strategy changed
+     *                     kernels relative to the previous launch
+     * @param input_density density of the input vector
+     */
+    LaunchScope(const char *kernel_name, bool used_spmv,
+                bool switched, double input_density);
+
+    ~LaunchScope() = default;
+
+    LaunchScope(const LaunchScope &) = delete;
+    LaunchScope &operator=(const LaunchScope &) = delete;
+
+    /**
+     * Record the completed launch: emits the multiply span and the
+     * four Load/Kernel/Retrieve/Merge phase spans on the engine
+     * track, re-synchronizes the model clock to the launch total,
+     * and folds phase seconds / launch counters into the metrics
+     * registry. Call exactly once, with the result of the launch.
+     */
+    void finish(const PhaseTimes &times,
+                const upmem::LaunchProfile &profile,
+                std::uint64_t semiring_ops);
+
+  private:
+    telemetry::RecordingScope recording_;
+    const char *kernel_;
+    bool usedSpmv_;
+    bool switched_;
+    double density_;
+    bool tracing_;
+    Seconds start_ = 0.0;
+};
+
+} // namespace alphapim::core
+
+#endif // ALPHA_PIM_CORE_LAUNCH_SCOPE_HH

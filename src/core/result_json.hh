@@ -1,0 +1,87 @@
+/**
+ * @file
+ * JSON serialization of launch results: PhaseTimes, LaunchProfile
+ * and whole MxvResult records encoded with the telemetry JsonWriter.
+ * Used by the per-run JSONL records of the bench harness and the
+ * CLI's --metrics-out plumbing; round-trips through JsonValue in the
+ * telemetry unit tests.
+ */
+
+#ifndef ALPHA_PIM_CORE_RESULT_JSON_HH
+#define ALPHA_PIM_CORE_RESULT_JSON_HH
+
+#include <string>
+
+#include "core/phase_times.hh"
+#include "telemetry/json.hh"
+
+namespace alphapim::core
+{
+
+/** Append `times` as a JSON object value (call after key()). */
+inline void
+writePhaseTimes(telemetry::JsonWriter &w, const PhaseTimes &times)
+{
+    w.beginObject();
+    w.key("load").value(times.load);
+    w.key("kernel").value(times.kernel);
+    w.key("retrieve").value(times.retrieve);
+    w.key("merge").value(times.merge);
+    w.key("total").value(times.total());
+    w.endObject();
+}
+
+/** Append `profile` as a JSON object value: cycle totals, stall
+ * fractions, Figure 11 instruction mix, and DPU occupancy. */
+inline void
+writeLaunchProfile(telemetry::JsonWriter &w,
+                   const upmem::LaunchProfile &profile)
+{
+    const upmem::DpuProfile &agg = profile.aggregate;
+    w.beginObject();
+    w.key("total_cycles").value(agg.totalCycles);
+    w.key("issued_cycles").value(agg.issuedCycles);
+    w.key("issued_fraction").value(agg.issuedFraction());
+    w.key("max_cycles").value(profile.maxCycles);
+    w.key("active_dpus")
+        .value(static_cast<std::uint64_t>(profile.activeDpus));
+    w.key("avg_active_threads").value(agg.avgActiveThreads());
+    w.key("stall_fractions").beginObject();
+    for (unsigned r = 0;
+         r < static_cast<unsigned>(upmem::StallReason::NumReasons);
+         ++r) {
+        const auto reason = static_cast<upmem::StallReason>(r);
+        w.key(upmem::stallReasonName(reason))
+            .value(agg.stallFraction(reason));
+    }
+    w.endObject();
+    w.key("instr_by_category").beginObject();
+    for (unsigned c = 0; c < upmem::numOpCategories; ++c) {
+        const auto cat = static_cast<upmem::OpCategory>(c);
+        w.key(upmem::opCategoryName(cat))
+            .value(agg.instructionsInCategory(cat));
+    }
+    w.endObject();
+    w.endObject();
+}
+
+/** Encode one MxvResult as a compact JSON object string. */
+template <typename V>
+std::string
+mxvResultToJson(const MxvResult<V> &result)
+{
+    telemetry::JsonWriter w;
+    w.beginObject();
+    w.key("output_nnz").value(result.outputNnz);
+    w.key("semiring_ops").value(result.semiringOps);
+    w.key("times");
+    writePhaseTimes(w, result.times);
+    w.key("profile");
+    writeLaunchProfile(w, result.profile);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace alphapim::core
+
+#endif // ALPHA_PIM_CORE_RESULT_JSON_HH

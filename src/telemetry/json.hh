@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Minimal JSON support for the telemetry subsystem: a streaming
+ * writer (compact, escaped, round-trippable doubles) and a small
+ * recursive-descent parser used by tests and tooling to validate the
+ * exported Chrome traces and JSONL records. No external dependencies.
+ */
+
+#ifndef ALPHA_PIM_TELEMETRY_JSON_HH
+#define ALPHA_PIM_TELEMETRY_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace alphapim::telemetry
+{
+
+/**
+ * Streaming JSON writer. Builds a compact single-line document;
+ * commas and quoting are handled by the writer, so call sites only
+ * describe structure. Non-finite doubles are emitted as null (JSON
+ * has no NaN/Inf).
+ */
+class JsonWriter
+{
+  public:
+    /** Open an object ("{"). */
+    JsonWriter &beginObject();
+
+    /** Close the innermost object. */
+    JsonWriter &endObject();
+
+    /** Open an array ("["). */
+    JsonWriter &beginArray();
+
+    /** Close the innermost array. */
+    JsonWriter &endArray();
+
+    /** Write an object key; must be followed by a value. */
+    JsonWriter &key(std::string_view k);
+
+    /** Write a string value. */
+    JsonWriter &value(std::string_view v);
+
+    /** Write a string value (overload for literals). */
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+
+    /** Write a numeric value with round-trip precision. */
+    JsonWriter &value(double v);
+
+    /** Write an unsigned integer value. */
+    JsonWriter &value(std::uint64_t v);
+
+    /** Write a signed integer value. */
+    JsonWriter &value(std::int64_t v);
+
+    /** Write a boolean value. */
+    JsonWriter &value(bool v);
+
+    /** Write a null value. */
+    JsonWriter &null();
+
+    /** Splice an already-encoded JSON fragment as a value. */
+    JsonWriter &rawValue(std::string_view json);
+
+    /** The document built so far. */
+    const std::string &str() const { return out_; }
+
+    /** Escape and quote `s` as a standalone JSON string. */
+    static std::string quote(std::string_view s);
+
+    /** Encode a double as a standalone JSON number (null if
+     * non-finite). */
+    static std::string number(double v);
+
+  private:
+    void separate();
+
+    struct Frame
+    {
+        bool isObject = false;
+        std::size_t items = 0;
+        bool expectValue = false; ///< a key was just written
+    };
+
+    std::string out_;
+    std::vector<Frame> stack_;
+};
+
+/** Parsed JSON value (tree representation). */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    /** Object member list; order preserved. */
+    using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+    JsonValue() = default;
+
+    /** The value's type. */
+    Type type() const { return type_; }
+
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Boolean payload (false unless isBool()). */
+    bool asBool() const { return boolean_; }
+
+    /** Numeric payload (0 unless isNumber()). */
+    double asNumber() const { return number_; }
+
+    /** String payload (empty unless isString()). */
+    const std::string &asString() const { return string_; }
+
+    /** Array elements (empty unless isArray()). */
+    const std::vector<JsonValue> &items() const { return items_; }
+
+    /** Object members (empty unless isObject()). */
+    const Members &members() const { return members_; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /**
+     * Parse a complete JSON document.
+     *
+     * @param text  the document
+     * @param out   receives the parsed tree on success
+     * @param error receives a message on failure (optional)
+     * @return true on success
+     */
+    static bool parse(std::string_view text, JsonValue &out,
+                      std::string *error = nullptr);
+
+  private:
+    Type type_ = Type::Null;
+    bool boolean_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    Members members_;
+
+    friend class JsonParser;
+};
+
+} // namespace alphapim::telemetry
+
+#endif // ALPHA_PIM_TELEMETRY_JSON_HH

@@ -1,0 +1,165 @@
+#include "metrics.hh"
+
+#include "telemetry/json.hh"
+
+namespace alphapim::telemetry
+{
+
+void
+MetricsRegistry::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::addCounter(std::string_view name, std::uint64_t delta)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        counters_.emplace(std::string(name), delta);
+    else
+        it->second += delta;
+}
+
+void
+MetricsRegistry::addScalar(std::string_view name, double delta)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = scalars_.find(name);
+    if (it == scalars_.end())
+        scalars_.emplace(std::string(name), delta);
+    else
+        it->second += delta;
+}
+
+void
+MetricsRegistry::setScalar(std::string_view name, double value)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = scalars_.find(name);
+    if (it == scalars_.end())
+        scalars_.emplace(std::string(name), value);
+    else
+        it->second = value;
+}
+
+void
+MetricsRegistry::addSample(std::string_view name, double x)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = distributions_.find(name);
+    if (it == distributions_.end())
+        it = distributions_.emplace(std::string(name), RunningStats())
+                 .first;
+    it->second.add(x);
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+MetricsRegistry::scalarValue(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = scalars_.find(name);
+    return it == scalars_.end() ? 0.0 : it->second;
+}
+
+const RunningStats *
+MetricsRegistry::distribution(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = distributions_.find(name);
+    return it == distributions_.end() ? nullptr : &it->second;
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.size() + scalars_.size() + distributions_.size();
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    scalars_.clear();
+    distributions_.clear();
+}
+
+std::string
+MetricsRegistry::jsonl() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    for (const auto &[name, value] : counters_) {
+        JsonWriter w;
+        w.beginObject();
+        w.key("kind").value("counter");
+        w.key("name").value(name);
+        w.key("value").value(value);
+        w.endObject();
+        out += w.str();
+        out += '\n';
+    }
+    for (const auto &[name, value] : scalars_) {
+        JsonWriter w;
+        w.beginObject();
+        w.key("kind").value("scalar");
+        w.key("name").value(name);
+        w.key("value").value(value);
+        w.endObject();
+        out += w.str();
+        out += '\n';
+    }
+    for (const auto &[name, stats] : distributions_) {
+        JsonWriter w;
+        w.beginObject();
+        w.key("kind").value("distribution");
+        w.key("name").value(name);
+        w.key("count").value(
+            static_cast<std::uint64_t>(stats.count()));
+        w.key("sum").value(stats.sum());
+        w.key("mean").value(stats.mean());
+        w.key("stddev").value(stats.stddev());
+        if (stats.count() > 0) {
+            w.key("min").value(stats.min());
+            w.key("max").value(stats.max());
+        }
+        w.endObject();
+        out += w.str();
+        out += '\n';
+    }
+    return out;
+}
+
+void
+MetricsRegistry::writeJsonl(std::ostream &out) const
+{
+    out << jsonl();
+}
+
+MetricsRegistry &
+metrics()
+{
+    static MetricsRegistry instance;
+    return instance;
+}
+
+} // namespace alphapim::telemetry

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * gem5-style metrics registry: flat, dot-separated metric names
+ * ("engine.iterations", "dpu.stall.memory_cycles", ...) mapping to
+ * integer counters, floating-point scalars (accumulated seconds,
+ * fractions), and sample distributions (per-DPU cycle counts for
+ * load-imbalance analysis). Instrumented code records
+ * unconditionally; every mutator is a no-op while the registry is
+ * disabled, keeping the fast path free of bookkeeping.
+ *
+ * The registry exports as JSONL -- one self-describing JSON record
+ * per metric, in sorted name order -- so benches and regression
+ * tooling can diff runs mechanically. See docs/OBSERVABILITY.md for
+ * the naming scheme.
+ */
+
+#ifndef ALPHA_PIM_TELEMETRY_METRICS_HH
+#define ALPHA_PIM_TELEMETRY_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/stats.hh"
+
+namespace alphapim::telemetry
+{
+
+/** Named counters / scalars / distributions with JSONL export. */
+class MetricsRegistry
+{
+  public:
+    /** True when the registry accepts updates. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Enable or disable recording. */
+    void setEnabled(bool on);
+
+    /** Add `delta` to an integer counter (created on first use). */
+    void addCounter(std::string_view name, std::uint64_t delta = 1);
+
+    /** Add `delta` to a floating-point scalar. */
+    void addScalar(std::string_view name, double delta);
+
+    /** Overwrite a floating-point scalar. */
+    void setScalar(std::string_view name, double value);
+
+    /** Fold one sample into a distribution. */
+    void addSample(std::string_view name, double x);
+
+    /** Counter value; 0 when the counter does not exist. */
+    std::uint64_t counterValue(std::string_view name) const;
+
+    /** Scalar value; 0.0 when the scalar does not exist. */
+    double scalarValue(std::string_view name) const;
+
+    /** Distribution by name; nullptr when absent. The pointer stays
+     * valid until clear(). */
+    const RunningStats *distribution(std::string_view name) const;
+
+    /** Number of registered metrics of all kinds. */
+    std::size_t size() const;
+
+    /** Drop every metric (the enabled flag is unchanged). */
+    void clear();
+
+    /** Render all metrics as JSONL, sorted by name within each kind. */
+    std::string jsonl() const;
+
+    /** Write the JSONL rendering to a stream. */
+    void writeJsonl(std::ostream &out) const;
+
+  private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::map<std::string, std::uint64_t, std::less<>> counters_;
+    std::map<std::string, double, std::less<>> scalars_;
+    std::map<std::string, RunningStats, std::less<>> distributions_;
+};
+
+/** The process-wide metrics registry. */
+MetricsRegistry &metrics();
+
+} // namespace alphapim::telemetry
+
+#endif // ALPHA_PIM_TELEMETRY_METRICS_HH

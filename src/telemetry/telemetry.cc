@@ -1,0 +1,60 @@
+#include "telemetry.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace alphapim::telemetry
+{
+
+namespace
+{
+
+bool
+writeWhole(const std::string &path, const std::string &content,
+           const char *what)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot create %s file '%s'", what, path.c_str());
+        return false;
+    }
+    out << content;
+    if (!content.empty() && content.back() != '\n')
+        out << '\n';
+    if (!out) {
+        warn("error writing %s file '%s'", what, path.c_str());
+        return false;
+    }
+    debugLog("telemetry", "wrote %s to %s", what, path.c_str());
+    return true;
+}
+
+} // namespace
+
+bool
+writeTraceFile(const std::string &path)
+{
+    return writeWhole(path, tracer().chromeTraceJson(),
+                      "chrome-trace");
+}
+
+bool
+writeMetricsFile(const std::string &path)
+{
+    return writeWhole(path, metrics().jsonl(), "metrics");
+}
+
+bool
+appendJsonlRecord(const std::string &path, const std::string &json)
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+        warn("cannot open JSONL file '%s'", path.c_str());
+        return false;
+    }
+    out << json << '\n';
+    return static_cast<bool>(out);
+}
+
+} // namespace alphapim::telemetry

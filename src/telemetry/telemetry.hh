@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Umbrella header and file sinks for the telemetry subsystem:
+ * includes the tracer and metrics registry and provides the
+ * file-output helpers behind the `--trace-out` / `--metrics-out`
+ * flags of the CLI and the bench harness.
+ */
+
+#ifndef ALPHA_PIM_TELEMETRY_TELEMETRY_HH
+#define ALPHA_PIM_TELEMETRY_TELEMETRY_HH
+
+#include <string>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace alphapim::telemetry
+{
+
+/**
+ * Write the global tracer's Chrome trace-event JSON to `path`.
+ * Warns and returns false on I/O failure.
+ */
+bool writeTraceFile(const std::string &path);
+
+/**
+ * Write the global metrics registry as JSONL to `path`.
+ * Warns and returns false on I/O failure.
+ */
+bool writeMetricsFile(const std::string &path);
+
+/**
+ * Append one already-encoded JSON record as a line to `path`
+ * (creating the file if needed). Used for per-run JSONL records.
+ */
+bool appendJsonlRecord(const std::string &path,
+                       const std::string &json);
+
+} // namespace alphapim::telemetry
+
+#endif // ALPHA_PIM_TELEMETRY_TELEMETRY_HH

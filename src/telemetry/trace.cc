@@ -1,0 +1,281 @@
+#include "trace.hh"
+
+#include <algorithm>
+
+#include "telemetry/json.hh"
+
+namespace alphapim::telemetry
+{
+
+namespace
+{
+
+thread_local int recordingDepth = 0;
+
+/** Track key for the name map. */
+std::uint64_t
+trackKey(Track t)
+{
+    return (static_cast<std::uint64_t>(t.pid) << 32) | t.tid;
+}
+
+const char *
+processName(std::uint32_t pid)
+{
+    switch (pid) {
+      case pidEngine:
+        return "engine";
+      case pidRank:
+        return "transfers (per rank)";
+      case pidDpu:
+        return "kernels (per DPU)";
+      default:
+        return "process";
+    }
+}
+
+} // namespace
+
+TraceArg
+arg(std::string key, double value)
+{
+    return {std::move(key), JsonWriter::number(value)};
+}
+
+TraceArg
+arg(std::string key, std::uint64_t value)
+{
+    return {std::move(key), std::to_string(value)};
+}
+
+TraceArg
+arg(std::string key, const char *value)
+{
+    return {std::move(key), JsonWriter::quote(value)};
+}
+
+void
+Tracer::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+Tracer::advance(Seconds dt)
+{
+    if (!enabled())
+        return;
+    now_.store(now_.load(std::memory_order_relaxed) + dt,
+               std::memory_order_relaxed);
+}
+
+void
+Tracer::advanceTo(Seconds t)
+{
+    if (!enabled())
+        return;
+    if (t > now_.load(std::memory_order_relaxed))
+        now_.store(t, std::memory_order_relaxed);
+}
+
+void
+Tracer::resetClock()
+{
+    now_.store(0.0, std::memory_order_relaxed);
+}
+
+void
+Tracer::completeEvent(Track track, std::string name,
+                      std::string category, Seconds start,
+                      Seconds duration, std::vector<TraceArg> args)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back({std::move(name), std::move(category), 'X',
+                       track, start, duration, std::move(args)});
+}
+
+void
+Tracer::instantEvent(Track track, std::string name,
+                     std::string category, Seconds ts,
+                     std::vector<TraceArg> args)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back({std::move(name), std::move(category), 'i',
+                       track, ts, 0.0, std::move(args)});
+}
+
+void
+Tracer::nameTrack(Track track, std::string name)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    trackNames_.emplace(trackKey(track), std::move(name));
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    trackNames_.clear();
+    now_.store(0.0, std::memory_order_relaxed);
+}
+
+void
+Tracer::setDpuTrackLimit(unsigned limit)
+{
+    dpuTrackLimit_.store(limit, std::memory_order_relaxed);
+}
+
+std::string
+Tracer::chromeTraceJson() const
+{
+    std::vector<TraceEvent> events;
+    std::map<std::uint64_t, std::string> names;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        events = events_;
+        names = trackNames_;
+    }
+    // Viewers stack complete events by containment; sorting outer
+    // spans first keeps nesting deterministic.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.track.pid != b.track.pid)
+                             return a.track.pid < b.track.pid;
+                         if (a.track.tid != b.track.tid)
+                             return a.track.tid < b.track.tid;
+                         if (a.start != b.start)
+                             return a.start < b.start;
+                         return a.duration > b.duration;
+                     });
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").beginArray();
+
+    // Metadata: process names, then thread (track) names.
+    std::vector<std::uint32_t> pids;
+    for (const auto &e : events) {
+        if (std::find(pids.begin(), pids.end(), e.track.pid) ==
+            pids.end()) {
+            pids.push_back(e.track.pid);
+        }
+    }
+    std::sort(pids.begin(), pids.end());
+    for (const auto pid : pids) {
+        w.beginObject();
+        w.key("ph").value("M");
+        w.key("pid").value(static_cast<std::uint64_t>(pid));
+        w.key("name").value("process_name");
+        w.key("args").beginObject();
+        w.key("name").value(processName(pid));
+        w.endObject();
+        w.endObject();
+    }
+    for (const auto &[key, name] : names) {
+        w.beginObject();
+        w.key("ph").value("M");
+        w.key("pid").value(key >> 32);
+        w.key("tid").value(key & 0xFFFFFFFFu);
+        w.key("name").value("thread_name");
+        w.key("args").beginObject();
+        w.key("name").value(name);
+        w.endObject();
+        w.endObject();
+    }
+
+    for (const auto &e : events) {
+        w.beginObject();
+        w.key("name").value(e.name);
+        w.key("cat").value(e.category.empty() ? "model"
+                                              : e.category);
+        w.key("ph").value(std::string(1, e.phase));
+        w.key("pid").value(static_cast<std::uint64_t>(e.track.pid));
+        w.key("tid").value(static_cast<std::uint64_t>(e.track.tid));
+        w.key("ts").value(toMicros(e.start));
+        if (e.phase == 'X')
+            w.key("dur").value(toMicros(e.duration));
+        else
+            w.key("s").value("t");
+        if (!e.args.empty()) {
+            w.key("args").beginObject();
+            for (const auto &a : e.args)
+                w.key(a.key).rawValue(a.json);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &out) const
+{
+    out << chromeTraceJson() << '\n';
+}
+
+Tracer &
+tracer()
+{
+    static Tracer instance;
+    return instance;
+}
+
+ScopedSpan::ScopedSpan(Track track, const char *name,
+                       const char *category)
+    : active_(tracer().enabled()), track_(track), name_(name),
+      category_(category)
+{
+    if (active_)
+        start_ = tracer().now();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!active_)
+        return;
+    Tracer &t = tracer();
+    t.completeEvent(track_, name_, category_, start_,
+                    t.now() - start_);
+}
+
+bool
+inRecordingScope()
+{
+    return recordingDepth > 0;
+}
+
+RecordingScope::RecordingScope()
+{
+    ++recordingDepth;
+}
+
+RecordingScope::~RecordingScope()
+{
+    --recordingDepth;
+}
+
+} // namespace alphapim::telemetry

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Span/event tracer over *model time* (simulated seconds, not wall
+ * clock). Instrumented sites -- the engine, the transfer model, the
+ * kernel launcher, the applications -- record spans and instants on
+ * named tracks; the result exports as Chrome trace-event JSON and
+ * loads directly in Perfetto / chrome://tracing with one track per
+ * rank and per DPU.
+ *
+ * The tracer is disabled by default and designed to be zero-cost on
+ * that path: every recording entry point first checks an atomic flag
+ * and returns. Tier-1 benchmark timing is therefore unaffected when
+ * no trace output is requested.
+ *
+ * The model-time cursor advances as instrumented sites account
+ * simulated time in call order (load transfer, kernel launch,
+ * retrieve transfer, ...); PimEngine re-synchronizes the cursor to
+ * the authoritative per-launch phase total, so sub-spans and phase
+ * spans always align.
+ */
+
+#ifndef ALPHA_PIM_TELEMETRY_TRACE_HH
+#define ALPHA_PIM_TELEMETRY_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace alphapim::telemetry
+{
+
+/** One pre-encoded event argument (value is a JSON fragment). */
+struct TraceArg
+{
+    std::string key;
+    std::string json;
+};
+
+/** Build a numeric event argument. */
+TraceArg arg(std::string key, double value);
+
+/** Build an integer event argument. */
+TraceArg arg(std::string key, std::uint64_t value);
+
+/** Build a string event argument. */
+TraceArg arg(std::string key, const char *value);
+
+/** A Chrome-trace track: (process id, thread id). */
+struct Track
+{
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+};
+
+/** Engine process: phases, launches, application iterations. */
+inline constexpr std::uint32_t pidEngine = 1;
+
+/** Transfer process: one track per memory rank. */
+inline constexpr std::uint32_t pidRank = 2;
+
+/** Kernel process: one track per DPU. */
+inline constexpr std::uint32_t pidDpu = 3;
+
+/** The single engine-side track. */
+inline constexpr Track engineTrack{pidEngine, 0};
+
+/** Track of memory rank `rank`. */
+constexpr Track
+rankTrack(unsigned rank)
+{
+    return {pidRank, rank};
+}
+
+/** Track of DPU `dpu`. */
+constexpr Track
+dpuTrack(unsigned dpu)
+{
+    return {pidDpu, dpu};
+}
+
+/** One recorded event (complete span or instant). */
+struct TraceEvent
+{
+    std::string name;
+    std::string category;
+    char phase = 'X'; ///< 'X' complete span, 'i' instant
+    Track track;
+    Seconds start = 0.0;
+    Seconds duration = 0.0; ///< complete spans only
+    std::vector<TraceArg> args;
+};
+
+/**
+ * Event recorder with a model-time cursor. Thread-safe; recording
+ * entry points are no-ops while disabled.
+ */
+class Tracer
+{
+  public:
+    /** True when recording is active (relaxed atomic read). */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Enable or disable recording. */
+    void setEnabled(bool on);
+
+    /** Current model-time cursor, seconds. */
+    Seconds
+    now() const
+    {
+        return now_.load(std::memory_order_relaxed);
+    }
+
+    /** Advance the model-time cursor by `dt` (no-op when disabled). */
+    void advance(Seconds dt);
+
+    /** Move the cursor to `t` if that is forward (no-op otherwise or
+     * when disabled). Used by the engine to re-synchronize after a
+     * launch's sub-emitters accounted their own time. */
+    void advanceTo(Seconds t);
+
+    /** Reset the cursor to model time zero. */
+    void resetClock();
+
+    /** Record a complete span [start, start+duration) on `track`. */
+    void completeEvent(Track track, std::string name,
+                       std::string category, Seconds start,
+                       Seconds duration,
+                       std::vector<TraceArg> args = {});
+
+    /** Record an instant event at `ts` on `track`. */
+    void instantEvent(Track track, std::string name,
+                      std::string category, Seconds ts,
+                      std::vector<TraceArg> args = {});
+
+    /** Name a track (rendered as the Perfetto thread name). */
+    void nameTrack(Track track, std::string name);
+
+    /** Number of recorded events. */
+    std::size_t eventCount() const;
+
+    /** Copy of the recorded events (test/inspection use). */
+    std::vector<TraceEvent> events() const;
+
+    /** Drop all events and names and reset the clock. */
+    void clear();
+
+    /**
+     * Per-DPU kernel tracks are capped at this many DPUs to bound
+     * trace size on large fleets (default 128); DPUs past the limit
+     * still contribute to metrics, just not to individual tracks.
+     */
+    unsigned
+    dpuTrackLimit() const
+    {
+        return dpuTrackLimit_.load(std::memory_order_relaxed);
+    }
+
+    /** Set the per-DPU track cap. */
+    void setDpuTrackLimit(unsigned limit);
+
+    /** Render the Chrome trace-event JSON document. */
+    std::string chromeTraceJson() const;
+
+    /** Write the Chrome trace-event JSON document to a stream. */
+    void writeChromeTrace(std::ostream &out) const;
+
+  private:
+    std::atomic<bool> enabled_{false};
+    std::atomic<double> now_{0.0};
+    std::atomic<unsigned> dpuTrackLimit_{128};
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::map<std::uint64_t, std::string> trackNames_;
+};
+
+/** The process-wide tracer. */
+Tracer &tracer();
+
+/**
+ * RAII span on the global tracer: captures the model-time cursor at
+ * construction and records a complete span up to the cursor position
+ * at destruction. No-op while the tracer is disabled.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(Track track, const char *name, const char *category);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    bool active_;
+    Track track_;
+    Seconds start_ = 0.0;
+    const char *name_;
+    const char *category_;
+};
+
+/**
+ * True while at least one RecordingScope is alive on this thread.
+ * Pure cost queries (the analytic cost model probing the transfer
+ * model) run outside any scope, so they never pollute the timeline
+ * or the transfer metrics.
+ */
+bool inRecordingScope();
+
+/** RAII marker that an actual (not hypothetical) launch is being
+ * accounted on this thread. */
+class RecordingScope
+{
+  public:
+    RecordingScope();
+    ~RecordingScope();
+
+    RecordingScope(const RecordingScope &) = delete;
+    RecordingScope &operator=(const RecordingScope &) = delete;
+};
+
+} // namespace alphapim::telemetry
+
+#endif // ALPHA_PIM_TELEMETRY_TRACE_HH

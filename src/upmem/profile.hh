@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "upmem/op.hh"
 
@@ -131,10 +132,31 @@ struct LaunchProfile
             ++activeDpus;
     }
 
-    /** Merge a whole LaunchProfile (accumulating across launches). */
+    /**
+     * Merge a whole LaunchProfile, modelling launches that execute
+     * back-to-back on the same DPU fleet (e.g. the iterations of one
+     * application run). The fields deliberately combine differently:
+     *
+     *  - `aggregate` accumulates: it is denominated in DPU-cycles, so
+     *    summing across sequential launches stays meaningful;
+     *  - `maxCycles` accumulates: each launch's slowest DPU extends
+     *    the run's kernel critical path, so the sum is the run's
+     *    total kernel wall time in cycles;
+     *  - `activeDpus` takes the maximum: the same physical DPUs
+     *    participate in every launch, so this reports the *peak*
+     *    number of DPUs any single launch used -- never a sum, which
+     *    would exceed the fleet size after a few iterations.
+     */
     void
     add(const LaunchProfile &other)
     {
+        ALPHA_ASSERT(other.aggregate.totalCycles >= other.maxCycles,
+                     "aggregate DPU-cycles below the slowest DPU's "
+                     "cycles: profile was not built via add(DpuProfile)");
+        ALPHA_ASSERT(other.activeDpus > 0 ||
+                         other.aggregate.totalInstructions() == 0,
+                     "a launch that dispatched instructions must "
+                     "report active DPUs");
         aggregate.merge(other.aggregate);
         maxCycles += other.maxCycles; // sequential launches add up
         activeDpus = std::max(activeDpus, other.activeDpus);

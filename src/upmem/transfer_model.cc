@@ -3,9 +3,45 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 
 namespace alphapim::upmem
 {
+
+namespace
+{
+
+/**
+ * True when this transfer is part of an actual launch being
+ * accounted (not a hypothetical cost-model probe) and the tracer
+ * wants events. Cost-model queries run outside any RecordingScope,
+ * so they never pollute the timeline.
+ */
+bool
+tracingTransfer()
+{
+    return telemetry::tracer().enabled() &&
+           telemetry::inRecordingScope();
+}
+
+/** Same gate for the metrics registry. */
+bool
+countingTransfer()
+{
+    return telemetry::metrics().enabled() &&
+           telemetry::inRecordingScope();
+}
+
+/** Label a rank track once per trace. */
+void
+nameRankTrack(unsigned rank)
+{
+    telemetry::tracer().nameTrack(telemetry::rankTrack(rank),
+                                  "rank " + std::to_string(rank));
+}
+
+} // namespace
 
 double
 TransferModel::rankBandwidth(TransferDirection dir) const
@@ -18,9 +54,16 @@ Seconds
 TransferModel::scatterGather(const std::vector<Bytes> &per_dpu_bytes,
                              TransferDirection dir) const
 {
+    const bool tracing = tracingTransfer();
+    const bool counting = countingTransfer();
+    const char *op_name = dir == TransferDirection::HostToDpu
+                              ? "scatter"
+                              : "gather";
+
     Bytes total = 0;
     Bytes slowest_rank_payload = 0;
     unsigned distinct = 0;
+    std::vector<Bytes> rank_payload; // populated only when tracing
 
     const unsigned per_rank = cfg_.dpusPerRank;
     for (std::size_t base = 0; base < per_dpu_bytes.size();
@@ -37,29 +80,72 @@ TransferModel::scatterGather(const std::vector<Bytes> &per_dpu_bytes,
             rank_max = std::max(rank_max, b);
         }
         // Parallel rank transfers are padded to the largest buffer.
-        slowest_rank_payload = std::max(
-            slowest_rank_payload,
-            rank_max * static_cast<Bytes>(end - base));
+        const Bytes padded =
+            rank_max * static_cast<Bytes>(end - base);
+        slowest_rank_payload = std::max(slowest_rank_payload, padded);
+        if (tracing)
+            rank_payload.push_back(padded);
     }
     if (total == 0)
         return 0.0;
+
+    if (counting) {
+        auto &m = telemetry::metrics();
+        if (dir == TransferDirection::HostToDpu) {
+            m.addCounter("xfer.scatters");
+            m.addCounter("xfer.scatter_bytes", total);
+        } else {
+            m.addCounter("xfer.gathers");
+            m.addCounter("xfer.gather_bytes", total);
+        }
+    }
 
     if (cfg_.directInterconnect) {
         // Future hardware: DPUs exchange directly, in parallel.
         Bytes max_per_dpu = 0;
         for (Bytes b : per_dpu_bytes)
             max_per_dpu = std::max(max_per_dpu, b);
-        return cfg_.interconnectLatency +
-               static_cast<double>(max_per_dpu) /
-                   cfg_.interDpuBandwidth;
+        const Seconds time =
+            cfg_.interconnectLatency +
+            static_cast<double>(max_per_dpu) / cfg_.interDpuBandwidth;
+        if (tracing) {
+            auto &t = telemetry::tracer();
+            nameRankTrack(0);
+            t.completeEvent(telemetry::rankTrack(0), op_name,
+                            "xfer", t.now(), time,
+                            {telemetry::arg("bytes", total),
+                             telemetry::arg("mode",
+                                            "interconnect")});
+            t.advance(time);
+        }
+        return time;
     }
 
     const Seconds bus_time =
         static_cast<double>(slowest_rank_payload) / rankBandwidth(dir);
     const Seconds copy_time =
         static_cast<double>(total) / cfg_.hostCopyBw;
-    return cfg_.launchLatency + cfg_.perDpuSetup * distinct +
-           std::max(bus_time, copy_time);
+    const Seconds time = cfg_.launchLatency +
+                         cfg_.perDpuSetup * distinct +
+                         std::max(bus_time, copy_time);
+    if (tracing) {
+        auto &t = telemetry::tracer();
+        const Seconds bus_start =
+            t.now() + cfg_.launchLatency + cfg_.perDpuSetup * distinct;
+        for (std::size_t r = 0; r < rank_payload.size(); ++r) {
+            if (rank_payload[r] == 0)
+                continue;
+            nameRankTrack(static_cast<unsigned>(r));
+            t.completeEvent(
+                telemetry::rankTrack(static_cast<unsigned>(r)),
+                op_name, "xfer", bus_start,
+                static_cast<double>(rank_payload[r]) /
+                    rankBandwidth(dir),
+                {telemetry::arg("bytes", rank_payload[r])});
+        }
+        t.advance(time);
+    }
+    return time;
 }
 
 Seconds
@@ -67,14 +153,33 @@ TransferModel::broadcast(Bytes bytes, unsigned num_dpus) const
 {
     if (bytes == 0 || num_dpus == 0)
         return 0.0;
+    const bool tracing = tracingTransfer();
+    if (countingTransfer()) {
+        auto &m = telemetry::metrics();
+        m.addCounter("xfer.broadcasts");
+        // Replicated traffic: every DPU's copy crosses its rank bus.
+        m.addCounter("xfer.broadcast_bytes",
+                     bytes * static_cast<Bytes>(num_dpus));
+    }
     if (cfg_.directInterconnect) {
         // Tree broadcast over the interconnect: log2(D) hops.
         double hops = 1.0;
         for (unsigned d = num_dpus; d > 1; d >>= 1)
             hops += 1.0;
-        return cfg_.interconnectLatency +
-               hops * static_cast<double>(bytes) /
-                   cfg_.interDpuBandwidth;
+        const Seconds time = cfg_.interconnectLatency +
+                             hops * static_cast<double>(bytes) /
+                                 cfg_.interDpuBandwidth;
+        if (tracing) {
+            auto &t = telemetry::tracer();
+            nameRankTrack(0);
+            t.completeEvent(telemetry::rankTrack(0), "broadcast",
+                            "xfer", t.now(), time,
+                            {telemetry::arg("bytes", bytes),
+                             telemetry::arg("mode",
+                                            "interconnect")});
+            t.advance(time);
+        }
+        return time;
     }
     const unsigned in_last_rank = num_dpus % cfg_.dpusPerRank;
     const unsigned busiest_rank =
@@ -85,7 +190,30 @@ TransferModel::broadcast(Bytes bytes, unsigned num_dpus) const
         rankBandwidth(TransferDirection::HostToDpu);
     // One source buffer: a single CPU-side staging pass.
     const Seconds copy_time = static_cast<double>(bytes) / cfg_.hostCopyBw;
-    return cfg_.launchLatency + bus_time + copy_time;
+    const Seconds time = cfg_.launchLatency + bus_time + copy_time;
+    if (tracing) {
+        auto &t = telemetry::tracer();
+        const unsigned ranks =
+            (num_dpus + cfg_.dpusPerRank - 1) / cfg_.dpusPerRank;
+        const Seconds bus_start =
+            t.now() + cfg_.launchLatency + copy_time;
+        for (unsigned r = 0; r < ranks; ++r) {
+            const unsigned dpus_in_rank =
+                std::min(cfg_.dpusPerRank,
+                         num_dpus - r * cfg_.dpusPerRank);
+            nameRankTrack(r);
+            t.completeEvent(
+                telemetry::rankTrack(r), "broadcast", "xfer",
+                bus_start,
+                static_cast<double>(bytes) * dpus_in_rank /
+                    rankBandwidth(TransferDirection::HostToDpu),
+                {telemetry::arg("bytes",
+                                bytes * static_cast<Bytes>(
+                                            dpus_in_rank))});
+        }
+        t.advance(time);
+    }
+    return time;
 }
 
 Seconds

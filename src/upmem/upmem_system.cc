@@ -1,12 +1,66 @@
 #include "upmem_system.hh"
 
+#include <algorithm>
 #include <mutex>
+#include <string>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 
 namespace alphapim::upmem
 {
+
+namespace
+{
+
+/** Metric names per stall reason (dots and underscores only). */
+const char *
+stallMetricName(StallReason reason)
+{
+    switch (reason) {
+      case StallReason::Memory:
+        return "dpu.stall.memory_cycles";
+      case StallReason::Revolver:
+        return "dpu.stall.revolver_cycles";
+      case StallReason::RfHazard:
+        return "dpu.stall.rf_hazard_cycles";
+      case StallReason::Sync:
+        return "dpu.stall.sync_cycles";
+      default:
+        return "dpu.stall.unknown_cycles";
+    }
+}
+
+/** Fold one launch's aggregate profile into the metrics registry. */
+void
+recordLaunchMetrics(const LaunchProfile &launch,
+                    const std::vector<Cycles> &per_dpu_cycles)
+{
+    auto &m = telemetry::metrics();
+    m.addCounter("dpu.launches");
+    m.addCounter("dpu.total_cycles", launch.aggregate.totalCycles);
+    m.addCounter("dpu.issued_cycles", launch.aggregate.issuedCycles);
+    for (unsigned r = 0;
+         r < static_cast<unsigned>(StallReason::NumReasons); ++r) {
+        const auto reason = static_cast<StallReason>(r);
+        m.addCounter(stallMetricName(reason),
+                     launch.aggregate.stallCycles[r]);
+    }
+    for (unsigned c = 0; c < numOpCategories; ++c) {
+        const auto cat = static_cast<OpCategory>(c);
+        m.addCounter(std::string("dpu.instr.") + opCategoryName(cat),
+                     launch.aggregate.instructionsInCategory(cat));
+    }
+    // Per-DPU cycle distribution: the load-imbalance signal. Idle
+    // DPUs contribute zero samples, which is exactly the imbalance.
+    for (const Cycles c : per_dpu_cycles)
+        m.addSample("dpu.cycles_per_launch", static_cast<double>(c));
+    m.addSample("dpu.active_per_launch", launch.activeDpus);
+}
+
+} // namespace
 
 UpmemSystem::UpmemSystem(SystemConfig cfg)
     : cfg_(cfg), transfer_(cfg_.transfer), host_(cfg_.host)
@@ -26,17 +80,54 @@ UpmemSystem::launchKernel(
     ALPHA_ASSERT(num_dpus > 0 && num_dpus <= cfg_.numDpus,
                  "launch requests more DPUs than allocated");
 
+    const bool tracing = telemetry::tracer().enabled();
+    const bool sampling = telemetry::metrics().enabled();
+
     const RevolverScheduler scheduler(cfg_.dpu);
     LaunchProfile launch;
     std::mutex accumulate;
+    // Per-DPU cycle counts for the trace tracks and the
+    // load-imbalance distribution; each worker writes its own slot.
+    std::vector<Cycles> per_dpu_cycles;
+    if (tracing || sampling)
+        per_dpu_cycles.assign(num_dpus, 0);
 
     parallelFor(num_dpus, [&](std::size_t dpu) {
         std::vector<TaskletTrace> traces(cfg_.dpu.tasklets);
         generate(static_cast<unsigned>(dpu), traces);
         const DpuProfile profile = scheduler.run(traces);
+        if (!per_dpu_cycles.empty())
+            per_dpu_cycles[dpu] = profile.totalCycles;
         std::lock_guard<std::mutex> lock(accumulate);
         launch.add(profile);
     });
+
+    if (sampling)
+        recordLaunchMetrics(launch, per_dpu_cycles);
+    if (tracing) {
+        auto &t = telemetry::tracer();
+        const Seconds start = t.now() + cfg_.kernelLaunchOverhead;
+        const unsigned shown =
+            std::min(num_dpus, t.dpuTrackLimit());
+        for (unsigned d = 0; d < shown; ++d) {
+            if (per_dpu_cycles[d] == 0)
+                continue;
+            t.nameTrack(telemetry::dpuTrack(d),
+                        "dpu " + std::to_string(d));
+            t.completeEvent(
+                telemetry::dpuTrack(d), "kernel", "dpu", start,
+                static_cast<double>(per_dpu_cycles[d]) /
+                    cfg_.dpu.clockHz,
+                {telemetry::arg("cycles", per_dpu_cycles[d])});
+        }
+        if (shown < num_dpus) {
+            debugLog("telemetry",
+                     "trace shows %u of %u DPU tracks (raise the "
+                     "dpu-track limit to see more)",
+                     shown, num_dpus);
+        }
+        t.advance(kernelSeconds(launch));
+    }
     return launch;
 }
 

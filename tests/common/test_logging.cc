@@ -1,5 +1,7 @@
 /** @file Log level plumbing and assertion macro. */
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
@@ -16,12 +18,43 @@ TEST(Logging, LevelRoundTrip)
     setLogLevel(before);
 }
 
+TEST(Logging, LevelByName)
+{
+    const LogLevel before = logLevel();
+    EXPECT_TRUE(setLogLevelByName("silent"));
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    EXPECT_TRUE(setLogLevelByName("verbose"));
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    EXPECT_TRUE(setLogLevelByName("normal"));
+    EXPECT_EQ(logLevel(), LogLevel::Normal);
+    // Unknown names leave the level untouched.
+    EXPECT_FALSE(setLogLevelByName("chatty"));
+    EXPECT_EQ(logLevel(), LogLevel::Normal);
+    setLogLevel(before);
+}
+
+TEST(Logging, LevelFromEnvironment)
+{
+    const LogLevel before = logLevel();
+    ::setenv("ALPHA_PIM_LOG", "silent", 1);
+    refreshLogLevelFromEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    ::setenv("ALPHA_PIM_LOG", "verbose", 1);
+    refreshLogLevelFromEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    // An unset variable leaves the current level alone.
+    ::unsetenv("ALPHA_PIM_LOG");
+    refreshLogLevelFromEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    setLogLevel(before);
+}
+
 TEST(Logging, WarnAndInformDoNotCrash)
 {
     setLogLevel(LogLevel::Silent);
     warn("suppressed %d", 1);
     inform("suppressed %s", "too");
-    debugLog("suppressed");
+    debugLog("test", "suppressed");
     setLogLevel(LogLevel::Normal);
 }
 

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * JSON writer/parser tests: documents built with JsonWriter must
+ * parse back with JsonValue, escaping must round-trip, and malformed
+ * input must be rejected with an error instead of crashing.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/json.hh"
+
+using namespace alphapim::telemetry;
+
+TEST(JsonWriter, FlatObject)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name").value("bfs");
+    w.key("count").value(std::uint64_t{42});
+    w.key("ratio").value(0.5);
+    w.key("ok").value(true);
+    w.key("none").null();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"name\":\"bfs\",\"count\":42,"
+                       "\"ratio\":0.5,\"ok\":true,\"none\":null}");
+}
+
+TEST(JsonWriter, NestedStructuresRoundTrip)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("events").beginArray();
+    for (int i = 0; i < 3; ++i) {
+        w.beginObject();
+        w.key("id").value(static_cast<std::int64_t>(-i));
+        w.key("args").beginObject();
+        w.key("x").value(static_cast<double>(i) / 3.0);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(w.str(), root, &error)) << error;
+    const JsonValue *events = root.find("events");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_EQ(events->items().size(), 3u);
+    const JsonValue *id = events->items()[2].find("id");
+    ASSERT_NE(id, nullptr);
+    EXPECT_DOUBLE_EQ(id->asNumber(), -2.0);
+    const JsonValue *args = events->items()[1].find("args");
+    ASSERT_NE(args, nullptr);
+    const JsonValue *x = args->find("x");
+    ASSERT_NE(x, nullptr);
+    EXPECT_DOUBLE_EQ(x->asNumber(), 1.0 / 3.0);
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value("a\"b\\c\n\t\x01z");
+    w.endArray();
+
+    JsonValue root;
+    ASSERT_TRUE(JsonValue::parse(w.str(), root, nullptr));
+    ASSERT_TRUE(root.isArray());
+    ASSERT_EQ(root.items().size(), 1u);
+    EXPECT_EQ(root.items()[0].asString(), "a\"b\\c\n\t\x01z");
+}
+
+TEST(JsonWriter, DoublesRoundTripExactly)
+{
+    const double samples[] = {0.0, -0.0, 1.0, -1.5, 1e-300, 1e300,
+                              0.1, 1.0 / 3.0, 12345.6789};
+    for (const double v : samples) {
+        JsonWriter w;
+        w.beginArray();
+        w.value(v);
+        w.endArray();
+        JsonValue root;
+        ASSERT_TRUE(JsonValue::parse(w.str(), root, nullptr));
+        EXPECT_EQ(root.items()[0].asNumber(), v) << w.str();
+    }
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.value(std::numeric_limits<double>::infinity());
+    w.endArray();
+    EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriter, RawValueSplicesFragment)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("inner").rawValue("{\"a\":1}");
+    w.endObject();
+    JsonValue root;
+    ASSERT_TRUE(JsonValue::parse(w.str(), root, nullptr));
+    const JsonValue *inner = root.find("inner");
+    ASSERT_NE(inner, nullptr);
+    ASSERT_TRUE(inner->isObject());
+    EXPECT_DOUBLE_EQ(inner->find("a")->asNumber(), 1.0);
+}
+
+TEST(JsonValue, ParsesLiteralsAndWhitespace)
+{
+    JsonValue root;
+    ASSERT_TRUE(
+        JsonValue::parse(" { \"a\" : [ true , false , null ] } ",
+                         root, nullptr));
+    const JsonValue *a = root.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_TRUE(a->items()[0].asBool());
+    EXPECT_FALSE(a->items()[1].asBool());
+    EXPECT_TRUE(a->items()[2].isNull());
+}
+
+TEST(JsonValue, RejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",          "{",           "[1,]",       "{\"a\":}",
+        "{\"a\" 1}", "\"unclosed",  "[1 2]",      "nul",
+        "{]",        "[1] trailing"};
+    for (const char *text : bad) {
+        JsonValue root;
+        std::string error;
+        EXPECT_FALSE(JsonValue::parse(text, root, &error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(JsonValue, ParsesUnicodeEscapes)
+{
+    JsonValue root;
+    ASSERT_TRUE(JsonValue::parse("[\"\\u0041\\u00e9\"]", root,
+                                 nullptr));
+    EXPECT_EQ(root.items()[0].asString(), "A\xc3\xa9");
+}
+
+TEST(JsonValue, FindOnNonObjectReturnsNull)
+{
+    JsonValue root;
+    ASSERT_TRUE(JsonValue::parse("[1,2]", root, nullptr));
+    EXPECT_EQ(root.find("a"), nullptr);
+}

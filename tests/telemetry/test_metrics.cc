@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Metrics registry tests: counter/scalar/distribution bookkeeping,
+ * the disabled registry ignoring every update, and the JSONL export
+ * parsing line-by-line with the documented record shape.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/json.hh"
+#include "telemetry/metrics.hh"
+
+using namespace alphapim::telemetry;
+
+namespace
+{
+
+/** Fresh, enabled registry per test (not the global singleton). */
+class MetricsTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        registry_.setEnabled(true);
+    }
+
+    MetricsRegistry registry_;
+};
+
+} // namespace
+
+TEST_F(MetricsTest, CountersAccumulate)
+{
+    registry_.addCounter("engine.iterations");
+    registry_.addCounter("engine.iterations");
+    registry_.addCounter("xfer.bytes", 1024);
+    EXPECT_EQ(registry_.counterValue("engine.iterations"), 2u);
+    EXPECT_EQ(registry_.counterValue("xfer.bytes"), 1024u);
+    EXPECT_EQ(registry_.counterValue("missing"), 0u);
+}
+
+TEST_F(MetricsTest, ScalarsAddAndSet)
+{
+    registry_.addScalar("phase.load_seconds", 0.25);
+    registry_.addScalar("phase.load_seconds", 0.5);
+    EXPECT_DOUBLE_EQ(registry_.scalarValue("phase.load_seconds"),
+                     0.75);
+    registry_.setScalar("phase.load_seconds", 1.0);
+    EXPECT_DOUBLE_EQ(registry_.scalarValue("phase.load_seconds"),
+                     1.0);
+    EXPECT_DOUBLE_EQ(registry_.scalarValue("missing"), 0.0);
+}
+
+TEST_F(MetricsTest, DistributionsTrackSamples)
+{
+    registry_.addSample("dpu.cycles_per_launch", 100.0);
+    registry_.addSample("dpu.cycles_per_launch", 300.0);
+    const auto *dist =
+        registry_.distribution("dpu.cycles_per_launch");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_EQ(dist->count(), 2u);
+    EXPECT_DOUBLE_EQ(dist->mean(), 200.0);
+    EXPECT_DOUBLE_EQ(dist->min(), 100.0);
+    EXPECT_DOUBLE_EQ(dist->max(), 300.0);
+    EXPECT_EQ(registry_.distribution("missing"), nullptr);
+}
+
+TEST_F(MetricsTest, DisabledRegistryIgnoresEveryUpdate)
+{
+    registry_.setEnabled(false);
+    registry_.addCounter("c");
+    registry_.addScalar("s", 1.0);
+    registry_.setScalar("s2", 2.0);
+    registry_.addSample("d", 3.0);
+    EXPECT_EQ(registry_.size(), 0u);
+    EXPECT_EQ(registry_.counterValue("c"), 0u);
+}
+
+TEST_F(MetricsTest, ClearDropsMetricsButKeepsEnabled)
+{
+    registry_.addCounter("c");
+    registry_.clear();
+    EXPECT_EQ(registry_.size(), 0u);
+    EXPECT_TRUE(registry_.enabled());
+}
+
+TEST_F(MetricsTest, JsonlRecordsParseWithExpectedShape)
+{
+    registry_.addCounter("engine.iterations", 7);
+    registry_.setScalar("phase.kernel_seconds", 0.125);
+    registry_.addSample("dpu.cycles_per_launch", 10.0);
+    registry_.addSample("dpu.cycles_per_launch", 30.0);
+
+    std::istringstream in(registry_.jsonl());
+    std::string line;
+    bool saw_counter = false, saw_scalar = false, saw_dist = false;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        JsonValue record;
+        std::string error;
+        ASSERT_TRUE(JsonValue::parse(line, record, &error))
+            << error << ": " << line;
+        const std::string &kind = record.find("kind")->asString();
+        const std::string &name = record.find("name")->asString();
+        if (kind == "counter" && name == "engine.iterations") {
+            saw_counter = true;
+            EXPECT_DOUBLE_EQ(record.find("value")->asNumber(), 7.0);
+        } else if (kind == "scalar" &&
+                   name == "phase.kernel_seconds") {
+            saw_scalar = true;
+            EXPECT_DOUBLE_EQ(record.find("value")->asNumber(),
+                             0.125);
+        } else if (kind == "distribution" &&
+                   name == "dpu.cycles_per_launch") {
+            saw_dist = true;
+            EXPECT_DOUBLE_EQ(record.find("count")->asNumber(), 2.0);
+            EXPECT_DOUBLE_EQ(record.find("mean")->asNumber(), 20.0);
+            EXPECT_DOUBLE_EQ(record.find("min")->asNumber(), 10.0);
+            EXPECT_DOUBLE_EQ(record.find("max")->asNumber(), 30.0);
+        }
+    }
+    EXPECT_EQ(lines, 3u);
+    EXPECT_TRUE(saw_counter);
+    EXPECT_TRUE(saw_scalar);
+    EXPECT_TRUE(saw_dist);
+}
+
+TEST(MetricsGlobal, SingletonIsDisabledByDefault)
+{
+    // Other test binaries rely on this: the registry must never
+    // record unless a flag or a test enables it explicitly.
+    EXPECT_FALSE(metrics().enabled());
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * MxvResult JSON serialization tests: the record written by
+ * mxvResultToJson must parse back with JsonValue and carry the phase
+ * times, stall fractions, and instruction mix of the source result.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/result_json.hh"
+#include "telemetry/json.hh"
+
+using namespace alphapim;
+using namespace alphapim::core;
+using namespace alphapim::telemetry;
+
+namespace
+{
+
+MxvResult<float>
+sampleResult()
+{
+    MxvResult<float> r;
+    r.outputNnz = 17;
+    r.semiringOps = 4242;
+    r.times.load = 0.001;
+    r.times.kernel = 0.004;
+    r.times.retrieve = 0.002;
+    r.times.merge = 0.0005;
+
+    upmem::DpuProfile dpu;
+    dpu.totalCycles = 1000;
+    dpu.issuedCycles = 600;
+    dpu.stallCycles[static_cast<std::size_t>(
+        upmem::StallReason::Memory)] = 250;
+    dpu.stallCycles[static_cast<std::size_t>(
+        upmem::StallReason::Sync)] = 150;
+    dpu.instrByClass[static_cast<std::size_t>(
+        upmem::OpClass::IntAdd)] = 400;
+    dpu.instrByClass[static_cast<std::size_t>(
+        upmem::OpClass::DmaRead)] = 100;
+    dpu.activeThreadCycles = 8000.0;
+    r.profile.add(dpu);
+
+    upmem::DpuProfile dpu2 = dpu;
+    dpu2.totalCycles = 500;
+    dpu2.issuedCycles = 300;
+    r.profile.add(dpu2);
+    return r;
+}
+
+} // namespace
+
+TEST(ResultJson, RoundTripsThroughParser)
+{
+    const auto result = sampleResult();
+    const std::string json = mxvResultToJson(result);
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(json, root, &error)) << error;
+
+    EXPECT_DOUBLE_EQ(root.find("output_nnz")->asNumber(), 17.0);
+    EXPECT_DOUBLE_EQ(root.find("semiring_ops")->asNumber(), 4242.0);
+
+    const JsonValue *times = root.find("times");
+    ASSERT_NE(times, nullptr);
+    EXPECT_DOUBLE_EQ(times->find("load")->asNumber(), 0.001);
+    EXPECT_DOUBLE_EQ(times->find("kernel")->asNumber(), 0.004);
+    EXPECT_DOUBLE_EQ(times->find("retrieve")->asNumber(), 0.002);
+    EXPECT_DOUBLE_EQ(times->find("merge")->asNumber(), 0.0005);
+    EXPECT_DOUBLE_EQ(times->find("total")->asNumber(),
+                     result.times.total());
+
+    const JsonValue *profile = root.find("profile");
+    ASSERT_NE(profile, nullptr);
+    EXPECT_DOUBLE_EQ(profile->find("total_cycles")->asNumber(),
+                     1500.0);
+    EXPECT_DOUBLE_EQ(profile->find("issued_cycles")->asNumber(),
+                     900.0);
+    EXPECT_DOUBLE_EQ(profile->find("max_cycles")->asNumber(),
+                     1000.0);
+    EXPECT_DOUBLE_EQ(profile->find("active_dpus")->asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(
+        profile->find("issued_fraction")->asNumber(),
+        result.profile.aggregate.issuedFraction());
+
+    const JsonValue *stalls = profile->find("stall_fractions");
+    ASSERT_NE(stalls, nullptr);
+    EXPECT_DOUBLE_EQ(stalls->find("memory")->asNumber(),
+                     result.profile.aggregate.stallFraction(
+                         upmem::StallReason::Memory));
+    EXPECT_DOUBLE_EQ(stalls->find("sync")->asNumber(),
+                     result.profile.aggregate.stallFraction(
+                         upmem::StallReason::Sync));
+
+    const JsonValue *instr = profile->find("instr_by_category");
+    ASSERT_NE(instr, nullptr);
+    EXPECT_DOUBLE_EQ(instr->find("arithmetic")->asNumber(), 800.0);
+    EXPECT_DOUBLE_EQ(instr->find("dma")->asNumber(), 200.0);
+    EXPECT_DOUBLE_EQ(instr->find("sync")->asNumber(), 0.0);
+}
+
+TEST(ResultJson, EmptyResultSerializesCleanly)
+{
+    const MxvResult<float> empty;
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(mxvResultToJson(empty), root,
+                                 &error))
+        << error;
+    EXPECT_DOUBLE_EQ(root.find("output_nnz")->asNumber(), 0.0);
+    const JsonValue *profile = root.find("profile");
+    ASSERT_NE(profile, nullptr);
+    EXPECT_DOUBLE_EQ(profile->find("issued_fraction")->asNumber(),
+                     0.0);
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Profile accumulation tests: DpuProfile::merge arithmetic, the
+ * LaunchProfile::add(DpuProfile) per-DPU fold, and the documented
+ * semantics of LaunchProfile::add(LaunchProfile) -- aggregate and
+ * maxCycles accumulate across sequential launches while activeDpus
+ * reports the peak -- including the invariants that reject profiles
+ * not built through the per-DPU fold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "upmem/profile.hh"
+
+using namespace alphapim;
+using namespace alphapim::upmem;
+
+namespace
+{
+
+DpuProfile
+busyDpu(Cycles total, Cycles issued, std::uint64_t int_adds)
+{
+    DpuProfile p;
+    p.totalCycles = total;
+    p.issuedCycles = issued;
+    p.stallCycles[static_cast<std::size_t>(StallReason::Memory)] =
+        total - issued;
+    p.instrByClass[static_cast<std::size_t>(OpClass::IntAdd)] =
+        int_adds;
+    p.activeThreadCycles = static_cast<double>(total) * 4.0;
+    return p;
+}
+
+LaunchProfile
+launchOf(std::initializer_list<DpuProfile> dpus)
+{
+    LaunchProfile launch;
+    for (const auto &p : dpus)
+        launch.add(p);
+    return launch;
+}
+
+} // namespace
+
+TEST(DpuProfile, MergeAccumulatesEveryCounter)
+{
+    DpuProfile a = busyDpu(1000, 700, 500);
+    const DpuProfile b = busyDpu(400, 300, 200);
+    a.merge(b);
+    EXPECT_EQ(a.totalCycles, 1400u);
+    EXPECT_EQ(a.issuedCycles, 1000u);
+    EXPECT_EQ(a.stallCycles[static_cast<std::size_t>(
+                  StallReason::Memory)],
+              400u);
+    EXPECT_EQ(a.instrByClass[static_cast<std::size_t>(
+                  OpClass::IntAdd)],
+              700u);
+    EXPECT_DOUBLE_EQ(a.activeThreadCycles, 5600.0);
+}
+
+TEST(LaunchProfile, AddDpuTracksMaxAndActive)
+{
+    const LaunchProfile launch = launchOf(
+        {busyDpu(1000, 700, 500), busyDpu(400, 300, 200),
+         DpuProfile{}}); // one idle DPU
+    EXPECT_EQ(launch.aggregate.totalCycles, 1400u);
+    EXPECT_EQ(launch.maxCycles, 1000u);
+    EXPECT_EQ(launch.activeDpus, 2u); // the idle DPU does not count
+}
+
+TEST(LaunchProfile, AddLaunchAccumulatesCyclesButPeaksActiveDpus)
+{
+    LaunchProfile run = launchOf(
+        {busyDpu(1000, 700, 500), busyDpu(400, 300, 200)});
+    const LaunchProfile second = launchOf({busyDpu(600, 500, 300)});
+
+    run.add(second);
+    // Aggregate counters accumulate (DPU-cycle denominated).
+    EXPECT_EQ(run.aggregate.totalCycles, 2000u);
+    EXPECT_EQ(run.aggregate.issuedCycles, 1500u);
+    // Sequential launches extend the kernel critical path.
+    EXPECT_EQ(run.maxCycles, 1600u);
+    // Same physical fleet: peak, never a sum.
+    EXPECT_EQ(run.activeDpus, 2u);
+
+    const LaunchProfile third = launchOf(
+        {busyDpu(100, 80, 50), busyDpu(100, 80, 50),
+         busyDpu(100, 80, 50)});
+    run.add(third);
+    EXPECT_EQ(run.activeDpus, 3u); // a busier launch raises the peak
+    EXPECT_EQ(run.maxCycles, 1700u);
+}
+
+TEST(LaunchProfile, AddEmptyLaunchIsANoOp)
+{
+    LaunchProfile run = launchOf({busyDpu(1000, 700, 500)});
+    run.add(LaunchProfile{});
+    EXPECT_EQ(run.aggregate.totalCycles, 1000u);
+    EXPECT_EQ(run.maxCycles, 1000u);
+    EXPECT_EQ(run.activeDpus, 1u);
+}
+
+TEST(LaunchProfileDeath, RejectsAggregateBelowMaxCycles)
+{
+    LaunchProfile run;
+    LaunchProfile bogus;
+    bogus.maxCycles = 500; // never folded through add(DpuProfile)
+    bogus.activeDpus = 1;
+    EXPECT_DEATH(run.add(bogus), "aggregate DPU-cycles below");
+}
+
+TEST(LaunchProfileDeath, RejectsInstructionsWithoutActiveDpus)
+{
+    LaunchProfile run;
+    LaunchProfile bogus;
+    bogus.aggregate.totalCycles = 500;
+    bogus.aggregate.instrByClass[static_cast<std::size_t>(
+        OpClass::IntAdd)] = 100;
+    bogus.activeDpus = 0; // inconsistent: hand-assembled profile
+    EXPECT_DEATH(run.add(bogus), "must report active DPUs");
+}

@@ -29,6 +29,7 @@
 #include "sparse/generators.hh"
 #include "sparse/graph_stats.hh"
 #include "sparse/mmio.hh"
+#include "telemetry/telemetry.hh"
 #include "upmem/report.hh"
 
 using namespace alphapim;
@@ -42,6 +43,9 @@ struct CliOptions
     std::string dataset;
     std::string mtx;
     std::string csv;
+    std::string traceOut;
+    std::string metricsOut;
+    std::string logLevel;
     std::string strategy = "adaptive";
     double scale = 0.25;
     double threshold = -1.0;
@@ -76,7 +80,12 @@ usage()
         "  --profile                   print the DPU profile\n"
         "  --compare-cpu               run the GridGraph CPU model\n"
         "  --validate                  check against host reference\n"
-        "  --csv FILE                  per-iteration CSV output\n");
+        "  --csv FILE                  per-iteration CSV output\n"
+        "  --trace-out FILE            Chrome trace-event JSON of\n"
+        "                              the run (Perfetto-loadable)\n"
+        "  --metrics-out FILE          metrics registry dump (JSONL)\n"
+        "  --log-level LEVEL           silent|normal|verbose\n"
+        "Every flag also accepts the --flag=value spelling.\n");
     std::exit(2);
 }
 
@@ -85,8 +94,19 @@ parseCli(int argc, char **argv)
 {
     CliOptions opt;
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        // Accept both "--flag value" and "--flag=value".
+        std::string arg = argv[i];
+        std::string inline_value;
+        bool has_inline = false;
+        if (const std::size_t eq = arg.find('=');
+            eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            inline_value = arg.substr(eq + 1);
+            arg.resize(eq);
+            has_inline = true;
+        }
         auto next = [&]() -> const char * {
+            if (has_inline)
+                return inline_value.c_str();
             if (i + 1 >= argc)
                 usage();
             return argv[++i];
@@ -99,6 +119,12 @@ parseCli(int argc, char **argv)
             opt.mtx = next();
         else if (arg == "--csv")
             opt.csv = next();
+        else if (arg == "--trace-out")
+            opt.traceOut = next();
+        else if (arg == "--metrics-out")
+            opt.metricsOut = next();
+        else if (arg == "--log-level")
+            opt.logLevel = next();
         else if (arg == "--strategy")
             opt.strategy = next();
         else if (arg == "--scale")
@@ -127,6 +153,13 @@ parseCli(int argc, char **argv)
     }
     if (opt.dataset.empty() && opt.mtx.empty())
         opt.dataset = "e-En";
+    if (!opt.logLevel.empty() &&
+        !setLogLevelByName(opt.logLevel.c_str()))
+        fatal("unknown log level '%s'", opt.logLevel.c_str());
+    if (!opt.traceOut.empty())
+        telemetry::tracer().setEnabled(true);
+    if (!opt.metricsOut.empty())
+        telemetry::metrics().setEnabled(true);
     return opt;
 }
 
@@ -301,5 +334,28 @@ main(int argc, char **argv)
 
     if (!opt.csv.empty())
         writeCsv(opt.csv, result);
+
+    // Derived whole-run scalars, then the telemetry files.
+    auto &m = telemetry::metrics();
+    if (m.enabled()) {
+        const auto &agg = result.profile.aggregate;
+        m.setScalar("dpu.issued_fraction", agg.issuedFraction());
+        for (unsigned r = 0;
+             r < static_cast<unsigned>(
+                     upmem::StallReason::NumReasons);
+             ++r) {
+            const auto reason = static_cast<upmem::StallReason>(r);
+            m.setScalar(std::string("dpu.stall.") +
+                            upmem::stallReasonName(reason) +
+                            "_fraction",
+                        agg.stallFraction(reason));
+        }
+        m.setScalar("dpu.avg_active_threads",
+                    agg.avgActiveThreads());
+    }
+    if (!opt.traceOut.empty())
+        telemetry::writeTraceFile(opt.traceOut);
+    if (!opt.metricsOut.empty())
+        telemetry::writeMetricsFile(opt.metricsOut);
     return 0;
 }
