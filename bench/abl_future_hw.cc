@@ -139,5 +139,5 @@ main(int argc, char **argv)
                 "kernel-bound PPR; forwarding/nb-dma lift kernel "
                 "IPC everywhere\n");
     (void)algo_names;
-    return 0;
+    return writeTelemetryOutputs(opt);
 }

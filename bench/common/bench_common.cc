@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "analysis/checker.hh"
 #include "common/logging.hh"
 #include "core/result_json.hh"
 #include "telemetry/telemetry.hh"
@@ -40,7 +41,8 @@ usage(const char *prog)
         "usage: %s [--dpus N] [--scale X] [--edge-target N]\n"
         "          [--datasets a,b,c] [--seed N] [--quick]\n"
         "          [--trace-out FILE] [--metrics-out FILE]\n"
-        "          [--json-out FILE] [--log-level LEVEL]\n",
+        "          [--json-out FILE] [--check[=FAMILIES]]\n"
+        "          [--check-out FILE] [--log-level LEVEL]\n",
         prog);
     std::exit(2);
 }
@@ -51,6 +53,7 @@ BenchOptions
 parseOptions(int argc, char **argv)
 {
     BenchOptions opt;
+    std::string check_list;
     if (const char *env = std::getenv("ALPHAPIM_SCALE"))
         opt.scale = std::atof(env);
     if (const char *env = std::getenv("ALPHAPIM_EDGE_TARGET"))
@@ -92,6 +95,13 @@ parseOptions(int argc, char **argv)
             opt.metricsOut = next();
         } else if (arg == "--json-out") {
             opt.jsonOut = next();
+        } else if (arg == "--check") {
+            opt.check = true;
+            if (has_inline)
+                check_list = inline_value;
+        } else if (arg == "--check-out") {
+            opt.check = true;
+            opt.checkOut = next();
         } else if (arg == "--log-level") {
             opt.logLevel = next();
         } else {
@@ -114,6 +124,16 @@ parseOptions(int argc, char **argv)
         telemetry::tracer().setEnabled(true);
     if (!opt.metricsOut.empty() || !opt.jsonOut.empty())
         telemetry::metrics().setEnabled(true);
+    if (opt.check) {
+        analysis::CheckOptions sel;
+        std::string error;
+        if (!analysis::CheckOptions::parseList(check_list, sel,
+                                               &error)) {
+            std::fprintf(stderr, "--check: %s\n", error.c_str());
+            usage(argv[0]);
+        }
+        analysis::checker().enable(sel);
+    }
     return opt;
 }
 
@@ -210,13 +230,36 @@ emitRunRecord(const BenchOptions &opt, const std::string &bench,
     telemetry::appendJsonlRecord(opt.jsonOut, w.str());
 }
 
-void
+int
 writeTelemetryOutputs(const BenchOptions &opt)
 {
     if (!opt.traceOut.empty())
         telemetry::writeTraceFile(opt.traceOut);
     if (!opt.metricsOut.empty())
         telemetry::writeMetricsFile(opt.metricsOut);
+    if (!opt.check)
+        return 0;
+
+    const auto report = analysis::checker().report();
+    std::printf("\npim-verify: %llu finding(s) across %llu DPU "
+                "launches checked\n",
+                static_cast<unsigned long long>(report.total()),
+                static_cast<unsigned long long>(report.dpusChecked));
+    for (const auto &f : report.findings)
+        std::printf("  %s\n", analysis::describeFinding(f).c_str());
+    if (report.dropped > 0)
+        std::printf("  ... and %llu more (not retained)\n",
+                    static_cast<unsigned long long>(report.dropped));
+    if (!opt.checkOut.empty()) {
+        if (!analysis::checker().writeReport(opt.checkOut)) {
+            std::fprintf(stderr,
+                         "cannot write check report '%s'\n",
+                         opt.checkOut.c_str());
+            return 2;
+        }
+        inform("wrote pim-verify report to %s", opt.checkOut.c_str());
+    }
+    return report.total() > 0 ? 3 : 0;
 }
 
 } // namespace alphapim::bench

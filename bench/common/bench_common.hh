@@ -14,6 +14,9 @@
  *   --trace-out FILE  Chrome trace-event JSON of the run
  *   --metrics-out FILE  metrics registry dump (JSONL)
  *   --json-out FILE   per-run result records (JSONL, appended)
+ *   --check[=FAMS]    pim-verify trace analysis (race,lock,barrier,
+ *                     dma); the bench exits 3 when findings exist
+ *   --check-out FILE  JSON findings report (implies --check)
  *   --log-level L     silent|normal|verbose
  * (every flag also accepts the --flag=value spelling) plus
  * environment variables ALPHAPIM_SCALE / ALPHAPIM_EDGE_TARGET.
@@ -51,7 +54,9 @@ struct BenchOptions
     std::string traceOut;   ///< Chrome trace JSON path ("" = off)
     std::string metricsOut; ///< metrics JSONL path ("" = off)
     std::string jsonOut;    ///< per-run record JSONL path ("" = off)
+    std::string checkOut;   ///< pim-verify JSON report ("" = off)
     std::string logLevel;   ///< "" = leave the level alone
+    bool check = false;     ///< run the pim-verify analyzer
 };
 
 /** Parse argv; prints usage and exits on --help or bad flags.
@@ -133,9 +138,11 @@ void emitRunRecord(const BenchOptions &opt, const std::string &bench,
                    const upmem::LaunchProfile *profile,
                    std::size_t iterations);
 
-/** Write the --trace-out / --metrics-out files if requested. Call
- * once at the end of the bench's main(). */
-void writeTelemetryOutputs(const BenchOptions &opt);
+/** Write the --trace-out / --metrics-out files if requested, print
+ * the pim-verify summary (and write --check-out) when --check is on.
+ * Call once at the end of the bench's main().
+ * @return the process exit code (3 when --check found defects) */
+int writeTelemetryOutputs(const BenchOptions &opt);
 
 } // namespace alphapim::bench
 

@@ -64,5 +64,5 @@ main(int argc, char **argv)
     std::printf("\nSparseP expectation: .row variants degrade with "
                 "degree skew (hub DPUs serialize); COO.nnz stays "
                 "balanced, which is why the paper uses it\n");
-    return 0;
+    return writeTelemetryOutputs(opt);
 }

@@ -66,5 +66,5 @@ main(int argc, char **argv)
 
     std::printf("\npaper expectation: 1D Load dominates; 2D total < "
                 "1D total on most datasets\n");
-    return 0;
+    return writeTelemetryOutputs(opt);
 }

@@ -89,5 +89,5 @@ main(int argc, char **argv)
     }
     std::printf("paper expectation: SpMSpV wins at low density, "
                 "SpMV steady; crossover as the frontier densifies\n");
-    return 0;
+    return writeTelemetryOutputs(opt);
 }

@@ -123,5 +123,5 @@ main(int argc, char **argv)
     std::printf("\npaper expectation: CSC-2D best at >=10%% density; "
                 "CSC-R/COO competitive below 10%%; CSR far worse, "
                 "degrading with density\n");
-    return 0;
+    return writeTelemetryOutputs(opt);
 }

@@ -72,5 +72,5 @@ main(int argc, char **argv)
     std::printf("\npaper expectation: SpMSpV < 1.0 at every density, "
                 "with the largest wins below 30%% and rough parity "
                 "at 50%%\n");
-    return 0;
+    return writeTelemetryOutputs(opt);
 }

@@ -104,6 +104,5 @@ main(int argc, char **argv)
 
     std::printf("\npaper expectation: adaptive switching beats "
                 "SpMV-only on all three applications\n");
-    writeTelemetryOutputs(opt);
-    return 0;
+    return writeTelemetryOutputs(opt);
 }

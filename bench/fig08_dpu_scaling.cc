@@ -112,5 +112,5 @@ main(int argc, char **argv)
 
     std::printf("\npaper expectation: BFS/SSSP transfer-bound with "
                 "limited gains past 1024 DPUs; PPR keeps scaling\n");
-    return 0;
+    return writeTelemetryOutputs(opt);
 }

@@ -79,6 +79,5 @@ main(int argc, char **argv)
         "\npaper expectation: SpMSpV issued%% rises with density; "
         "SpMSpV@1%% shows elevated revolver+sync stalls; SpMV "
         "carries more memory stalls at every density\n");
-    writeTelemetryOutputs(opt);
-    return 0;
+    return writeTelemetryOutputs(opt);
 }

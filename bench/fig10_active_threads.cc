@@ -54,5 +54,5 @@ main(int argc, char **argv)
 
     std::printf("\npaper expectation: SpMSpV thread activity grows "
                 "with density and exceeds SpMV's\n");
-    return 0;
+    return writeTelemetryOutputs(opt);
 }

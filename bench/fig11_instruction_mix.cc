@@ -71,5 +71,5 @@ main(int argc, char **argv)
         "everywhere. Known deviation (EXPERIMENTS.md): the paper's "
         "sync share falls with density, ours rises mildly with "
         "contention.\n");
-    return 0;
+    return writeTelemetryOutputs(opt);
 }

@@ -75,5 +75,5 @@ main(int argc, char **argv)
     std::printf("\naverage |change| for a 10-point deviation: %s "
                 "(paper: <5%%)\n",
                 TextTable::pct(avg, 1).c_str());
-    return 0;
+    return writeTelemetryOutputs(opt);
 }

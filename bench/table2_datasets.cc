@@ -65,5 +65,5 @@ main(int argc, char **argv)
     std::printf("\nnote: degree std of heavy-tailed graphs "
                 "undershoots the target because the erased "
                 "configuration model drops colliding hub stubs\n");
-    return 0;
+    return writeTelemetryOutputs(opt);
 }

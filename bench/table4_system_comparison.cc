@@ -95,5 +95,5 @@ main(int argc, char **argv)
                 "10.2x (BFS), 48.8x (SSSP), 3.6x (PPR); totals 2.6x "
                 "/ 10.4x / 1.7x; GPU fastest overall; UPMEM has the "
                 "highest compute utilization\n");
-    return 0;
+    return writeTelemetryOutputs(opt);
 }

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * pim-verify: offline analyzer of recorded tasklet traces.
+ *
+ * The checker consumes the per-tasklet traces a kernel launch
+ * produced for one DPU -- before the replay scheduler consumes them
+ * for timing -- and verifies them against the execution model:
+ *
+ *  - data races: Eraser-style locksets combined with barrier-round
+ *    happens-before over the addressed WRAM/MRAM accesses;
+ *  - mutex protocol: double lock, unlock of an unheld mutex, mutex
+ *    held at tasklet exit, and cyclic lock-acquisition order
+ *    (deadlock potential) via a lock graph;
+ *  - barrier protocol: divergent barrier sequences between tasklets;
+ *  - DMA legality: 8-byte alignment and granularity, the 1..2048-byte
+ *    hardware transfer range, and staging within wramChunkBytes.
+ *
+ * The checker is a process-wide singleton (like the telemetry
+ * registry) so UpmemSystem::launchKernel can consult it without
+ * plumbing; it is disabled by default and every entry point is a
+ * cheap no-op until a tool enables it.
+ */
+
+#ifndef ALPHA_PIM_ANALYSIS_CHECKER_HH
+#define ALPHA_PIM_ANALYSIS_CHECKER_HH
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/findings.hh"
+#include "upmem/dpu_config.hh"
+#include "upmem/trace.hh"
+
+namespace alphapim::analysis
+{
+
+/** Which checker families run. */
+struct CheckOptions
+{
+    bool race = true;
+    bool lock = true;
+    bool barrier = true;
+    bool dma = true;
+
+    /** True when at least one family is selected. */
+    bool
+    any() const
+    {
+        return race || lock || barrier || dma;
+    }
+
+    /**
+     * Parse a comma-separated family list ("race,dma", "all", or an
+     * empty string for everything) as accepted by --check=.
+     *
+     * @param list  the text after "--check="
+     * @param out   receives the selection on success
+     * @param error receives a message on failure (optional)
+     * @return true on success
+     */
+    static bool parseList(std::string_view list, CheckOptions &out,
+                          std::string *error = nullptr);
+};
+
+/**
+ * Thread-safe accumulator of analysis findings across launches.
+ *
+ * analyzeDpu() may be called concurrently from the launch worker
+ * pool; each call analyzes one DPU's traces on the calling thread
+ * and folds the results into the shared report under a lock.
+ */
+class TraceChecker
+{
+  public:
+    /** Stored-finding cap across the whole run; occurrences beyond
+     * it are still counted, just not retained. */
+    static constexpr std::size_t maxStoredFindings = 256;
+
+    /** Stored-finding cap per analyzed DPU. */
+    static constexpr std::size_t maxStoredPerDpu = 32;
+
+    /** True when launches should be analyzed. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Enable checking with the given family selection. */
+    void enable(const CheckOptions &opts);
+
+    /** Stop checking (accumulated findings are kept). */
+    void disable();
+
+    /** The active family selection. */
+    CheckOptions options() const;
+
+    /**
+     * Analyze the traces of one DPU (no-op while disabled).
+     *
+     * @param dpu    DPU index (for finding attribution)
+     * @param traces one trace per tasklet, as passed to the scheduler
+     * @param cfg    the DPU configuration the traces were recorded for
+     */
+    void analyzeDpu(unsigned dpu,
+                    const std::vector<upmem::TaskletTrace> &traces,
+                    const upmem::DpuConfig &cfg);
+
+    /** Snapshot of everything accumulated so far. */
+    AnalysisReport report() const;
+
+    /** Total occurrences so far (including unretained ones). */
+    std::uint64_t findingCount() const;
+
+    /** Drop all accumulated findings and counts. */
+    void clear();
+
+    /** Render the accumulated report as a JSON document. */
+    std::string reportJson() const;
+
+    /**
+     * Write the JSON report to `path`.
+     * @return true when the file was written successfully
+     */
+    bool writeReport(const std::string &path) const;
+
+  private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    CheckOptions opts_;
+    AnalysisReport report_;
+};
+
+/** The process-wide trace checker. */
+TraceChecker &checker();
+
+/** One-line console rendering of a finding. */
+std::string describeFinding(const Finding &f);
+
+} // namespace alphapim::analysis
+
+#endif // ALPHA_PIM_ANALYSIS_CHECKER_HH

@@ -1,0 +1,42 @@
+#include "analysis/findings.hh"
+
+namespace alphapim::analysis
+{
+
+const char *
+findingKindName(FindingKind kind)
+{
+    switch (kind) {
+      case FindingKind::DataRace:
+        return "data_race";
+      case FindingKind::DoubleLock:
+        return "double_lock";
+      case FindingKind::UnlockUnheld:
+        return "unlock_unheld";
+      case FindingKind::LockHeldAtExit:
+        return "lock_held_at_exit";
+      case FindingKind::LockOrderCycle:
+        return "lock_order_cycle";
+      case FindingKind::BarrierDivergence:
+        return "barrier_divergence";
+      case FindingKind::IllegalDma:
+        return "illegal_dma";
+      default:
+        return "unknown";
+    }
+}
+
+const char *
+memSpaceName(MemSpace space)
+{
+    switch (space) {
+      case MemSpace::Wram:
+        return "wram";
+      case MemSpace::Mram:
+        return "mram";
+      default:
+        return "none";
+    }
+}
+
+} // namespace alphapim::analysis

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Finding taxonomy of the pim-verify trace analyzer: the defect
+ * kinds the checker can report, and the structured record attached
+ * to each occurrence. Findings are plain data; rendering (console
+ * summary, JSON report) lives in checker.cc.
+ */
+
+#ifndef ALPHA_PIM_ANALYSIS_FINDINGS_HH
+#define ALPHA_PIM_ANALYSIS_FINDINGS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alphapim::analysis
+{
+
+/** Defect classes pim-verify reports. */
+enum class FindingKind : std::uint8_t
+{
+    DataRace,          ///< unsynchronized conflicting accesses
+    DoubleLock,        ///< locking a mutex already held
+    UnlockUnheld,      ///< unlocking a mutex not held
+    LockHeldAtExit,    ///< mutex still held at end of trace
+    LockOrderCycle,    ///< cyclic lock acquisition order (deadlock)
+    BarrierDivergence, ///< tasklets disagree on the barrier sequence
+    IllegalDma,        ///< DMA violating size/alignment/staging rules
+    NumKinds
+};
+
+inline constexpr unsigned numFindingKinds =
+    static_cast<unsigned>(FindingKind::NumKinds);
+
+/** Stable lower_snake name of a finding kind (metric / JSON key). */
+const char *findingKindName(FindingKind kind);
+
+/** Address space of the access a finding refers to. */
+enum class MemSpace : std::uint8_t
+{
+    None, ///< finding is not about a memory access
+    Wram,
+    Mram,
+};
+
+/** Name of a memory space ("none" / "wram" / "mram"). */
+const char *memSpaceName(MemSpace space);
+
+/** Sentinel for "no tasklet" in Finding::otherTasklet. */
+inline constexpr unsigned noTasklet = ~0u;
+
+/** One reported defect occurrence. */
+struct Finding
+{
+    FindingKind kind = FindingKind::DataRace;
+    unsigned dpu = 0;
+    unsigned tasklet = 0;
+    /** Second tasklet of a pairwise finding (races); noTasklet
+     * otherwise. */
+    unsigned otherTasklet = noTasklet;
+    MemSpace space = MemSpace::None;
+    std::uint64_t addr = 0; ///< access address (when space != None)
+    std::uint32_t bytes = 0; ///< access length (when space != None)
+    std::uint32_t id = 0;    ///< mutex / barrier id (when relevant)
+    std::string detail;      ///< human-readable one-liner
+};
+
+/** Aggregated checker output. */
+struct AnalysisReport
+{
+    std::vector<Finding> findings;
+    std::array<std::uint64_t, numFindingKinds> counts{};
+    std::uint64_t dpusChecked = 0;
+    std::uint64_t tracesChecked = 0;
+    /** Occurrences beyond the retention caps are counted but not
+     * stored; this is counts total minus findings.size(). */
+    std::uint64_t dropped = 0;
+
+    /** Total occurrences across all kinds (including dropped). */
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t n = 0;
+        for (const auto c : counts)
+            n += c;
+        return n;
+    }
+};
+
+} // namespace alphapim::analysis
+
+#endif // ALPHA_PIM_ANALYSIS_FINDINGS_HH

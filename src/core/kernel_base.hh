@@ -74,6 +74,60 @@ inline constexpr unsigned outputMutexes = 32;
 /** Barrier id used for the end-of-kernel rendezvous. */
 inline constexpr std::uint32_t kernelBarrier = 0;
 
+// ---- Modeled device address layout --------------------------------
+//
+// The kernels annotate their traces with the address ranges an
+// equivalent hand-written UPMEM kernel would touch, so the
+// pim-verify analyzer (src/analysis/) can check them against the
+// execution model. The layout is deliberately simple: per-DPU MRAM
+// holds the matrix slice at the bottom, the (padded, stride-8) input
+// vector image in a middle region, and the (padded, stride-8) output
+// image in a top region; WRAM reserves its first wramChunkBytes for
+// the streaming staging buffer and accumulates output above it.
+
+/** MRAM base of the partitioned matrix slice. */
+inline constexpr std::uint64_t mramMatrixBase = 0;
+
+/** MRAM base of the input-vector image (stride-8 padded entries). */
+inline constexpr std::uint64_t mramInputBase = 32ull << 20;
+
+/** MRAM base of the output image (stride-8 padded entries). */
+inline constexpr std::uint64_t mramOutputBase = 48ull << 20;
+
+/** WRAM address of the shared output accumulator / merge area. */
+inline constexpr std::uint32_t wramOutputBase = 0x4000;
+
+/** True when `elems` stride-8 entries fit a 16 MiB MRAM region, i.e.
+ * the layout above can address them; kernels fall back to
+ * unaddressed records otherwise. */
+inline constexpr bool
+mramRegionFits(std::uint64_t elems)
+{
+    return elems * 8 <= (16ull << 20);
+}
+
+/**
+ * The 8-byte-aligned MRAM byte range backing elements [lo, hi) of a
+ * packed array at `base`. Both ends are aligned *down*, so the
+ * slices of consecutive [lo,hi) ranges stay disjoint -- exactly the
+ * discipline a real UPMEM kernel needs for its write-back DMA, whose
+ * transfers move whole 8-byte units.
+ */
+struct AlignedSlice
+{
+    std::uint64_t addr;
+    Bytes bytes;
+};
+
+inline AlignedSlice
+alignedSlice(std::uint64_t base, std::uint64_t lo, std::uint64_t hi,
+             unsigned elem_bytes)
+{
+    const std::uint64_t begin = (base + lo * elem_bytes) & ~7ull;
+    const std::uint64_t end = (base + hi * elem_bytes) & ~7ull;
+    return {begin, end > begin ? end - begin : 0};
+}
+
 /** WRAM budget available for output accumulation. */
 inline Bytes
 wramOutputBudget(const upmem::DpuConfig &cfg)

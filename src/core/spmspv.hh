@@ -219,6 +219,7 @@ class CscSpmspv : public PimMxvKernel<S>
         const bool wram_out =
             static_cast<Bytes>(block.rows) * sizeof(Value) <=
             detail::wramOutputBudget(cfg);
+        const bool mram_addressed = detail::mramRegionFits(block.rows);
         const NodeId group_size = std::max<NodeId>(
             1, (block.rows + detail::outputMutexes - 1) /
                    detail::outputMutexes);
@@ -272,11 +273,20 @@ class CscSpmspv : public PimMxvKernel<S>
 
                 // Column prologue: x value + colPtr lookup + stream.
                 ctx.loadWram(1);
-                ctx.randomMramRead(16);
+                ctx.randomMramRead(
+                    16, detail::mramMatrixBase +
+                            ((static_cast<std::uint64_t>(
+                                  col.localCol) *
+                              sizeof(EdgeId)) &
+                             ~7ull));
                 ctx.op(upmem::OpClass::IntAdd, 2);
                 ctx.control(1);
+                const auto mat = detail::alignedSlice(
+                    detail::mramMatrixBase, piece.first,
+                    piece.first + piece.len, detail::pairBytes);
                 ctx.streamFromMram(static_cast<Bytes>(piece.len) *
-                                   detail::pairBytes);
+                                       detail::pairBytes,
+                                   mat.addr);
 
                 for (std::size_t e = piece.first;
                      e < piece.first + piece.len; ++e) {
@@ -296,13 +306,28 @@ class CscSpmspv : public PimMxvKernel<S>
                         held_group = group;
                     }
                     if (wram_out) {
-                        ctx.loadWram(1);
+                        // Shared WRAM accumulator slot of this row,
+                        // guarded by the row group's mutex.
+                        const std::uint32_t slot =
+                            detail::wramOutputBase +
+                            static_cast<std::uint32_t>(row) *
+                                static_cast<std::uint32_t>(
+                                    sizeof(Value));
+                        ctx.loadWramAt(slot, sizeof(Value));
                         ctx.op(S::addOp());
-                        ctx.storeWram(1);
+                        ctx.storeWramAt(slot, sizeof(Value));
                     } else {
-                        ctx.randomMramRead(8);
+                        // MRAM accumulator entry, padded to the
+                        // 8-byte DMA granularity.
+                        const std::uint64_t slot =
+                            mram_addressed
+                                ? detail::mramOutputBase +
+                                      static_cast<std::uint64_t>(
+                                          row) * 8
+                                : upmem::traceNoAddr;
+                        ctx.randomMramRead(8, slot);
                         ctx.op(S::addOp());
-                        ctx.randomMramWrite(8);
+                        ctx.randomMramWrite(8, slot);
                     }
                     ctx.control(1);
                 }
@@ -334,10 +359,19 @@ class CscSpmspv : public PimMxvKernel<S>
             const auto share = static_cast<std::uint32_t>(
                 out_split[t + 1] - out_split[t]);
             if (!wram_out) {
+                // Scan this tasklet's slice of the stride-8 padded
+                // MRAM accumulator (after the barrier, so ordered
+                // with the update phase).
                 const auto rows_share = static_cast<std::uint32_t>(
                     rows_split[t + 1] - rows_split[t]);
-                ctx.streamFromMram(static_cast<Bytes>(rows_share) *
-                                   sizeof(Value));
+                const auto acc = detail::alignedSlice(
+                    detail::mramOutputBase, rows_split[t],
+                    rows_split[t + 1], 8);
+                if (acc.bytes > 0)
+                    ctx.streamFromMram(acc.bytes,
+                                       mram_addressed
+                                           ? acc.addr
+                                           : upmem::traceNoAddr);
                 ctx.op(upmem::OpClass::Compare, rows_share);
                 ctx.control(rows_share / 4 + 1);
             } else {
@@ -592,13 +626,25 @@ class RowMajorSpmspv : public PimMxvKernel<S>
                     current_row = row;
                 }
             }
-            // Boundary rows shared with the neighbouring tasklet are
-            // merged under a mutex.
-            ctx.mutexLock(t % detail::outputMutexes);
-            ctx.loadWram(1);
-            ctx.op(S::addOp());
-            ctx.storeWram(1);
-            ctx.mutexUnlock(t % detail::outputMutexes);
+            // Boundary rows shared with the neighbouring tasklets
+            // are merged into their shared WRAM slots under the
+            // *row's* mutex, so both neighbours of a straddled row
+            // serialize on the same lock.
+            const auto mergeBoundary = [&](NodeId row) {
+                const std::uint32_t m = row % detail::outputMutexes;
+                const std::uint32_t slot =
+                    detail::wramOutputBase + m * 8;
+                ctx.mutexLock(m);
+                ctx.loadWramAt(slot, sizeof(Value));
+                ctx.op(S::addOp());
+                ctx.storeWramAt(slot, sizeof(Value));
+                ctx.mutexUnlock(m);
+            };
+            const NodeId first_row = block.rowIdx[first];
+            const NodeId last_row = block.rowIdx[last - 1];
+            mergeBoundary(first_row);
+            if (last_row != first_row)
+                mergeBoundary(last_row);
         }
         (void)x;
     }

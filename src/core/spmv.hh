@@ -159,6 +159,7 @@ class SpmvKernel : public PimMxvKernel<S>
         const DeviceBlock &block = blocks_[dpu];
         const auto &cfg = sys_.config().dpu;
         const unsigned tasklets = cfg.tasklets;
+        const bool mram_addressed = detail::mramRegionFits(n_);
 
         // The dense segment is cached in WRAM when it fits (the
         // kernel-side advantage of 2D tiling); COO.nnz keeps the full
@@ -174,7 +175,9 @@ class SpmvKernel : public PimMxvKernel<S>
         for (unsigned t = 0; t < tasklets; ++t) {
             upmem::TaskletCtx ctx(cfg, traces[t]);
             if (x_cached) {
-                ctx.streamFromMram(seg_bytes / tasklets + 1);
+                const Bytes share = seg_bytes / tasklets + 1;
+                ctx.streamFromMram(
+                    share, (detail::mramInputBase + t * share) & ~7ull);
                 ctx.barrier(detail::kernelBarrier);
             }
         }
@@ -187,17 +190,27 @@ class SpmvKernel : public PimMxvKernel<S>
             if (first == last)
                 continue;
 
-            ctx.streamFromMram((last - first) * 12);
+            const auto mat = detail::alignedSlice(
+                detail::mramMatrixBase, first, last, 12);
+            ctx.streamFromMram((last - first) * 12, mat.addr);
 
             NodeId current_row = invalidNode;
             for (std::size_t e = first; e < last; ++e) {
                 const NodeId row = block.rowIdx[e];
                 const NodeId col = block.colIdx[e];
                 ctx.loadWram(2);
-                if (x_cached)
+                if (x_cached) {
                     ctx.loadWram(1);
-                else
-                    ctx.randomMramRead(8); // input-driven access
+                } else {
+                    // Input-driven access into the stride-8 padded
+                    // dense-x image.
+                    ctx.randomMramRead(
+                        8, mram_addressed
+                               ? detail::mramInputBase +
+                                     static_cast<std::uint64_t>(
+                                         block.colBase + col) * 8
+                               : upmem::traceNoAddr);
+                }
                 const Value xv = x_dense[block.colBase + col];
                 partial[row] = S::add(
                     partial[row],
@@ -211,22 +224,39 @@ class SpmvKernel : public PimMxvKernel<S>
                     current_row = row;
                 }
             }
-            // Slice boundaries shared with neighbouring tasklets.
-            ctx.mutexLock(t % detail::outputMutexes);
-            ctx.loadWram(1);
-            ctx.op(S::addOp());
-            ctx.storeWram(1);
-            ctx.mutexUnlock(t % detail::outputMutexes);
+            // Slice-boundary rows are shared with the neighbouring
+            // tasklets; each is merged into its shared WRAM slot
+            // under the *row's* mutex, so both neighbours of a
+            // straddled row serialize on the same lock.
+            const auto mergeBoundary = [&](NodeId row) {
+                const std::uint32_t m = row % detail::outputMutexes;
+                const std::uint32_t slot =
+                    detail::wramOutputBase + m * 8;
+                ctx.mutexLock(m);
+                ctx.loadWramAt(slot, sizeof(Value));
+                ctx.op(S::addOp());
+                ctx.storeWramAt(slot, sizeof(Value));
+                ctx.mutexUnlock(m);
+            };
+            const NodeId first_row = block.rowIdx[first];
+            const NodeId last_row = block.rowIdx[last - 1];
+            mergeBoundary(first_row);
+            if (last_row != first_row)
+                mergeBoundary(last_row);
         }
 
-        // Dense write-back of the output slice.
+        // Dense write-back of the output slice: disjoint, 8-byte-
+        // aligned row ranges per tasklet.
+        const auto rows_split =
+            detail::evenSplit(block.rows, tasklets);
         for (unsigned t = 0; t < tasklets; ++t) {
             upmem::TaskletCtx ctx(cfg, traces[t]);
             ctx.barrier(detail::kernelBarrier);
-            const Bytes share =
-                static_cast<Bytes>(block.rows) * sizeof(Value) /
-                    tasklets + 1;
-            ctx.streamToMram(share);
+            const auto out = detail::alignedSlice(
+                detail::mramOutputBase, rows_split[t],
+                rows_split[t + 1], sizeof(Value));
+            if (out.bytes > 0)
+                ctx.streamToMram(out.bytes, out.addr);
         }
 
         {
@@ -367,6 +397,7 @@ class SpmvRow1d : public PimMxvKernel<S>
 
         // Row-granular tasklet split: equal row counts (SparseP's
         // .row balancing), regardless of nnz.
+        const bool mram_addressed = detail::mramRegionFits(n_);
         const auto rows_split =
             detail::evenSplit(block.rows, tasklets);
         for (unsigned t = 0; t < tasklets; ++t) {
@@ -378,9 +409,13 @@ class SpmvRow1d : public PimMxvKernel<S>
                 continue;
             if (UseCsr) {
                 // Stream this range's row pointers once.
+                const auto ptrs = detail::alignedSlice(
+                    detail::mramMatrixBase, row_lo, row_hi + 1,
+                    sizeof(EdgeId));
                 ctx.streamFromMram(
                     static_cast<Bytes>(row_hi - row_lo + 1) *
-                    sizeof(EdgeId));
+                        sizeof(EdgeId),
+                    ptrs.addr);
             }
             for (NodeId r = row_lo; r < row_hi; ++r) {
                 const std::size_t first = row_start[r];
@@ -388,13 +423,23 @@ class SpmvRow1d : public PimMxvKernel<S>
                 ctx.control(UseCsr ? 1 : 2);
                 if (first == last)
                     continue;
-                ctx.streamFromMram((last - first) *
-                                   (UseCsr ? detail::pairBytes : 12));
+                const unsigned entry_bytes =
+                    UseCsr ? detail::pairBytes : 12;
+                const auto mat = detail::alignedSlice(
+                    detail::mramMatrixBase, first, last, entry_bytes);
+                ctx.streamFromMram((last - first) * entry_bytes,
+                                   mat.addr);
                 Value acc = S::zero();
                 for (std::size_t e = first; e < last; ++e) {
                     const NodeId col = block.colIdx[e];
                     ctx.loadWram(UseCsr ? 2 : 3);
-                    ctx.randomMramRead(8); // dense x in MRAM
+                    // Dense x in MRAM (stride-8 padded image).
+                    ctx.randomMramRead(
+                        8, mram_addressed
+                               ? detail::mramInputBase +
+                                     static_cast<std::uint64_t>(col) *
+                                         8
+                               : upmem::traceNoAddr);
                     acc = S::add(
                         acc, S::mul(S::fromMatrix(block.values[e]),
                                     x_dense[col]));
@@ -407,8 +452,12 @@ class SpmvRow1d : public PimMxvKernel<S>
                 ctx.storeWram(1);
             }
             ctx.barrier(detail::kernelBarrier);
-            ctx.streamToMram(static_cast<Bytes>(row_hi - row_lo) *
-                             sizeof(Value));
+            // Disjoint, 8-byte-aligned write-back of the row range.
+            const auto out = detail::alignedSlice(
+                detail::mramOutputBase, row_lo, row_hi,
+                sizeof(Value));
+            if (out.bytes > 0)
+                ctx.streamToMram(out.bytes, out.addr);
         }
 
         {

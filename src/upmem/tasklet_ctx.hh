@@ -20,12 +20,32 @@
 namespace alphapim::upmem
 {
 
+/** Hardware DMA granularity: MRAM transfers move 8-byte units. */
+inline constexpr std::uint32_t dmaGranularity = 8;
+
+/** Hardware DMA size ceiling: one transfer moves at most 2 KiB. */
+inline constexpr std::uint32_t dmaMaxBytes = 2048;
+
+/** Round a DMA size up to the hardware's 8-byte granularity. */
+constexpr std::uint32_t
+roundUpDma(std::uint32_t bytes)
+{
+    return (bytes + dmaGranularity - 1) & ~(dmaGranularity - 1);
+}
+
 /**
  * Per-tasklet recording facade over TaskletTrace.
  *
  * Kernels should express their work in terms of these primitives so
  * the recorded instruction mix matches what the hand-written UPMEM C
  * kernels in SparseP / ALPHA-PIM would execute.
+ *
+ * MRAM accesses honour the SDK's DMA constraints: sizes are rounded
+ * up to the 8-byte granularity the hardware transfers in, and a
+ * single transfer never exceeds 2048 bytes. The addressed variants
+ * additionally record where the access lands, feeding the pim-verify
+ * trace analyzer (src/analysis/); the unaddressed spellings remain
+ * valid and are simply invisible to the race checker.
  */
 class TaskletCtx
 {
@@ -74,6 +94,23 @@ class TaskletCtx
         trace_.ops(OpClass::StoreWram, count);
     }
 
+    /** Addressed scratchpad load of WRAM range [addr, addr+bytes):
+     * one load instruction per 4-byte word. */
+    void
+    loadWramAt(std::uint32_t addr, std::uint32_t bytes)
+    {
+        trace_.wramAccess(OpClass::LoadWram, (bytes + 3) / 4, addr,
+                          bytes);
+    }
+
+    /** Addressed scratchpad store of WRAM range [addr, addr+bytes). */
+    void
+    storeWramAt(std::uint32_t addr, std::uint32_t bytes)
+    {
+        trace_.wramAccess(OpClass::StoreWram, (bytes + 3) / 4, addr,
+                          bytes);
+    }
+
     /** Loop/branch overhead instructions. */
     void control(std::uint32_t count = 1)
     {
@@ -83,38 +120,44 @@ class TaskletCtx
     /**
      * Stream `bytes` from MRAM through the WRAM staging buffer:
      * one blocking DMA per wramChunkBytes chunk plus the loop
-     * overhead of issuing it.
+     * overhead of issuing it. Each chunk is rounded up to the
+     * hardware's 8-byte DMA granularity; when `addr` is given the
+     * chunks carry consecutive MRAM addresses.
      */
     void
-    streamFromMram(Bytes bytes)
+    streamFromMram(Bytes bytes, std::uint64_t addr = traceNoAddr)
     {
-        while (bytes > 0) {
-            const auto chunk = static_cast<std::uint32_t>(
-                std::min<Bytes>(bytes, cfg_.wramChunkBytes));
-            trace_.dmaRead(chunk);
-            trace_.ops(OpClass::Control, 2);
-            bytes -= chunk;
-        }
+        stream(bytes, addr, /*write=*/false);
     }
 
     /** Stream `bytes` from WRAM back to MRAM in chunks. */
     void
-    streamToMram(Bytes bytes)
+    streamToMram(Bytes bytes, std::uint64_t addr = traceNoAddr)
     {
-        while (bytes > 0) {
-            const auto chunk = static_cast<std::uint32_t>(
-                std::min<Bytes>(bytes, cfg_.wramChunkBytes));
-            trace_.dmaWrite(chunk);
-            trace_.ops(OpClass::Control, 2);
-            bytes -= chunk;
-        }
+        stream(bytes, addr, /*write=*/true);
     }
 
-    /** Single random-access MRAM read of `bytes` (irregular access). */
-    void randomMramRead(std::uint32_t bytes) { trace_.dmaRead(bytes); }
+    /** Single random-access MRAM read of `bytes` (irregular access).
+     * Sizes are rounded up to the 8-byte DMA granularity and must
+     * respect the 2048-byte hardware transfer ceiling. */
+    void
+    randomMramRead(std::uint32_t bytes,
+                   std::uint64_t addr = traceNoAddr)
+    {
+        ALPHA_ASSERT(bytes > 0 && bytes <= dmaMaxBytes,
+                     "MRAM DMA outside the 1..2048 byte range");
+        trace_.dmaRead(roundUpDma(bytes), addr);
+    }
 
     /** Single random-access MRAM write of `bytes`. */
-    void randomMramWrite(std::uint32_t bytes) { trace_.dmaWrite(bytes); }
+    void
+    randomMramWrite(std::uint32_t bytes,
+                    std::uint64_t addr = traceNoAddr)
+    {
+        ALPHA_ASSERT(bytes > 0 && bytes <= dmaMaxBytes,
+                     "MRAM DMA outside the 1..2048 byte range");
+        trace_.dmaWrite(roundUpDma(bytes), addr);
+    }
 
     /** Acquire mutex `id` (contention is resolved by the scheduler). */
     void mutexLock(std::uint32_t id) { trace_.mutexLock(id); }
@@ -126,6 +169,29 @@ class TaskletCtx
     void barrier(std::uint32_t id) { trace_.barrier(id); }
 
   private:
+    void
+    stream(Bytes bytes, std::uint64_t addr, bool write)
+    {
+        // Cap chunks so they still fit the staging buffer after
+        // rounding up to the DMA granularity.
+        const Bytes cap = std::max<Bytes>(
+            dmaGranularity,
+            cfg_.wramChunkBytes & ~static_cast<Bytes>(dmaGranularity - 1));
+        while (bytes > 0) {
+            const auto chunk =
+                static_cast<std::uint32_t>(std::min<Bytes>(bytes, cap));
+            const std::uint32_t xfer = roundUpDma(chunk);
+            if (write)
+                trace_.dmaWrite(xfer, addr);
+            else
+                trace_.dmaRead(xfer, addr);
+            trace_.ops(OpClass::Control, 2);
+            bytes -= chunk;
+            if (addr != traceNoAddr)
+                addr += xfer;
+        }
+    }
+
     const DpuConfig &cfg_;
     TaskletTrace &trace_;
 };

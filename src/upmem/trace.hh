@@ -30,13 +30,30 @@ enum class RecordKind : std::uint8_t
     Barrier ///< barrier arrival on barrier `id`
 };
 
-/** One run-length-encoded trace element. */
+/** Sentinel address of records without address information. */
+inline constexpr std::uint64_t traceNoAddr = ~0ull;
+
+/**
+ * One run-length-encoded trace element.
+ *
+ * `addr` is optional provenance for the trace analyzer (pim-verify):
+ * Dma records may carry the MRAM start address of the transfer, and
+ * LoadWram/StoreWram Ops records the WRAM start address of the
+ * touched range (with `arg` then holding the range's byte length).
+ * Unaddressed records (`addr == traceNoAddr`) stay fully supported;
+ * the replay scheduler ignores addresses entirely.
+ */
 struct TraceRecord
 {
     RecordKind kind;
     OpClass cls;         ///< for Ops / Dma (DmaRead or DmaWrite)
     std::uint32_t count; ///< Ops: run length; Mutex: 1=lock 0=unlock
-    std::uint32_t arg;   ///< Dma: bytes; Mutex/Barrier: id
+    std::uint32_t arg;   ///< Dma: bytes; Mutex/Barrier: id;
+                         ///< addressed Ops: bytes touched
+    std::uint64_t addr = traceNoAddr; ///< optional start address
+
+    /** True when the record carries address information. */
+    bool addressed() const { return addr != traceNoAddr; }
 };
 
 /** Instruction stream of one tasklet. */
@@ -51,7 +68,8 @@ class TaskletTrace
             return;
         if (!records_.empty()) {
             auto &back = records_.back();
-            if (back.kind == RecordKind::Ops && back.cls == cls) {
+            if (back.kind == RecordKind::Ops && back.cls == cls &&
+                !back.addressed()) {
                 back.count += count;
                 return;
             }
@@ -59,20 +77,39 @@ class TaskletTrace
         records_.push_back({RecordKind::Ops, cls, count, 0});
     }
 
-    /** Append one blocking DMA read of `bytes` from MRAM. */
+    /** Append one blocking DMA read of `bytes` from MRAM,
+     * optionally recording the MRAM start address. */
     void
-    dmaRead(std::uint32_t bytes)
+    dmaRead(std::uint32_t bytes, std::uint64_t addr = traceNoAddr)
     {
         records_.push_back(
-            {RecordKind::Dma, OpClass::DmaRead, 1, bytes});
+            {RecordKind::Dma, OpClass::DmaRead, 1, bytes, addr});
     }
 
-    /** Append one blocking DMA write of `bytes` to MRAM. */
+    /** Append one blocking DMA write of `bytes` to MRAM,
+     * optionally recording the MRAM start address. */
     void
-    dmaWrite(std::uint32_t bytes)
+    dmaWrite(std::uint32_t bytes, std::uint64_t addr = traceNoAddr)
     {
         records_.push_back(
-            {RecordKind::Dma, OpClass::DmaWrite, 1, bytes});
+            {RecordKind::Dma, OpClass::DmaWrite, 1, bytes, addr});
+    }
+
+    /**
+     * Append an *addressed* scratchpad access: `count` LoadWram or
+     * StoreWram instructions touching WRAM range [addr, addr+bytes).
+     * Never merged into neighbouring runs so the address survives.
+     */
+    void
+    wramAccess(OpClass cls, std::uint32_t count, std::uint64_t addr,
+               std::uint32_t bytes)
+    {
+        ALPHA_ASSERT(cls == OpClass::LoadWram ||
+                         cls == OpClass::StoreWram,
+                     "addressed accesses must be scratchpad ops");
+        if (count == 0)
+            return;
+        records_.push_back({RecordKind::Ops, cls, count, bytes, addr});
     }
 
     /** Append a mutex acquire on mutex `id`. */

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <string>
 
+#include "analysis/checker.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "telemetry/metrics.hh"
@@ -82,6 +83,7 @@ UpmemSystem::launchKernel(
 
     const bool tracing = telemetry::tracer().enabled();
     const bool sampling = telemetry::metrics().enabled();
+    const bool checking = analysis::checker().enabled();
 
     const RevolverScheduler scheduler(cfg_.dpu);
     LaunchProfile launch;
@@ -95,6 +97,10 @@ UpmemSystem::launchKernel(
     parallelFor(num_dpus, [&](std::size_t dpu) {
         std::vector<TaskletTrace> traces(cfg_.dpu.tasklets);
         generate(static_cast<unsigned>(dpu), traces);
+        if (checking) {
+            analysis::checker().analyzeDpu(
+                static_cast<unsigned>(dpu), traces, cfg_.dpu);
+        }
         const DpuProfile profile = scheduler.run(traces);
         if (!per_dpu_cycles.empty())
             per_dpu_cycles[dpu] = profile.totalCycles;

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * pim-verify end-to-end check: with the global checker enabled, the
+ * kernels backing all four graph applications -- across every MxV
+ * strategy, so each SpMV/SpMSpV variant gets exercised -- must
+ * produce traces with zero findings. This is the regression gate
+ * the CI pim-verify job runs against the bundled datasets; here it
+ * runs on small random graphs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/checker.hh"
+#include "apps/graph_apps.hh"
+#include "common/random.hh"
+#include "sparse/generators.hh"
+#include "sparse/graph_stats.hh"
+
+using namespace alphapim;
+using namespace alphapim::apps;
+
+namespace
+{
+
+upmem::UpmemSystem
+testSystem(unsigned dpus = 16)
+{
+    upmem::SystemConfig cfg;
+    cfg.numDpus = dpus;
+    cfg.dpu.tasklets = 8;
+    return upmem::UpmemSystem(cfg);
+}
+
+sparse::CooMatrix<float>
+socialGraph(std::uint64_t seed)
+{
+    Rng rng(seed);
+    const auto list = sparse::generateScaleMatched(600, 8, 25, rng);
+    return sparse::edgeListToSymmetricCoo(list);
+}
+
+/** Global-checker guard: enable on entry, disable + clear on exit. */
+class CleanApps : public ::testing::Test
+{
+  protected:
+    CleanApps()
+    {
+        analysis::checker().clear();
+        analysis::checker().enable(analysis::CheckOptions{});
+    }
+
+    ~CleanApps() override
+    {
+        analysis::checker().disable();
+        analysis::checker().clear();
+    }
+
+    /** Assert the run so far produced zero findings; print any. */
+    static void
+    expectClean(const char *what)
+    {
+        const auto rep = analysis::checker().report();
+        std::ostringstream os;
+        for (const auto &f : rep.findings)
+            os << "\n  " << analysis::describeFinding(f);
+        EXPECT_EQ(rep.total(), 0u)
+            << what << " produced findings:" << os.str();
+        EXPECT_GT(rep.dpusChecked, 0u)
+            << what << " was not analyzed at all";
+    }
+};
+
+const core::MxvStrategy kStrategies[] = {
+    core::MxvStrategy::Adaptive,
+    core::MxvStrategy::SpmspvOnly,
+    core::MxvStrategy::SpmvOnly,
+};
+
+} // namespace
+
+TEST_F(CleanApps, BfsTracesHaveNoFindings)
+{
+    const auto sys = testSystem();
+    const auto adj = socialGraph(1);
+    const NodeId source = sparse::largestComponentVertex(adj);
+    for (const auto strategy : kStrategies) {
+        AppConfig cfg;
+        cfg.strategy = strategy;
+        runBfs(sys, adj, source, cfg);
+    }
+    expectClean("bfs");
+}
+
+TEST_F(CleanApps, SsspTracesHaveNoFindings)
+{
+    const auto sys = testSystem();
+    Rng rng(7);
+    const auto adj = sparse::assignSymmetricWeights(
+        socialGraph(2), 1.0f, 64.0f, rng);
+    const NodeId source = sparse::largestComponentVertex(adj);
+    for (const auto strategy : kStrategies) {
+        AppConfig cfg;
+        cfg.strategy = strategy;
+        runSssp(sys, adj, source, cfg);
+    }
+    expectClean("sssp");
+}
+
+TEST_F(CleanApps, PprTracesHaveNoFindings)
+{
+    const auto sys = testSystem();
+    const auto adj = socialGraph(3);
+    const NodeId source = sparse::largestComponentVertex(adj);
+    for (const auto strategy : kStrategies) {
+        AppConfig cfg;
+        cfg.strategy = strategy;
+        cfg.pprIterations = 5;
+        runPpr(sys, adj, source, cfg);
+    }
+    expectClean("ppr");
+}
+
+TEST_F(CleanApps, ConnectedComponentsTracesHaveNoFindings)
+{
+    const auto sys = testSystem();
+    const auto adj = socialGraph(4);
+    for (const auto strategy : kStrategies) {
+        AppConfig cfg;
+        cfg.strategy = strategy;
+        runConnectedComponents(sys, adj, cfg);
+    }
+    expectClean("cc");
+}

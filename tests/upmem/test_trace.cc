@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "upmem/scheduler.hh"
 #include "upmem/tasklet_ctx.hh"
 #include "upmem/trace.hh"
 
@@ -100,6 +101,81 @@ TEST(TaskletCtx, StreamToMramChunksToo)
         }
     }
     EXPECT_EQ(writes, 1u);
+}
+
+TEST(TaskletCtx, RandomMramAccessRoundsToDmaGranularity)
+{
+    DpuConfig cfg;
+    TaskletTrace t;
+    TaskletCtx ctx(cfg, t);
+    ctx.randomMramRead(5);
+    ctx.randomMramWrite(12);
+    ctx.randomMramRead(dmaMaxBytes);
+    ASSERT_EQ(t.records().size(), 3u);
+    EXPECT_EQ(t.records()[0].arg, 8u);
+    EXPECT_EQ(t.records()[1].arg, 16u);
+    EXPECT_EQ(t.records()[2].arg, dmaMaxBytes);
+}
+
+TEST(TaskletCtx, StreamChunksStayDmaAligned)
+{
+    DpuConfig cfg;
+    cfg.wramChunkBytes = 100; // not a multiple of 8
+    TaskletTrace t;
+    TaskletCtx ctx(cfg, t);
+    ctx.streamFromMram(250);
+    Bytes total = 0;
+    for (const auto &r : t.records()) {
+        if (r.kind != RecordKind::Dma)
+            continue;
+        EXPECT_EQ(r.arg % dmaGranularity, 0u);
+        EXPECT_LE(r.arg, 96u); // chunk cap: wramChunkBytes & ~7
+        total += r.arg;
+    }
+    EXPECT_GE(total, 250u);
+    EXPECT_LT(total, 250u + dmaGranularity);
+}
+
+TEST(TaskletCtx, RoundedDmaMatchesCycleModel)
+{
+    // A rounded-up random access must cost exactly what an explicit
+    // granularity-sized DMA costs in the replay model.
+    DpuConfig cfg;
+    std::vector<TaskletTrace> a(cfg.tasklets), b(cfg.tasklets);
+    TaskletCtx ctx(cfg, a[0]);
+    ctx.randomMramRead(5);
+    b[0].dmaRead(8);
+    const RevolverScheduler sched(cfg);
+    EXPECT_EQ(sched.run(a).totalCycles, sched.run(b).totalCycles);
+}
+
+TEST(TaskletCtx, AddressedStreamAdvancesChunkAddresses)
+{
+    DpuConfig cfg;
+    cfg.wramChunkBytes = 256;
+    TaskletTrace t;
+    TaskletCtx ctx(cfg, t);
+    ctx.streamFromMram(600, 0x1000);
+    std::uint64_t expect = 0x1000;
+    for (const auto &r : t.records()) {
+        if (r.kind != RecordKind::Dma)
+            continue;
+        ASSERT_TRUE(r.addressed());
+        EXPECT_EQ(r.addr, expect);
+        expect += r.arg;
+    }
+}
+
+TEST(Trace, AddressedWramAccessKeepsAddress)
+{
+    TaskletTrace t;
+    t.wramAccess(OpClass::LoadWram, 2, 0x4000, 8);
+    t.ops(OpClass::LoadWram, 3); // must not merge into it
+    ASSERT_EQ(t.records().size(), 2u);
+    EXPECT_TRUE(t.records()[0].addressed());
+    EXPECT_EQ(t.records()[0].addr, 0x4000u);
+    EXPECT_EQ(t.records()[0].arg, 8u);
+    EXPECT_FALSE(t.records()[1].addressed());
 }
 
 TEST(OpTaxonomy, CategoriesAreStable)

@@ -19,6 +19,7 @@
 #include <fstream>
 #include <string>
 
+#include "analysis/checker.hh"
 #include "apps/graph_apps.hh"
 #include "apps/reference_algorithms.hh"
 #include "baseline/cpu_engine.hh"
@@ -47,6 +48,8 @@ struct CliOptions
     std::string metricsOut;
     std::string logLevel;
     std::string strategy = "adaptive";
+    std::string checkList;
+    std::string checkOut;
     double scale = 0.25;
     double threshold = -1.0;
     unsigned dpus = 2048;
@@ -57,6 +60,7 @@ struct CliOptions
     bool profile = false;
     bool compareCpu = false;
     bool validate = false;
+    bool check = false;
 };
 
 [[noreturn]] void
@@ -84,6 +88,13 @@ usage()
         "  --trace-out FILE            Chrome trace-event JSON of\n"
         "                              the run (Perfetto-loadable)\n"
         "  --metrics-out FILE          metrics registry dump (JSONL)\n"
+        "  --check[=FAMILIES]          run the pim-verify trace\n"
+        "                              analyzer; FAMILIES is a comma\n"
+        "                              list of race,lock,barrier,dma\n"
+        "                              (default all); exits 3 when\n"
+        "                              findings are reported\n"
+        "  --check-out FILE            JSON findings report (implies\n"
+        "                              --check)\n"
         "  --log-level LEVEL           silent|normal|verbose\n"
         "Every flag also accepts the --flag=value spelling.\n");
     std::exit(2);
@@ -142,7 +153,14 @@ parseCli(int argc, char **argv)
             opt.seed = std::strtoull(next(), nullptr, 10);
         else if (arg == "--source")
             opt.source = std::atol(next());
-        else if (arg == "--profile")
+        else if (arg == "--check") {
+            opt.check = true;
+            if (has_inline)
+                opt.checkList = inline_value;
+        } else if (arg == "--check-out") {
+            opt.check = true;
+            opt.checkOut = next();
+        } else if (arg == "--profile")
             opt.profile = true;
         else if (arg == "--compare-cpu")
             opt.compareCpu = true;
@@ -160,6 +178,14 @@ parseCli(int argc, char **argv)
         telemetry::tracer().setEnabled(true);
     if (!opt.metricsOut.empty())
         telemetry::metrics().setEnabled(true);
+    if (opt.check) {
+        analysis::CheckOptions sel;
+        std::string error;
+        if (!analysis::CheckOptions::parseList(opt.checkList, sel,
+                                               &error))
+            fatal("--check: %s", error.c_str());
+        analysis::checker().enable(sel);
+    }
     return opt;
 }
 
@@ -357,5 +383,30 @@ main(int argc, char **argv)
         telemetry::writeTraceFile(opt.traceOut);
     if (!opt.metricsOut.empty())
         telemetry::writeMetricsFile(opt.metricsOut);
+
+    if (opt.check) {
+        const auto report = analysis::checker().report();
+        std::printf("\npim-verify: %llu finding(s) across %llu DPU "
+                    "launches checked\n",
+                    static_cast<unsigned long long>(report.total()),
+                    static_cast<unsigned long long>(
+                        report.dpusChecked));
+        for (const auto &f : report.findings)
+            std::printf("  %s\n",
+                        analysis::describeFinding(f).c_str());
+        if (report.dropped > 0)
+            std::printf("  ... and %llu more (not retained)\n",
+                        static_cast<unsigned long long>(
+                            report.dropped));
+        if (!opt.checkOut.empty()) {
+            if (!analysis::checker().writeReport(opt.checkOut))
+                fatal("cannot write check report '%s'",
+                      opt.checkOut.c_str());
+            inform("wrote pim-verify report to %s",
+                   opt.checkOut.c_str());
+        }
+        if (report.total() > 0)
+            return 3;
+    }
     return 0;
 }
