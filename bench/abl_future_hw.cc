@@ -78,6 +78,7 @@ main(int argc, char **argv)
     };
     const char *algo_names[] = {"BFS", "SSSP", "PPR"};
 
+    RunRecorder recorder(opt, "abl_future_hw");
     for (const auto &name : names) {
         const auto data = loadDataset(name, opt);
         Rng rng(opt.seed);
@@ -105,6 +106,7 @@ main(int argc, char **argv)
                     app_cfg.pprIterations = 10;
                 }
                 apps::AppResult run;
+                recorder.begin();
                 switch (algo) {
                   case 0:
                     run = apps::runBfs(sys, data.adjacency, source,
@@ -118,6 +120,11 @@ main(int argc, char **argv)
                     run = apps::runPpr(sys, data.adjacency, source,
                                        app_cfg);
                 }
+                recorder.emit(name,
+                              std::string(variant.name) + "/" +
+                                  algo_names[algo],
+                              run.total, &run.profile,
+                              run.iterations.size());
                 totals[algo] = run.total.total();
                 if (variant.name == std::string("baseline"))
                     base[algo] = totals[algo];
@@ -138,6 +145,5 @@ main(int argc, char **argv)
                 "transfer-bound BFS/SSSP; hw-float mainly helps "
                 "kernel-bound PPR; forwarding/nb-dma lift kernel "
                 "IPC everywhere\n");
-    (void)algo_names;
     return writeTelemetryOutputs(opt);
 }

@@ -1,12 +1,16 @@
 #include "bench_common.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 
 #include "analysis/checker.hh"
 #include "common/logging.hh"
-#include "core/result_json.hh"
+#include "perf/fingerprint.hh"
+#include "perf/manifest.hh"
+#include "perf/record.hh"
 #include "telemetry/telemetry.hh"
 
 namespace alphapim::bench
@@ -153,12 +157,28 @@ effectiveScale(const sparse::DatasetSpec &spec,
            static_cast<double>(spec.edges);
 }
 
+namespace
+{
+
+/** Fingerprints of the datasets loaded so far, by abbreviation. */
+std::map<std::string, std::uint64_t> &
+datasetFingerprints()
+{
+    static std::map<std::string, std::uint64_t> fps;
+    return fps;
+}
+
+} // namespace
+
 sparse::Dataset
 loadDataset(const std::string &abbreviation, const BenchOptions &opt)
 {
     const auto &spec = sparse::findSpec(abbreviation);
-    return sparse::buildDataset(spec, effectiveScale(spec, opt),
-                                opt.seed);
+    sparse::Dataset ds = sparse::buildDataset(
+        spec, effectiveScale(spec, opt), opt.seed);
+    datasetFingerprints()[abbreviation] =
+        perf::datasetFingerprint(ds.adjacency);
+    return ds;
 }
 
 std::vector<std::string>
@@ -202,32 +222,110 @@ phaseCells(const core::PhaseTimes &t, double norm)
             TextTable::num(t.total() / norm, 3)};
 }
 
-void
-emitRunRecord(const BenchOptions &opt, const std::string &bench,
-              const std::string &dataset, const std::string &variant,
-              const core::PhaseTimes &times,
-              const upmem::LaunchProfile *profile,
-              std::size_t iterations)
+std::uint64_t
+datasetFingerprintFor(const std::string &abbreviation)
 {
-    if (opt.jsonOut.empty())
+    const auto &fps = datasetFingerprints();
+    const auto it = fps.find(abbreviation);
+    return it == fps.end() ? 0 : it->second;
+}
+
+namespace
+{
+
+constexpr const char *kXferCounters[6] = {
+    "xfer.scatters",   "xfer.scatter_bytes",
+    "xfer.gathers",    "xfer.gather_bytes",
+    "xfer.broadcasts", "xfer.broadcast_bytes",
+};
+
+} // namespace
+
+RunRecorder::RunRecorder(const BenchOptions &opt, std::string bench)
+    : opt_(opt), bench_(std::move(bench))
+{
+}
+
+RunRecorder::~RunRecorder() = default;
+
+void
+RunRecorder::begin()
+{
+    if (opt_.jsonOut.empty())
         return;
-    telemetry::JsonWriter w;
-    w.beginObject();
-    w.key("bench").value(bench);
-    w.key("dataset").value(dataset);
-    w.key("variant").value(variant);
-    w.key("dpus").value(static_cast<std::uint64_t>(opt.dpus));
-    w.key("seed").value(opt.seed);
-    w.key("iterations")
-        .value(static_cast<std::uint64_t>(iterations));
-    w.key("times");
-    core::writePhaseTimes(w, times);
-    if (profile) {
-        w.key("profile");
-        core::writeLaunchProfile(w, *profile);
+    began_ = true;
+    // Benches that drive kernels directly never pass through
+    // PimEngine's LaunchScope, so open a recording scope here --
+    // the transfer model only counts xfer.* volume inside one.
+    if (!recording_)
+        recording_ =
+            std::make_unique<telemetry::RecordingScope>();
+    for (std::size_t i = 0; i < 6; ++i)
+        xferStart_[i] =
+            telemetry::metrics().counterValue(kXferCounters[i]);
+    wallStart_ =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+}
+
+void
+RunRecorder::emit(const std::string &dataset,
+                  const std::string &variant,
+                  const core::PhaseTimes &times,
+                  const upmem::LaunchProfile *profile,
+                  std::size_t iterations, unsigned dpusOverride)
+{
+    if (opt_.jsonOut.empty())
+        return;
+
+    perf::RunManifest manifest = perf::currentManifest();
+    manifest.datasetFingerprint = datasetFingerprintFor(dataset);
+    manifest.addConfig("edge_target",
+                       static_cast<std::uint64_t>(opt_.edgeTarget));
+    manifest.addConfig(
+        "road_edge_target",
+        static_cast<std::uint64_t>(opt_.roadEdgeTarget));
+    if (opt_.scale > 0.0)
+        manifest.addConfig("scale", opt_.scale);
+    manifest.addConfig("quick", opt_.quick);
+
+    perf::RunKey key;
+    key.bench = bench_;
+    key.dataset = dataset;
+    key.variant = variant;
+    key.dpus = dpusOverride != 0 ? dpusOverride : opt_.dpus;
+    key.seed = opt_.seed;
+
+    perf::XferCounts xfer;
+    double wall = -1.0;
+    const perf::XferCounts *xfer_ptr = nullptr;
+    if (began_) {
+        std::uint64_t now[6];
+        for (std::size_t i = 0; i < 6; ++i)
+            now[i] = telemetry::metrics().counterValue(
+                kXferCounters[i]);
+        xfer.scatters = now[0] - xferStart_[0];
+        xfer.scatterBytes = now[1] - xferStart_[1];
+        xfer.gathers = now[2] - xferStart_[2];
+        xfer.gatherBytes = now[3] - xferStart_[3];
+        xfer.broadcasts = now[4] - xferStart_[4];
+        xfer.broadcastBytes = now[5] - xferStart_[5];
+        xfer_ptr = &xfer;
+        wall = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now()
+                       .time_since_epoch())
+                   .count() -
+               wallStart_;
+        began_ = false;
+        recording_.reset();
     }
-    w.endObject();
-    telemetry::appendJsonlRecord(opt.jsonOut, w.str());
+
+    telemetry::appendJsonlRecord(
+        opt_.jsonOut,
+        perf::encodeRunRecord(manifest, key,
+                              static_cast<std::uint64_t>(iterations),
+                              times, profile, xfer_ptr, wall));
 }
 
 int

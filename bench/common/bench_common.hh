@@ -28,6 +28,7 @@
 #ifndef ALPHA_PIM_BENCH_COMMON_HH
 #define ALPHA_PIM_BENCH_COMMON_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,11 @@
 #include "sparse/datasets.hh"
 #include "sparse/sparse_vector.hh"
 #include "upmem/upmem_system.hh"
+
+namespace alphapim::telemetry
+{
+class RecordingScope;
+}
 
 namespace alphapim::bench
 {
@@ -117,26 +123,59 @@ randomInputVector(NodeId n, double density, std::uint64_t seed,
 std::vector<std::string> phaseCells(const core::PhaseTimes &t,
                                     double norm);
 
+/** Fingerprint of the last dataset returned by loadDataset() for
+ * this abbreviation (0 when never loaded). */
+std::uint64_t datasetFingerprintFor(const std::string &abbreviation);
+
 /**
- * Append one per-run record to the --json-out JSONL file (no-op when
- * the flag is absent): bench + dataset + variant identification, the
- * run configuration, the phase breakdown, and, when a profile is
- * given, stall fractions and the instruction mix.
+ * Appends one schema-tagged run record per measured run to the
+ * --json-out JSONL file (no-op without the flag). Each record
+ * carries the full provenance manifest -- schema version, git SHA,
+ * build type/flags, dataset fingerprint, run configuration -- plus
+ * the phase breakdown, the DPU profile when given, the xfer.*
+ * transfer volume accrued since begin(), and the host wall-clock
+ * duration of the measured region.
  *
- * @param opt        parsed bench options (provides the sink path)
- * @param bench      experiment name, e.g. "fig07"
- * @param dataset    dataset abbreviation
- * @param variant    strategy / configuration label of this run
- * @param times      accumulated phase times of the run
- * @param profile    accumulated DPU profile, or nullptr
- * @param iterations iteration count of the run (0 if n/a)
+ * Usage: construct once per bench, call begin() right before each
+ * measured run, emit() right after it.
  */
-void emitRunRecord(const BenchOptions &opt, const std::string &bench,
-                   const std::string &dataset,
-                   const std::string &variant,
-                   const core::PhaseTimes &times,
-                   const upmem::LaunchProfile *profile,
-                   std::size_t iterations);
+class RunRecorder
+{
+  public:
+    RunRecorder(const BenchOptions &opt, std::string bench);
+    ~RunRecorder();
+
+    /** Start a measured region: snapshot the xfer counters and the
+     * wall clock, and open a telemetry recording scope so the
+     * transfer model counts scatter/gather/broadcast volume even
+     * for benches that drive kernels directly (outside PimEngine's
+     * LaunchScope). */
+    void begin();
+
+    /**
+     * Append the record for the run started by the last begin().
+     *
+     * @param dataset    dataset abbreviation ("-" if n/a)
+     * @param variant    strategy / configuration label of this run
+     * @param times      accumulated phase times of the run
+     * @param profile    accumulated DPU profile, or nullptr
+     * @param iterations iteration count of the run (0 if n/a)
+     * @param dpusOverride DPU count of this run when it differs
+     *                     from opt.dpus (0 = use opt.dpus)
+     */
+    void emit(const std::string &dataset, const std::string &variant,
+              const core::PhaseTimes &times,
+              const upmem::LaunchProfile *profile,
+              std::size_t iterations, unsigned dpusOverride = 0);
+
+  private:
+    const BenchOptions &opt_;
+    std::string bench_;
+    bool began_ = false;
+    double wallStart_ = 0.0;
+    std::uint64_t xferStart_[6] = {};
+    std::unique_ptr<telemetry::RecordingScope> recording_;
+};
 
 /** Write the --trace-out / --metrics-out files if requested, print
  * the pim-verify summary (and write --check-out) when --check is on.

@@ -31,6 +31,7 @@ main(int argc, char **argv)
         KernelVariant::SpmvCoo1d, KernelVariant::SpmvCooRow1d,
         KernelVariant::SpmvCsrRow1d, KernelVariant::SpmvDcoo2d};
 
+    RunRecorder recorder(opt, "ext_sparsep_1d");
     TextTable table("kernel-phase time (ms) and total, dense input");
     table.setHeader({"dataset", "deg-std/avg", "variant", "kernel",
                      "total", "kernel vs COO.nnz"});
@@ -46,7 +47,10 @@ main(int argc, char **argv)
         for (auto v : variants) {
             const auto kernel = makeKernel<IntPlusTimes>(
                 v, sys, data.adjacency, opt.dpus);
+            recorder.begin();
             const auto r = kernel->run(x);
+            recorder.emit(name, kernelVariantName(v), r.times,
+                          &r.profile, 1);
             if (v == KernelVariant::SpmvCoo1d)
                 coo_nnz_kernel = r.times.kernel;
             table.addRow(

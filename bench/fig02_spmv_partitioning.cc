@@ -30,6 +30,7 @@ main(int argc, char **argv)
               "loc-b", "p2p-24", "s-S02", "s-S11", "flk-E"});
     const auto sys = makeSystem(opt.dpus);
 
+    RunRecorder recorder(opt, "fig02");
     TextTable table("normalized to the 1D total per dataset");
     table.setHeader({"dataset", "variant", "load", "kernel",
                      "retrieve", "merge", "total"});
@@ -46,8 +47,12 @@ main(int argc, char **argv)
         const auto spmv2d = makeKernel<IntPlusTimes>(
             KernelVariant::SpmvDcoo2d, sys, data.adjacency, opt.dpus);
 
+        recorder.begin();
         const auto r1 = spmv1d->run(x);
+        recorder.emit(name, "spmv-coo1d", r1.times, &r1.profile, 1);
+        recorder.begin();
         const auto r2 = spmv2d->run(x);
+        recorder.emit(name, "spmv-dcoo2d", r2.times, &r2.profile, 1);
         const double norm = r1.times.total();
 
         auto cells1 = phaseCells(r1.times, norm);

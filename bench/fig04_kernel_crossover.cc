@@ -21,7 +21,7 @@ namespace
 
 void
 runOne(const upmem::UpmemSystem &sys, const sparse::Dataset &data,
-       bool sssp, const BenchOptions &opt)
+       bool sssp, const BenchOptions &opt, RunRecorder &recorder)
 {
     Rng rng(opt.seed);
     sparse::CooMatrix<float> matrix = data.adjacency;
@@ -34,12 +34,21 @@ runOne(const upmem::UpmemSystem &sys, const sparse::Dataset &data,
     spmv_cfg.strategy = core::MxvStrategy::SpmvOnly;
     spmspv_cfg.strategy = core::MxvStrategy::SpmspvOnly;
 
+    const std::string algo_tag = sssp ? "SSSP" : "BFS";
+    recorder.begin();
     const auto run_spmv =
         sssp ? apps::runSssp(sys, matrix, source, spmv_cfg)
              : apps::runBfs(sys, matrix, source, spmv_cfg);
+    recorder.emit(data.spec.abbreviation, algo_tag + "/spmv-only",
+                  run_spmv.total, &run_spmv.profile,
+                  run_spmv.iterations.size());
+    recorder.begin();
     const auto run_spmspv =
         sssp ? apps::runSssp(sys, matrix, source, spmspv_cfg)
              : apps::runBfs(sys, matrix, source, spmspv_cfg);
+    recorder.emit(data.spec.abbreviation, algo_tag + "/spmspv-only",
+                  run_spmspv.total, &run_spmspv.profile,
+                  run_spmspv.iterations.size());
 
     TextTable table(std::string(sssp ? "SSSP" : "BFS") + " on " +
                     data.spec.abbreviation +
@@ -82,10 +91,11 @@ main(int argc, char **argv)
 
     const auto names = datasetList(opt, {"A302", "r-TX"});
     const auto sys = makeSystem(opt.dpus);
+    RunRecorder recorder(opt, "fig04");
     for (const auto &name : names) {
         const auto data = loadDataset(name, opt);
-        runOne(sys, data, /*sssp=*/false, opt);
-        runOne(sys, data, /*sssp=*/true, opt);
+        runOne(sys, data, /*sssp=*/false, opt, recorder);
+        runOne(sys, data, /*sssp=*/true, opt, recorder);
     }
     std::printf("paper expectation: SpMSpV wins at low density, "
                 "SpMV steady; crossover as the frontier densifies\n");

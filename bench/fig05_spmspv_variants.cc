@@ -37,6 +37,7 @@ main(int argc, char **argv)
     // geomean accumulator: variant x density -> ratios vs COO
     std::map<std::pair<unsigned, unsigned>, std::vector<double>>
         ratios;
+    RunRecorder recorder(opt, "fig05");
 
     for (const auto &name : names) {
         const auto data = loadDataset(name, opt);
@@ -57,7 +58,13 @@ main(int argc, char **argv)
                 n, densities[di], opt.seed + di, 1u, 8u);
             double norm = 0.0;
             for (unsigned vi = 0; vi < variants.size(); ++vi) {
+                recorder.begin();
                 const auto r = kernels[vi]->run(x);
+                recorder.emit(
+                    name,
+                    std::string(kernelVariantName(variants[vi])) +
+                        "/d" + TextTable::num(densities[di], 2),
+                    r.times, &r.profile, 1);
                 if (vi == 0)
                     norm = r.times.total();
                 auto cells = phaseCells(r.times, norm);

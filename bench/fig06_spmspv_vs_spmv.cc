@@ -28,6 +28,7 @@ main(int argc, char **argv)
     const std::vector<double> densities = {0.01, 0.10, 0.30, 0.50};
 
     std::map<unsigned, std::vector<double>> ratios;
+    RunRecorder recorder(opt, "fig06");
     for (const auto &name : names) {
         const auto data = loadDataset(name, opt);
         const NodeId n = data.adjacency.numRows();
@@ -43,8 +44,16 @@ main(int argc, char **argv)
         for (unsigned di = 0; di < densities.size(); ++di) {
             const auto x = randomInputVector<std::uint32_t>(
                 n, densities[di], opt.seed + di, 1u, 8u);
+            const std::string density_tag =
+                "/d" + TextTable::num(densities[di], 2);
+            recorder.begin();
             const auto rv = spmv->run(x);
+            recorder.emit(name, "spmv" + density_tag, rv.times,
+                          &rv.profile, 1);
+            recorder.begin();
             const auto rs = spmspv->run(x);
+            recorder.emit(name, "spmspv" + density_tag, rs.times,
+                          &rs.profile, 1);
             const double norm = rv.times.total();
 
             auto cv = phaseCells(rv.times, norm);

@@ -52,6 +52,7 @@ main(int argc, char **argv)
     const char *algo_names[] = {"BFS", "SSSP", "PPR"};
     const char *paper[] = {"1.72x", "1.34x", "1.22x"};
 
+    RunRecorder recorder(opt, "fig07");
     TextTable table("total time per run (ms) and adaptive speedup");
     table.setHeader({"algo", "dataset", "SpMV-only", "adaptive",
                      "speedup", "spmspv/spmv launches"});
@@ -68,24 +69,25 @@ main(int argc, char **argv)
             const NodeId source =
                 sparse::largestComponentVertex(matrix);
 
+            const std::string algo_tag = algo_names[algo];
+            recorder.begin();
             const auto baseline = runAlgo(
                 sys, matrix, source, algo,
                 core::MxvStrategy::SpmvOnly);
+            recorder.emit(name, algo_tag + "/spmv-only",
+                          baseline.total, &baseline.profile,
+                          baseline.iterations.size());
+            recorder.begin();
             const auto adaptive = runAlgo(
                 sys, matrix, source, algo,
                 core::MxvStrategy::Adaptive);
+            recorder.emit(name, algo_tag + "/adaptive",
+                          adaptive.total, &adaptive.profile,
+                          adaptive.iterations.size());
 
             const double speedup =
                 baseline.total.total() / adaptive.total.total();
             speedups.push_back(speedup);
-            const std::string algo_tag = algo_names[algo];
-            emitRunRecord(opt, "fig07", name,
-                          algo_tag + "/spmv-only", baseline.total,
-                          &baseline.profile,
-                          baseline.iterations.size());
-            emitRunRecord(opt, "fig07", name, algo_tag + "/adaptive",
-                          adaptive.total, &adaptive.profile,
-                          adaptive.iterations.size());
             table.addRow(
                 {algo_names[algo], name,
                  TextTable::num(toMillis(baseline.total.total()), 2),

@@ -46,6 +46,7 @@ main(int argc, char **argv)
         3,
         std::vector<std::vector<double>>(dpu_counts.size()));
 
+    RunRecorder recorder(opt, "fig08");
     TextTable table(
         "phase breakdown normalized to the smallest DPU count");
     table.setHeader({"algo", "dataset", "dpus", "load", "kernel",
@@ -69,6 +70,7 @@ main(int argc, char **argv)
                 if (algo == 2)
                     cfg.pprTolerance = 0.0;
                 apps::AppResult run;
+                recorder.begin();
                 switch (algo) {
                   case 0:
                     run = apps::runBfs(sys, matrix, source, cfg);
@@ -79,6 +81,9 @@ main(int argc, char **argv)
                   default:
                     run = apps::runPpr(sys, matrix, source, cfg);
                 }
+                recorder.emit(name, algo_names[algo], run.total,
+                              &run.profile, run.iterations.size(),
+                              dpu_counts[di]);
                 if (di == 0)
                     norm = run.total.total();
                 auto cells = phaseCells(run.total, norm);

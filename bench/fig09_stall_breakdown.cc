@@ -29,6 +29,7 @@ main(int argc, char **argv)
     const auto sys = makeSystem(opt.dpus);
     const std::vector<double> densities = {0.01, 0.10, 0.50};
 
+    RunRecorder recorder(opt, "fig09");
     TextTable table("fraction of DPU cycles (aggregated over DPUs)");
     table.setHeader({"dataset", "kernel", "density", "issued",
                      "memory", "revolver", "rf-hazard", "sync",
@@ -47,10 +48,11 @@ main(int argc, char **argv)
                 n, densities[di], opt.seed + di, 1u, 8u);
             for (int which = 0; which < 2; ++which) {
                 const auto &kernel = which == 0 ? spmv : spmspv;
+                recorder.begin();
                 const auto r = kernel->run(x);
                 const auto &p = r.profile.aggregate;
-                emitRunRecord(
-                    opt, "fig09", name,
+                recorder.emit(
+                    name,
                     std::string(which == 0 ? "spmv" : "spmspv") +
                         "/d" + TextTable::num(densities[di], 2),
                     r.times, &r.profile, 1);

@@ -25,6 +25,7 @@ main(int argc, char **argv)
     const unsigned tasklets = sys.config().dpu.tasklets;
     const std::vector<double> densities = {0.01, 0.10, 0.50};
 
+    RunRecorder recorder(opt, "fig10");
     TextTable table("average active tasklets per cycle (max " +
                     std::to_string(tasklets) + ")");
     table.setHeader({"dataset", "density", "SpMV", "SpMSpV"});
@@ -39,8 +40,16 @@ main(int argc, char **argv)
         for (unsigned di = 0; di < densities.size(); ++di) {
             const auto x = randomInputVector<std::uint32_t>(
                 n, densities[di], opt.seed + di, 1u, 8u);
+            const std::string density_tag =
+                "/d" + TextTable::num(densities[di], 2);
+            recorder.begin();
             const auto rv = spmv->run(x);
+            recorder.emit(name, "spmv" + density_tag, rv.times,
+                          &rv.profile, 1);
+            recorder.begin();
             const auto rs = spmspv->run(x);
+            recorder.emit(name, "spmspv" + density_tag, rs.times,
+                          &rs.profile, 1);
             table.addRow(
                 {name, TextTable::pct(densities[di], 0),
                  TextTable::num(

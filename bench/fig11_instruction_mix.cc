@@ -25,6 +25,7 @@ main(int argc, char **argv)
     const auto sys = makeSystem(opt.dpus);
     const std::vector<double> densities = {0.01, 0.10, 0.50};
 
+    RunRecorder recorder(opt, "fig11");
     TextTable table("share of dispatched instructions");
     table.setHeader({"dataset", "kernel", "density", "sync",
                      "arithmetic", "scratchpad", "dma", "control"});
@@ -41,7 +42,13 @@ main(int argc, char **argv)
                 n, densities[di], opt.seed + di, 1u, 8u);
             for (int which = 0; which < 2; ++which) {
                 const auto &kernel = which == 0 ? spmv : spmspv;
+                recorder.begin();
                 const auto r = kernel->run(x);
+                recorder.emit(
+                    name,
+                    std::string(which == 0 ? "spmv" : "spmspv") +
+                        "/d" + TextTable::num(densities[di], 2),
+                    r.times, &r.profile, 1);
                 const auto &p = r.profile.aggregate;
                 const double total = static_cast<double>(
                     p.totalInstructions());

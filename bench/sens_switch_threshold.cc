@@ -32,6 +32,7 @@ main(int argc, char **argv)
     const std::vector<double> offsets = {-0.20, -0.10, 0.0, 0.10,
                                          0.20};
 
+    RunRecorder recorder(opt, "sens_switch_threshold");
     TextTable table("BFS total time change vs the model threshold");
     table.setHeader({"dataset", "model thr", "-20pts", "-10pts",
                      "model", "+10pts", "+20pts"});
@@ -47,8 +48,14 @@ main(int argc, char **argv)
             apps::AppConfig cfg;
             cfg.switchThreshold =
                 std::clamp(base_thr + off, 0.01, 0.99);
+            recorder.begin();
             const auto run =
                 apps::runBfs(sys, data.adjacency, source, cfg);
+            char off_tag[32];
+            std::snprintf(off_tag, sizeof(off_tag), "BFS/off%+.2f",
+                          off);
+            recorder.emit(name, off_tag, run.total, &run.profile,
+                          run.iterations.size());
             totals.push_back(run.total.total());
         }
         const double base = totals[2];

@@ -51,6 +51,7 @@ main(int argc, char **argv)
     const SystemComparison cmp(sys);
     const Algo algos[] = {Algo::Bfs, Algo::Sssp, Algo::Ppr};
 
+    RunRecorder recorder(opt, "table4");
     TextTable table("execution time (ms) / utilization (%) / "
                     "energy (J)");
     table.setHeader({"algo", "dataset", "CPU ms", "GPU ms",
@@ -65,7 +66,11 @@ main(int argc, char **argv)
             apps::AppConfig cfg;
             if (algo == Algo::Ppr)
                 cfg.pprTolerance = 0.0;
+            recorder.begin();
             const auto row = cmp.compare(algo, data, cfg, opt.seed);
+            recorder.emit(name, std::string(algoName(algo)) + "/upmem",
+                          row.upmemTimes, &row.upmemProfile,
+                          row.upmemIterations);
             table.addRow({algoName(algo), name,
                           TextTable::num(row.cpuMs, 2),
                           TextTable::num(row.gpuMs, 2),

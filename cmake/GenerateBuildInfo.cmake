@@ -1,0 +1,45 @@
+# Script mode (cmake -P): regenerate src/perf build_info.cc from the
+# current git state. Run at configure time and again on every build
+# (see src/perf/CMakeLists.txt) so the embedded revision does not go
+# stale between commits; configure_file only touches the output when
+# the content actually changed, so incremental builds stay no-ops.
+#
+# Inputs (-D):
+#   SOURCE_DIR  repository root
+#   TEMPLATE    path to build_info.cc.in
+#   OUTPUT      path of the generated build_info.cc
+#   BUILD_TYPE  CMAKE_BUILD_TYPE of the enclosing build
+#   SANITIZE    ALPHA_PIM_SANITIZE of the enclosing build (may be "")
+
+set(ALPHA_PIM_GIT_SHA "unknown")
+set(ALPHA_PIM_GIT_DIRTY "")
+
+find_program(ALPHA_PIM_GIT_EXECUTABLE git)
+if(ALPHA_PIM_GIT_EXECUTABLE)
+    execute_process(
+        COMMAND ${ALPHA_PIM_GIT_EXECUTABLE} -C ${SOURCE_DIR}
+                rev-parse --short=12 HEAD
+        OUTPUT_VARIABLE _sha
+        OUTPUT_STRIP_TRAILING_WHITESPACE
+        ERROR_QUIET
+        RESULT_VARIABLE _sha_rc)
+    if(_sha_rc EQUAL 0)
+        set(ALPHA_PIM_GIT_SHA "${_sha}")
+        execute_process(
+            COMMAND ${ALPHA_PIM_GIT_EXECUTABLE} -C ${SOURCE_DIR}
+                    diff --quiet HEAD --
+            ERROR_QUIET
+            RESULT_VARIABLE _dirty_rc)
+        if(NOT _dirty_rc EQUAL 0)
+            set(ALPHA_PIM_GIT_DIRTY "+dirty")
+        endif()
+    endif()
+endif()
+
+set(ALPHA_PIM_BUILD_TYPE "${BUILD_TYPE}")
+set(ALPHA_PIM_BUILD_FLAGS "")
+if(SANITIZE)
+    set(ALPHA_PIM_BUILD_FLAGS "sanitize=${SANITIZE}")
+endif()
+
+configure_file(${TEMPLATE} ${OUTPUT} @ONLY)

@@ -97,6 +97,9 @@ SystemComparison::compare(Algo algo, const sparse::Dataset &data,
         pim = apps::runPpr(sys_, matrix, source, config);
         break;
     }
+    row.upmemTimes = pim.total;
+    row.upmemProfile = pim.profile;
+    row.upmemIterations = pim.iterations.size();
     const Seconds kernel_s = pim.total.kernel;
     const Seconds total_s = pim.total.total();
     row.upmemKernelMs = toMillis(kernel_s);

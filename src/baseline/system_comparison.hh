@@ -54,6 +54,12 @@ struct ComparisonRow
     double gpuJ = 0.0;
     double upmemKernelJ = 0.0;
     double upmemTotalJ = 0.0;
+
+    // The raw UPMEM run behind the ms/%/J cells, kept so callers
+    // can emit full run records for the perf observatory.
+    core::PhaseTimes upmemTimes;
+    upmem::LaunchProfile upmemProfile;
+    std::size_t upmemIterations = 0;
 };
 
 /** Runs the three systems on one (algorithm, dataset) pair. */

@@ -46,6 +46,22 @@ geometricMean(const std::vector<double> &values)
     return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
+double
+percentile(std::vector<double> values, double p)
+{
+    ALPHA_ASSERT(p >= 0.0 && p <= 100.0,
+                 "percentile rank outside [0, 100]");
+    if (values.empty())
+        return std::nan("");
+    std::sort(values.begin(), values.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+}
+
 Histogram::Histogram(std::size_t bins, double upper)
     : weights_(bins, 0.0), upper_(upper)
 {

@@ -63,6 +63,14 @@ class RunningStats
 double geometricMean(const std::vector<double> &values);
 
 /**
+ * Linear-interpolation percentile (the "type 7" estimator that numpy
+ * and R default to) of an unsorted sample set. `p` is in [0, 100];
+ * p=50 is the median. Deterministic for a given sample multiset.
+ * Returns NaN when `values` is empty.
+ */
+double percentile(std::vector<double> values, double p);
+
+/**
  * Fixed-bin histogram over [0, upperBound). Samples at or above the
  * bound land in the final bin. Used for active-thread-count profiles.
  */

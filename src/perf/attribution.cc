@@ -1,0 +1,268 @@
+#include "attribution.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace alphapim::perf
+{
+
+const char *
+bottleneckName(Bottleneck kind)
+{
+    switch (kind) {
+      case Bottleneck::TransferBound:
+        return "transfer-bound";
+      case Bottleneck::MemoryBound:
+        return "memory-bound";
+      case Bottleneck::PipelineBound:
+        return "pipeline-bound";
+      case Bottleneck::ComputeBound:
+        return "compute-bound";
+      case Bottleneck::HostBound:
+        return "host-bound";
+      default:
+        return "unknown";
+    }
+}
+
+namespace
+{
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buf, sizeof(buf), format, args);
+    va_end(args);
+    return buf;
+}
+
+/** "+31.0%" relative change; "new" when the old value was zero. */
+std::string
+pctChange(double oldv, double newv)
+{
+    if (oldv == 0.0)
+        return newv == 0.0 ? "+0.0%" : "new";
+    return fmt("%+.1f%%", (newv - oldv) / oldv * 100.0);
+}
+
+/** "2.10x" ratio; "new" when the old value was zero. */
+std::string
+ratio(double oldv, double newv)
+{
+    if (oldv == 0.0)
+        return newv == 0.0 ? "1.00x" : "new";
+    return fmt("%.2fx", newv / oldv);
+}
+
+struct PhaseDelta
+{
+    const char *metric; ///< metrics-registry spelling of the phase
+    double oldv = 0.0;
+    double newv = 0.0;
+    double delta = 0.0;
+};
+
+} // namespace
+
+Attribution
+attributeRegression(const RunRecord &older, const RunRecord &newer)
+{
+    Attribution out;
+    const double old_total = older.times.total();
+    const double new_total = newer.times.total();
+    const double d_total = new_total - old_total;
+    if (d_total <= 0.0)
+        return out;
+
+    PhaseDelta phases[] = {
+        {"phase.load_seconds", older.times.load, newer.times.load},
+        {"phase.kernel_seconds", older.times.kernel,
+         newer.times.kernel},
+        {"phase.retrieve_seconds", older.times.retrieve,
+         newer.times.retrieve},
+        {"phase.merge_seconds", older.times.merge,
+         newer.times.merge},
+    };
+    for (auto &p : phases)
+        p.delta = p.newv - p.oldv;
+
+    const double transfer_delta = phases[0].delta + phases[2].delta;
+    const double kernel_delta = phases[1].delta;
+    const double host_delta = phases[3].delta;
+
+    // ---- classify ----
+    if (transfer_delta >= kernel_delta &&
+        transfer_delta >= host_delta && transfer_delta > 0.0) {
+        out.kind = Bottleneck::TransferBound;
+    } else if (host_delta >= kernel_delta && host_delta > 0.0) {
+        out.kind = Bottleneck::HostBound;
+    } else if (kernel_delta > 0.0) {
+        // Subdivide the kernel regression by what grew most in the
+        // cycle accounting: real work, MRAM stalls, or pipeline
+        // (revolver + register-file + sync) stalls.
+        out.kind = Bottleneck::ComputeBound;
+        if (older.hasProfile && newer.hasProfile) {
+            auto stall_cycles = [](const RunRecord &r,
+                                   const char *reason) {
+                const auto it = r.stallFractions.find(reason);
+                return it == r.stallFractions.end()
+                    ? 0.0
+                    : it->second *
+                          static_cast<double>(r.totalCycles);
+            };
+            const double d_issued =
+                static_cast<double>(newer.issuedCycles) -
+                static_cast<double>(older.issuedCycles);
+            const double d_memory =
+                stall_cycles(newer, "memory") -
+                stall_cycles(older, "memory");
+            double d_pipeline = 0.0;
+            // Record keys use stallReasonName() spellings
+            // ("rf-hazard"), not the metric-name spellings.
+            for (const char *reason :
+                 {"revolver", "rf-hazard", "sync"}) {
+                d_pipeline += stall_cycles(newer, reason) -
+                              stall_cycles(older, reason);
+            }
+            if (d_memory >= d_issued && d_memory >= d_pipeline &&
+                d_memory > 0.0)
+                out.kind = Bottleneck::MemoryBound;
+            else if (d_pipeline >= d_issued && d_pipeline > 0.0)
+                out.kind = Bottleneck::PipelineBound;
+        }
+    } else {
+        out.kind = Bottleneck::Unknown;
+    }
+
+    // ---- ranked evidence: phases by contribution ----
+    std::sort(std::begin(phases), std::end(phases),
+              [](const PhaseDelta &a, const PhaseDelta &b) {
+                  return a.delta > b.delta;
+              });
+    for (const auto &p : phases) {
+        if (p.delta <= 0.0)
+            continue;
+        out.evidence.push_back(fmt(
+            "%s %s (%.3gs -> %.3gs), %.0f%% of the regression",
+            p.metric, pctChange(p.oldv, p.newv).c_str(), p.oldv,
+            p.newv, p.delta / d_total * 100.0));
+    }
+
+    // ---- supporting evidence: iterations, transfers, stalls ----
+    if (newer.iterations != older.iterations) {
+        out.evidence.push_back(
+            fmt("iterations %llu -> %llu",
+                static_cast<unsigned long long>(older.iterations),
+                static_cast<unsigned long long>(newer.iterations)));
+    }
+    std::string transfer_detail;
+    if (older.hasXfer && newer.hasXfer) {
+        const struct
+        {
+            const char *name;
+            const char *label;
+            std::uint64_t oldv, newv;
+        } volumes[] = {
+            {"xfer.broadcast_bytes", "broadcast bytes",
+             older.xfer.broadcastBytes, newer.xfer.broadcastBytes},
+            {"xfer.scatter_bytes", "scatter bytes",
+             older.xfer.scatterBytes, newer.xfer.scatterBytes},
+            {"xfer.gather_bytes", "gather bytes",
+             older.xfer.gatherBytes, newer.xfer.gatherBytes},
+        };
+        double best_ratio = 1.0;
+        for (const auto &v : volumes) {
+            if (v.newv == v.oldv)
+                continue;
+            const auto oldd = static_cast<double>(v.oldv);
+            const auto newd = static_cast<double>(v.newv);
+            out.evidence.push_back(
+                fmt("%s %s (%.3g -> %.3g)", v.name,
+                    ratio(oldd, newd).c_str(), oldd, newd));
+            const double r = oldd == 0.0 ? (newd > 0.0 ? 1e9 : 1.0)
+                                         : newd / oldd;
+            if (r > best_ratio) {
+                best_ratio = r;
+                transfer_detail = std::string(v.label) + " " +
+                                  ratio(oldd, newd);
+            }
+        }
+    }
+    std::string stall_detail;
+    if (older.hasProfile && newer.hasProfile) {
+        for (const auto &[reason, new_frac] :
+             newer.stallFractions) {
+            const auto it = older.stallFractions.find(reason);
+            const double old_frac =
+                it == older.stallFractions.end() ? 0.0 : it->second;
+            const double old_cycles =
+                old_frac * static_cast<double>(older.totalCycles);
+            const double new_cycles =
+                new_frac * static_cast<double>(newer.totalCycles);
+            if (new_cycles <= old_cycles)
+                continue;
+            std::string metric_reason = reason;
+            std::replace(metric_reason.begin(),
+                         metric_reason.end(), '-', '_');
+            out.evidence.push_back(
+                fmt("dpu.stall.%s_cycles %s (%.3g -> %.3g)",
+                    metric_reason.c_str(),
+                    pctChange(old_cycles, new_cycles).c_str(),
+                    old_cycles, new_cycles));
+            if ((out.kind == Bottleneck::MemoryBound &&
+                 reason == "memory") ||
+                (out.kind == Bottleneck::PipelineBound &&
+                 reason != "memory")) {
+                if (stall_detail.empty()) {
+                    stall_detail =
+                        reason + " stalls " +
+                        pctChange(old_cycles, new_cycles);
+                }
+            }
+        }
+    }
+
+    // ---- headline ----
+    std::string driver = "no phase grew";
+    for (const auto &p : phases) {
+        if (p.delta > 0.0) {
+            driver = fmt("%s (%s)", p.metric,
+                         pctChange(p.oldv, p.newv).c_str());
+            break;
+        }
+    }
+    std::string detail;
+    switch (out.kind) {
+      case Bottleneck::TransferBound:
+        detail = transfer_detail;
+        break;
+      case Bottleneck::MemoryBound:
+      case Bottleneck::PipelineBound:
+        detail = stall_detail;
+        break;
+      case Bottleneck::ComputeBound:
+        if (older.issuedCycles > 0) {
+            detail = "issued cycles " +
+                     pctChange(
+                         static_cast<double>(older.issuedCycles),
+                         static_cast<double>(newer.issuedCycles));
+        }
+        break;
+      default:
+        break;
+    }
+    out.headline =
+        fmt("%s total, driven by %s, %s",
+            pctChange(old_total, new_total).c_str(), driver.c_str(),
+            bottleneckName(out.kind));
+    if (!detail.empty())
+        out.headline += " (" + detail + ")";
+    return out;
+}
+
+} // namespace alphapim::perf

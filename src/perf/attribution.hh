@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Automated bottleneck attribution: given the old and new record of
+ * a regressed run, decompose the model-time regression into phase
+ * contributions, cross-check against the DPU stall breakdown and the
+ * transfer volumes, and name the dominant bottleneck in roofline
+ * terms -- so a perf-gate failure reads "transfer-bound (broadcast
+ * bytes 2.1x)" instead of a bare percentage.
+ */
+
+#ifndef ALPHA_PIM_PERF_ATTRIBUTION_HH
+#define ALPHA_PIM_PERF_ATTRIBUTION_HH
+
+#include <string>
+#include <vector>
+
+#include "perf/record.hh"
+
+namespace alphapim::perf
+{
+
+/** Dominant cause of a regression. */
+enum class Bottleneck
+{
+    TransferBound, ///< load/retrieve phases: host<->DPU volume
+    MemoryBound,   ///< kernel phase, driven by MRAM stall cycles
+    PipelineBound, ///< kernel phase, revolver/rf-hazard/sync stalls
+    ComputeBound,  ///< kernel phase, more issued (real) work
+    HostBound,     ///< merge phase: host-side merging / convergence
+    Unknown,       ///< no phase grew (e.g. iteration-count change)
+};
+
+/** Stable lowercase name ("transfer-bound", ...). */
+const char *bottleneckName(Bottleneck kind);
+
+/** Attribution of one regressed run. */
+struct Attribution
+{
+    Bottleneck kind = Bottleneck::Unknown;
+
+    /** One-line verdict, e.g. "+12.0% total, driven by
+     * phase.load_seconds (+31%), transfer-bound (broadcast bytes
+     * 2.1x)". The run key is NOT included; reports prepend it. */
+    std::string headline;
+
+    /** Ranked evidence, most significant first: phase contributions,
+     * stall-cycle deltas, transfer-volume ratios. */
+    std::vector<std::string> evidence;
+};
+
+/**
+ * Explain why `newer` is slower than `older`. Meaningful when
+ * newer.times.total() > older.times.total(); for non-regressions the
+ * result is Unknown with empty evidence.
+ */
+Attribution attributeRegression(const RunRecord &older,
+                                const RunRecord &newer);
+
+} // namespace alphapim::perf
+
+#endif // ALPHA_PIM_PERF_ATTRIBUTION_HH

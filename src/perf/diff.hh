@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Statistical bench diff: pair two record sets by run identity,
+ * exact-compare the deterministic model-time metrics (the simulator
+ * is seeded and single-rounded, so any drift is a real change), put
+ * bootstrap confidence intervals around the one noisy field (host
+ * wall-clock), and attribute each regression to a bottleneck.
+ */
+
+#ifndef ALPHA_PIM_PERF_DIFF_HH
+#define ALPHA_PIM_PERF_DIFF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/attribution.hh"
+#include "perf/record.hh"
+#include "telemetry/json.hh"
+
+namespace alphapim::perf
+{
+
+/** Outcome for one metric or one paired run. */
+enum class Verdict
+{
+    Equal,     ///< identical within epsilon
+    Drifted,   ///< changed, but within the regression threshold
+    Improved,  ///< better beyond the threshold
+    Regressed, ///< worse beyond the threshold
+    OldOnly,   ///< run present only in the old set
+    NewOnly,   ///< run present only in the new set
+};
+
+/** Stable lowercase name ("equal", "regressed", ...). */
+const char *verdictName(Verdict v);
+
+/** Comparison of one metric across the pair. */
+struct MetricDelta
+{
+    std::string metric;
+    double oldValue = 0.0;
+    double newValue = 0.0;
+
+    /** (new - old) / old; 0 when old == 0. */
+    double relChange = 0.0;
+
+    Verdict verdict = Verdict::Equal;
+
+    /** True for wall-clock: compared via bootstrap CI, advisory. */
+    bool noisy = false;
+
+    /** Bootstrap CI of the mean difference (noisy metrics only). */
+    double ciLow = 0.0;
+    double ciHigh = 0.0;
+};
+
+/** Diff of one paired run (or an unpaired run on either side). */
+struct PairDiff
+{
+    RunKey key;
+
+    /** Display label; empty means use key.str(). Metrics-file diffs
+     * set this to "kind/name". */
+    std::string label;
+
+    Verdict verdict = Verdict::Equal;
+    std::vector<MetricDelta> metrics;
+
+    /** Filled when verdict == Regressed. */
+    Attribution attribution;
+};
+
+struct DiffOptions
+{
+    /** Relative change in total model time that counts as a
+     * regression (or improvement). */
+    double threshold = 0.02;
+
+    /** Relative epsilon below which deterministic values compare
+     * equal (absorbs cross-toolchain last-ulp differences; the
+     * JSON round-trip itself is exact). */
+    double epsilon = 1e-9;
+
+    /** Bootstrap parameters for the wall-clock CI. */
+    double confidence = 0.95;
+    std::size_t resamples = 2000;
+    std::uint64_t bootstrapSeed = 42;
+
+    /** When true, a wall-clock regression whose CI excludes zero
+     * gates the diff; by default wall-clock is advisory (baselines
+     * usually come from a different machine). */
+    bool wallClockGate = false;
+};
+
+/** Full diff of two record sets. */
+struct DiffReport
+{
+    std::vector<PairDiff> pairs;
+
+    /** Mixed-schema / mixed-SHA / append-footgun warnings. */
+    std::vector<std::string> warnings;
+
+    std::size_t regressed = 0;
+    std::size_t improved = 0;
+    std::size_t drifted = 0;
+    std::size_t equal = 0;
+    std::size_t oldOnly = 0;
+    std::size_t newOnly = 0;
+
+    bool hasRegressions() const { return regressed > 0; }
+};
+
+/**
+ * Percentile-bootstrap CI of mean(news) - mean(olds). Deterministic
+ * for fixed inputs (seeded resampling).
+ */
+void bootstrapMeanDiffCI(const std::vector<double> &olds,
+                         const std::vector<double> &news,
+                         double confidence, std::size_t resamples,
+                         std::uint64_t seed, double &low,
+                         double &high);
+
+/** Diff two run-record sets (the `--json-out` format). */
+DiffReport diffRecordSets(const RecordSet &olds, const RecordSet &news,
+                          const DiffOptions &opt);
+
+/**
+ * Diff two metrics JSONL exports (the `--metrics-out` format,
+ * records tagged with a "kind" field). Pairs by (kind, name);
+ * distributions compare count/mean/p50/p95/p99 so tail-imbalance
+ * drift in dpu.cycles_per_launch is caught even when the mean holds.
+ */
+bool diffMetricsFiles(const std::string &oldPath,
+                      const std::string &newPath,
+                      const DiffOptions &opt, DiffReport &out,
+                      std::string *error);
+
+/** True when the file's first non-empty line is a metrics record
+ * (has a "kind" field) rather than a run record. */
+bool looksLikeMetricsFile(const std::string &path);
+
+/** Human-readable multi-line report. */
+std::string renderReport(const DiffReport &report,
+                         const DiffOptions &opt);
+
+/** Machine-readable JSON report (single object). */
+std::string reportJson(const DiffReport &report);
+
+} // namespace alphapim::perf
+
+#endif // ALPHA_PIM_PERF_DIFF_HH

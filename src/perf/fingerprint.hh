@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dataset fingerprinting for run manifests: a 64-bit FNV-1a hash over
+ * a matrix's exact shape and entry list. Two runs are mechanically
+ * comparable only if they processed the same input; the fingerprint
+ * makes "same input" checkable across machines and revisions without
+ * shipping the dataset (the generators are deterministic in
+ * (spec, scale, seed), so fingerprints are stable across hosts).
+ */
+
+#ifndef ALPHA_PIM_PERF_FINGERPRINT_HH
+#define ALPHA_PIM_PERF_FINGERPRINT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "sparse/coo.hh"
+
+namespace alphapim::perf
+{
+
+inline constexpr std::uint64_t fnv1aOffset = 0xcbf29ce484222325ULL;
+
+/** Fold `len` bytes into an FNV-1a state. */
+inline std::uint64_t
+fnv1a(const void *data, std::size_t len,
+      std::uint64_t hash = fnv1aOffset)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+/**
+ * Fingerprint of a COO matrix: shape, nnz, and every (row, col,
+ * value) entry in storage order. Entry order is part of the identity
+ * on purpose -- partitioning is order-sensitive, so a reordered
+ * matrix is a different experimental input.
+ */
+template <typename V>
+std::uint64_t
+datasetFingerprint(const sparse::CooMatrix<V> &m)
+{
+    std::uint64_t h = fnv1aOffset;
+    const std::uint64_t header[3] = {m.numRows(), m.numCols(),
+                                     m.nnz()};
+    h = fnv1a(header, sizeof(header), h);
+    h = fnv1a(m.rowIndices().data(),
+              m.rowIndices().size() * sizeof(NodeId), h);
+    h = fnv1a(m.colIndices().data(),
+              m.colIndices().size() * sizeof(NodeId), h);
+    h = fnv1a(m.values().data(), m.values().size() * sizeof(V), h);
+    return h;
+}
+
+/** Render a fingerprint in the canonical "0x%016x" record spelling. */
+std::string fingerprintString(std::uint64_t fp);
+
+/** Parse the canonical spelling; returns 0 on malformed input. */
+std::uint64_t parseFingerprint(const std::string &text);
+
+} // namespace alphapim::perf
+
+#endif // ALPHA_PIM_PERF_FINGERPRINT_HH

@@ -1,0 +1,164 @@
+#include "manifest.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "perf/build_info.hh"
+#include "perf/fingerprint.hh"
+
+namespace alphapim::perf
+{
+
+std::string
+fingerprintString(std::uint64_t fp)
+{
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(fp));
+    return buf;
+}
+
+std::uint64_t
+parseFingerprint(const std::string &text)
+{
+    if (text.size() != 18 || text.rfind("0x", 0) != 0)
+        return 0;
+    char *end = nullptr;
+    const std::uint64_t fp =
+        std::strtoull(text.c_str() + 2, &end, 16);
+    return (end && *end == '\0') ? fp : 0;
+}
+
+void
+RunManifest::addConfig(const std::string &key,
+                       const std::string &json)
+{
+    config.emplace_back(key, json);
+}
+
+void
+RunManifest::addConfig(const std::string &key, std::uint64_t v)
+{
+    config.emplace_back(key, std::to_string(v));
+}
+
+void
+RunManifest::addConfig(const std::string &key, double v)
+{
+    config.emplace_back(key, telemetry::JsonWriter::number(v));
+}
+
+void
+RunManifest::addConfig(const std::string &key, bool v)
+{
+    config.emplace_back(key, v ? "true" : "false");
+}
+
+void
+RunManifest::addConfigString(const std::string &key,
+                             const std::string &v)
+{
+    config.emplace_back(key, telemetry::JsonWriter::quote(v));
+}
+
+RunManifest
+currentManifest()
+{
+    RunManifest m;
+    m.schema = kRunSchema;
+    m.gitSha = gitSha();
+    m.buildType = buildType();
+    m.buildFlags = buildFlags();
+    return m;
+}
+
+void
+writeManifestFields(telemetry::JsonWriter &w, const RunManifest &m)
+{
+    w.key("schema").value(m.schema);
+    w.key("git_sha").value(m.gitSha);
+    w.key("build_type").value(m.buildType);
+    w.key("build_flags").value(m.buildFlags);
+    if (m.datasetFingerprint != 0) {
+        w.key("dataset_fingerprint")
+            .value(fingerprintString(m.datasetFingerprint));
+    }
+    if (!m.config.empty()) {
+        w.key("config").beginObject();
+        for (const auto &[key, json] : m.config)
+            w.key(key).rawValue(json);
+        w.endObject();
+    }
+}
+
+namespace
+{
+
+std::string
+stringField(const telemetry::JsonValue &obj, const char *key)
+{
+    const auto *v = obj.find(key);
+    return v && v->isString() ? v->asString() : std::string();
+}
+
+/** Re-encode one parsed JSON value compactly (config round-trip). */
+std::string
+reencode(const telemetry::JsonValue &v)
+{
+    using telemetry::JsonWriter;
+    switch (v.type()) {
+      case telemetry::JsonValue::Type::Null:
+        return "null";
+      case telemetry::JsonValue::Type::Bool:
+        return v.asBool() ? "true" : "false";
+      case telemetry::JsonValue::Type::Number:
+        return JsonWriter::number(v.asNumber());
+      case telemetry::JsonValue::Type::String:
+        return JsonWriter::quote(v.asString());
+      case telemetry::JsonValue::Type::Array: {
+        std::string out = "[";
+        for (std::size_t i = 0; i < v.items().size(); ++i) {
+            if (i > 0)
+                out += ',';
+            out += reencode(v.items()[i]);
+        }
+        return out + "]";
+      }
+      case telemetry::JsonValue::Type::Object: {
+        std::string out = "{";
+        bool first = true;
+        for (const auto &[key, member] : v.members()) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += JsonWriter::quote(key);
+            out += ':';
+            out += reencode(member);
+        }
+        return out + "}";
+      }
+    }
+    return "null";
+}
+
+} // namespace
+
+RunManifest
+parseManifestFields(const telemetry::JsonValue &record)
+{
+    RunManifest m;
+    m.schema = stringField(record, "schema");
+    m.gitSha = stringField(record, "git_sha");
+    m.buildType = stringField(record, "build_type");
+    m.buildFlags = stringField(record, "build_flags");
+    m.datasetFingerprint =
+        parseFingerprint(stringField(record, "dataset_fingerprint"));
+    if (const auto *cfg = record.find("config");
+        cfg && cfg->isObject()) {
+        for (const auto &[key, value] : cfg->members())
+            m.config.emplace_back(key, reencode(value));
+    }
+    return m;
+}
+
+} // namespace alphapim::perf

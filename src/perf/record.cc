@@ -1,0 +1,209 @@
+#include "record.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <tuple>
+
+#include "core/result_json.hh"
+
+namespace alphapim::perf
+{
+
+bool
+RunKey::operator<(const RunKey &o) const
+{
+    return std::tie(bench, dataset, variant, dpus, seed) <
+           std::tie(o.bench, o.dataset, o.variant, o.dpus, o.seed);
+}
+
+bool
+RunKey::operator==(const RunKey &o) const
+{
+    return std::tie(bench, dataset, variant, dpus, seed) ==
+           std::tie(o.bench, o.dataset, o.variant, o.dpus, o.seed);
+}
+
+std::string
+RunKey::str() const
+{
+    return bench + "/" + dataset + "/" + variant + "@" +
+           std::to_string(dpus) + "dpus";
+}
+
+std::string
+encodeRunRecord(const RunManifest &manifest, const RunKey &key,
+                std::uint64_t iterations,
+                const core::PhaseTimes &times,
+                const upmem::LaunchProfile *profile,
+                const XferCounts *xfer, double wallSeconds)
+{
+    telemetry::JsonWriter w;
+    w.beginObject();
+    writeManifestFields(w, manifest);
+    w.key("bench").value(key.bench);
+    w.key("dataset").value(key.dataset);
+    w.key("variant").value(key.variant);
+    w.key("dpus").value(key.dpus);
+    w.key("seed").value(key.seed);
+    w.key("iterations").value(iterations);
+    if (wallSeconds >= 0.0)
+        w.key("wall_seconds").value(wallSeconds);
+    w.key("times");
+    core::writePhaseTimes(w, times);
+    if (profile) {
+        w.key("profile");
+        core::writeLaunchProfile(w, *profile);
+    }
+    if (xfer) {
+        w.key("xfer").beginObject();
+        w.key("scatters").value(xfer->scatters);
+        w.key("scatter_bytes").value(xfer->scatterBytes);
+        w.key("gathers").value(xfer->gathers);
+        w.key("gather_bytes").value(xfer->gatherBytes);
+        w.key("broadcasts").value(xfer->broadcasts);
+        w.key("broadcast_bytes").value(xfer->broadcastBytes);
+        w.endObject();
+    }
+    w.endObject();
+    return w.str();
+}
+
+namespace
+{
+
+double
+numberField(const telemetry::JsonValue &obj, const char *key,
+            double fallback = 0.0)
+{
+    const auto *v = obj.find(key);
+    return v && v->isNumber() ? v->asNumber() : fallback;
+}
+
+std::uint64_t
+uintField(const telemetry::JsonValue &obj, const char *key)
+{
+    return static_cast<std::uint64_t>(numberField(obj, key));
+}
+
+} // namespace
+
+bool
+parseRunRecord(const std::string &line, RunRecord &out,
+               std::string *error)
+{
+    telemetry::JsonValue doc;
+    if (!telemetry::JsonValue::parse(line, doc, error))
+        return false;
+    if (!doc.isObject()) {
+        if (error)
+            *error = "record is not a JSON object";
+        return false;
+    }
+
+    out = RunRecord();
+    out.manifest = parseManifestFields(doc);
+
+    const auto *bench = doc.find("bench");
+    const auto *dataset = doc.find("dataset");
+    const auto *variant = doc.find("variant");
+    if (!bench || !bench->isString() || !dataset ||
+        !dataset->isString() || !variant || !variant->isString()) {
+        if (error)
+            *error = "record lacks bench/dataset/variant identity";
+        return false;
+    }
+    out.key.bench = bench->asString();
+    out.key.dataset = dataset->asString();
+    out.key.variant = variant->asString();
+    out.key.dpus = uintField(doc, "dpus");
+    out.key.seed = uintField(doc, "seed");
+    out.iterations = uintField(doc, "iterations");
+    out.wallSeconds = numberField(doc, "wall_seconds", -1.0);
+
+    if (const auto *times = doc.find("times");
+        times && times->isObject()) {
+        out.times.load = numberField(*times, "load");
+        out.times.kernel = numberField(*times, "kernel");
+        out.times.retrieve = numberField(*times, "retrieve");
+        out.times.merge = numberField(*times, "merge");
+    }
+
+    if (const auto *p = doc.find("profile"); p && p->isObject()) {
+        out.hasProfile = true;
+        out.totalCycles = uintField(*p, "total_cycles");
+        out.issuedCycles = uintField(*p, "issued_cycles");
+        out.maxCycles = uintField(*p, "max_cycles");
+        out.activeDpus = uintField(*p, "active_dpus");
+        out.issuedFraction = numberField(*p, "issued_fraction");
+        out.avgActiveThreads =
+            numberField(*p, "avg_active_threads");
+        if (const auto *sf = p->find("stall_fractions");
+            sf && sf->isObject()) {
+            for (const auto &[name, v] : sf->members())
+                out.stallFractions[name] = v.asNumber();
+        }
+        if (const auto *mix = p->find("instr_by_category");
+            mix && mix->isObject()) {
+            for (const auto &[name, v] : mix->members())
+                out.instrByCategory[name] =
+                    static_cast<std::uint64_t>(v.asNumber());
+        }
+    }
+
+    if (const auto *x = doc.find("xfer"); x && x->isObject()) {
+        out.hasXfer = true;
+        out.xfer.scatters = uintField(*x, "scatters");
+        out.xfer.scatterBytes = uintField(*x, "scatter_bytes");
+        out.xfer.gathers = uintField(*x, "gathers");
+        out.xfer.gatherBytes = uintField(*x, "gather_bytes");
+        out.xfer.broadcasts = uintField(*x, "broadcasts");
+        out.xfer.broadcastBytes = uintField(*x, "broadcast_bytes");
+    }
+    return true;
+}
+
+bool
+loadRecordSet(const std::string &path, RecordSet &out,
+              std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return false;
+    }
+    out = RecordSet();
+    out.path = path;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        RunRecord rec;
+        std::string parse_error;
+        if (!parseRunRecord(line, rec, &parse_error)) {
+            if (error)
+                *error = path + ":" + std::to_string(lineno) + ": " +
+                         parse_error;
+            return false;
+        }
+        out.records.push_back(std::move(rec));
+    }
+    auto unique_of = [&](auto get) {
+        std::vector<std::string> seen;
+        for (const auto &r : out.records) {
+            const std::string v = get(r);
+            if (std::find(seen.begin(), seen.end(), v) == seen.end())
+                seen.push_back(v);
+        }
+        return seen;
+    };
+    out.schemas = unique_of(
+        [](const RunRecord &r) { return r.manifest.schema; });
+    out.gitShas = unique_of(
+        [](const RunRecord &r) { return r.manifest.gitSha; });
+    return true;
+}
+
+} // namespace alphapim::perf

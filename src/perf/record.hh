@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Run records: the parsed form of one `--json-out` JSONL line, the
+ * encoder that produces those lines, and the loader that reads a
+ * record set back for diffing. A record couples the run's identity
+ * (bench, dataset, variant, dpus, seed), its manifest (provenance,
+ * see manifest.hh), and its measurements -- the deterministic
+ * model-time numbers plus the one genuinely noisy field, the host
+ * wall-clock duration.
+ */
+
+#ifndef ALPHA_PIM_PERF_RECORD_HH
+#define ALPHA_PIM_PERF_RECORD_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/phase_times.hh"
+#include "perf/manifest.hh"
+#include "upmem/profile.hh"
+
+namespace alphapim::perf
+{
+
+/** Pairing identity of a run: two records with equal keys measure
+ * the same experiment and are mechanically comparable. */
+struct RunKey
+{
+    std::string bench;
+    std::string dataset;
+    std::string variant;
+    std::uint64_t dpus = 0;
+    std::uint64_t seed = 0;
+
+    bool operator<(const RunKey &o) const;
+    bool operator==(const RunKey &o) const;
+
+    /** "fig07/e-En/BFS-adaptive@256dpus" display form. */
+    std::string str() const;
+};
+
+/** Per-run transfer-volume deltas (from the xfer.* counters). */
+struct XferCounts
+{
+    std::uint64_t scatters = 0;
+    std::uint64_t scatterBytes = 0;
+    std::uint64_t gathers = 0;
+    std::uint64_t gatherBytes = 0;
+    std::uint64_t broadcasts = 0;
+    std::uint64_t broadcastBytes = 0;
+};
+
+/** One parsed run record. */
+struct RunRecord
+{
+    RunManifest manifest;
+    RunKey key;
+    std::uint64_t iterations = 0;
+    core::PhaseTimes times; ///< deterministic model seconds
+
+    /** Host wall-clock seconds of the run; < 0 when absent. Noisy:
+     * the differ never exact-compares it. */
+    double wallSeconds = -1.0;
+
+    // ---- DPU profile (absent unless hasProfile) ----
+    bool hasProfile = false;
+    std::uint64_t totalCycles = 0;
+    std::uint64_t issuedCycles = 0;
+    std::uint64_t maxCycles = 0;
+    std::uint64_t activeDpus = 0;
+    double issuedFraction = 0.0;
+    double avgActiveThreads = 0.0;
+    std::map<std::string, double> stallFractions;
+    std::map<std::string, std::uint64_t> instrByCategory;
+
+    // ---- transfer volume (absent unless hasXfer) ----
+    bool hasXfer = false;
+    XferCounts xfer;
+};
+
+/**
+ * Encode one run record as a compact JSON object (one JSONL line,
+ * without the trailing newline).
+ *
+ * @param manifest   provenance block (schema etc. already filled)
+ * @param key        run identity
+ * @param iterations iteration count (0 = n/a)
+ * @param times      model-time phase breakdown
+ * @param profile    DPU profile, or nullptr
+ * @param xfer       per-run transfer deltas, or nullptr
+ * @param wallSeconds host wall-clock duration; < 0 omits the field
+ */
+std::string encodeRunRecord(const RunManifest &manifest,
+                            const RunKey &key,
+                            std::uint64_t iterations,
+                            const core::PhaseTimes &times,
+                            const upmem::LaunchProfile *profile,
+                            const XferCounts *xfer,
+                            double wallSeconds);
+
+/** Parse one record line. Returns false (with *error set) on
+ * malformed JSON or missing identity fields. */
+bool parseRunRecord(const std::string &line, RunRecord &out,
+                    std::string *error);
+
+/** A loaded record file. */
+struct RecordSet
+{
+    std::string path;
+    std::vector<RunRecord> records;
+
+    /** Distinct schema tags seen ("" = legacy v1 records). */
+    std::vector<std::string> schemas;
+
+    /** Distinct git SHAs seen. */
+    std::vector<std::string> gitShas;
+
+    /** True when records carry more than one schema / revision --
+     * the append-only --json-out footgun the differ warns about. */
+    bool mixedSchemas() const { return schemas.size() > 1; }
+    bool mixedShas() const { return gitShas.size() > 1; }
+};
+
+/** Load a JSONL record file. Returns false (with *error set) when
+ * the file cannot be read or a line cannot be parsed. */
+bool loadRecordSet(const std::string &path, RecordSet &out,
+                   std::string *error);
+
+} // namespace alphapim::perf
+
+#endif // ALPHA_PIM_PERF_RECORD_HH

@@ -1,5 +1,7 @@
 #include "metrics.hh"
 
+#include <cmath>
+
 #include "telemetry/json.hh"
 
 namespace alphapim::telemetry
@@ -58,9 +60,10 @@ MetricsRegistry::addSample(std::string_view name, double x)
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = distributions_.find(name);
     if (it == distributions_.end())
-        it = distributions_.emplace(std::string(name), RunningStats())
+        it = distributions_.emplace(std::string(name), DistEntry())
                  .first;
-    it->second.add(x);
+    it->second.stats.add(x);
+    it->second.samples.push_back(x);
 }
 
 std::uint64_t
@@ -84,7 +87,18 @@ MetricsRegistry::distribution(std::string_view name) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = distributions_.find(name);
-    return it == distributions_.end() ? nullptr : &it->second;
+    return it == distributions_.end() ? nullptr : &it->second.stats;
+}
+
+double
+MetricsRegistry::distributionPercentile(std::string_view name,
+                                        double p) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = distributions_.find(name);
+    if (it == distributions_.end() || it->second.samples.empty())
+        return std::nan("");
+    return percentile(it->second.samples, p);
 }
 
 std::size_t
@@ -128,7 +142,8 @@ MetricsRegistry::jsonl() const
         out += w.str();
         out += '\n';
     }
-    for (const auto &[name, stats] : distributions_) {
+    for (const auto &[name, entry] : distributions_) {
+        const RunningStats &stats = entry.stats;
         JsonWriter w;
         w.beginObject();
         w.key("kind").value("distribution");
@@ -141,6 +156,9 @@ MetricsRegistry::jsonl() const
         if (stats.count() > 0) {
             w.key("min").value(stats.min());
             w.key("max").value(stats.max());
+            w.key("p50").value(percentile(entry.samples, 50.0));
+            w.key("p95").value(percentile(entry.samples, 95.0));
+            w.key("p99").value(percentile(entry.samples, 99.0));
         }
         w.endObject();
         out += w.str();

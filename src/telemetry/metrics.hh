@@ -66,6 +66,12 @@ class MetricsRegistry
      * valid until clear(). */
     const RunningStats *distribution(std::string_view name) const;
 
+    /** Exact percentile of a distribution's retained samples (see
+     * alphapim::percentile; `p` in [0, 100]). NaN when the
+     * distribution is absent or empty. */
+    double distributionPercentile(std::string_view name,
+                                  double p) const;
+
     /** Number of registered metrics of all kinds. */
     std::size_t size() const;
 
@@ -79,11 +85,20 @@ class MetricsRegistry
     void writeJsonl(std::ostream &out) const;
 
   private:
+    /** One distribution: running moments plus the raw samples, kept
+     * so percentiles are exact (distributions are opt-in and bounded
+     * by the run length, so retention is affordable). */
+    struct DistEntry
+    {
+        RunningStats stats;
+        std::vector<double> samples;
+    };
+
     std::atomic<bool> enabled_{false};
     mutable std::mutex mutex_;
     std::map<std::string, std::uint64_t, std::less<>> counters_;
     std::map<std::string, double, std::less<>> scalars_;
-    std::map<std::string, RunningStats, std::less<>> distributions_;
+    std::map<std::string, DistEntry, std::less<>> distributions_;
 };
 
 /** The process-wide metrics registry. */

@@ -1,7 +1,6 @@
 #include "upmem_system.hh"
 
 #include <algorithm>
-#include <mutex>
 #include <string>
 
 #include "analysis/checker.hh"
@@ -87,9 +86,12 @@ UpmemSystem::launchKernel(
 
     const RevolverScheduler scheduler(cfg_.dpu);
     LaunchProfile launch;
-    std::mutex accumulate;
-    // Per-DPU cycle counts for the trace tracks and the
-    // load-imbalance distribution; each worker writes its own slot.
+    // Each worker writes only its own slot; the profiles are folded
+    // serially in DPU order afterwards so floating-point accumulation
+    // (activeThreadCycles) is deterministic regardless of thread
+    // count and scheduling -- run records are exact-compared by the
+    // bench differ.
+    std::vector<DpuProfile> per_dpu_profiles(num_dpus);
     std::vector<Cycles> per_dpu_cycles;
     if (tracing || sampling)
         per_dpu_cycles.assign(num_dpus, 0);
@@ -101,12 +103,12 @@ UpmemSystem::launchKernel(
             analysis::checker().analyzeDpu(
                 static_cast<unsigned>(dpu), traces, cfg_.dpu);
         }
-        const DpuProfile profile = scheduler.run(traces);
+        per_dpu_profiles[dpu] = scheduler.run(traces);
         if (!per_dpu_cycles.empty())
-            per_dpu_cycles[dpu] = profile.totalCycles;
-        std::lock_guard<std::mutex> lock(accumulate);
-        launch.add(profile);
+            per_dpu_cycles[dpu] = per_dpu_profiles[dpu].totalCycles;
     });
+    for (const DpuProfile &profile : per_dpu_profiles)
+        launch.add(profile);
 
     if (sampling)
         recordLaunchMetrics(launch, per_dpu_cycles);

@@ -1,5 +1,7 @@
 /** @file RunningStats / geometric mean / histogram behaviour. */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/stats.hh"
@@ -86,4 +88,37 @@ TEST(Histogram, WeightedSamples)
     EXPECT_DOUBLE_EQ(h.binWeight(1), 1.0);
     EXPECT_DOUBLE_EQ(h.totalWeight(), 4.0);
     EXPECT_DOUBLE_EQ(h.mean(), (0.5 * 3 + 1.5) / 4.0);
+}
+
+TEST(Percentile, EmptyIsNan)
+{
+    EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
+}
+
+TEST(Percentile, SingleSampleAtEveryP)
+{
+    for (double p : {0.0, 50.0, 95.0, 100.0})
+        EXPECT_DOUBLE_EQ(percentile({7.0}, p), 7.0);
+}
+
+TEST(Percentile, MedianInterpolatesEvenCount)
+{
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+}
+
+TEST(Percentile, Type7MatchesNumpy)
+{
+    // numpy.percentile([15, 20, 35, 40, 50], [5, 40, 95])
+    const std::vector<double> v = {15.0, 20.0, 35.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 5.0), 16.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 40.0), 29.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 95.0), 48.0);
+}
+
+TEST(Percentile, UnsortedInputAndExtremes)
+{
+    const std::vector<double> v = {9.0, 1.0, 5.0, 3.0, 7.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
 }

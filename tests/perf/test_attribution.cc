@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Bottleneck attribution on synthetic regressed record pairs: each
+ * injected cause (transfer volume, MRAM stalls, pipeline stalls,
+ * real work, host merge) must be named, with ranked evidence and a
+ * headline that quotes the dominant phase.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/attribution.hh"
+
+using namespace alphapim::perf;
+
+namespace
+{
+
+/** A healthy baseline run with all sections populated. */
+RunRecord
+baselineRecord()
+{
+    RunRecord r;
+    r.key.bench = "fig07";
+    r.key.dataset = "e-En";
+    r.key.variant = "BFS/adaptive";
+    r.key.dpus = 256;
+    r.key.seed = 42;
+    r.iterations = 10;
+    r.times.load = 0.10;
+    r.times.kernel = 0.40;
+    r.times.retrieve = 0.08;
+    r.times.merge = 0.02;
+    r.hasProfile = true;
+    r.totalCycles = 1'000'000;
+    r.issuedCycles = 500'000;
+    r.stallFractions = {{"memory", 0.30},
+                        {"revolver", 0.15},
+                        {"rf-hazard", 0.03},
+                        {"sync", 0.02}};
+    r.hasXfer = true;
+    r.xfer.scatters = 10;
+    r.xfer.scatterBytes = 1 << 20;
+    r.xfer.gathers = 10;
+    r.xfer.gatherBytes = 1 << 20;
+    r.xfer.broadcasts = 10;
+    r.xfer.broadcastBytes = 1 << 20;
+    return r;
+}
+
+bool
+anyEvidenceContains(const Attribution &a, const std::string &needle)
+{
+    for (const std::string &e : a.evidence)
+        if (e.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(Attribution, NoRegressionIsUnknownAndSilent)
+{
+    const RunRecord r = baselineRecord();
+    const Attribution a = attributeRegression(r, r);
+    EXPECT_EQ(a.kind, Bottleneck::Unknown);
+    EXPECT_TRUE(a.headline.empty());
+    EXPECT_TRUE(a.evidence.empty());
+    // An improvement is not a regression either.
+    RunRecord faster = r;
+    faster.times.kernel *= 0.5;
+    EXPECT_EQ(attributeRegression(r, faster).kind,
+              Bottleneck::Unknown);
+}
+
+TEST(Attribution, InflatedTransferPhasesAreTransferBound)
+{
+    const RunRecord older = baselineRecord();
+    RunRecord newer = older;
+    newer.times.load *= 1.5;
+    newer.times.retrieve *= 1.3;
+    newer.xfer.broadcastBytes =
+        static_cast<std::uint64_t>(older.xfer.broadcastBytes * 2.1);
+
+    const Attribution a = attributeRegression(older, newer);
+    EXPECT_EQ(a.kind, Bottleneck::TransferBound);
+    EXPECT_NE(a.headline.find("transfer-bound"), std::string::npos);
+    // The dominant phase is quoted in the headline...
+    EXPECT_NE(a.headline.find("phase.load_seconds"),
+              std::string::npos);
+    // ...and the transfer-volume ratio backs it up.
+    EXPECT_NE(a.headline.find("broadcast bytes 2.10x"),
+              std::string::npos);
+    ASSERT_FALSE(a.evidence.empty());
+    // Ranked: load contributed more than retrieve.
+    EXPECT_NE(a.evidence[0].find("phase.load_seconds"),
+              std::string::npos);
+    EXPECT_TRUE(anyEvidenceContains(a, "xfer.broadcast_bytes"));
+}
+
+TEST(Attribution, GrownMergePhaseIsHostBound)
+{
+    const RunRecord older = baselineRecord();
+    RunRecord newer = older;
+    newer.times.merge += 0.10;
+    const Attribution a = attributeRegression(older, newer);
+    EXPECT_EQ(a.kind, Bottleneck::HostBound);
+    EXPECT_NE(a.headline.find("phase.merge_seconds"),
+              std::string::npos);
+}
+
+TEST(Attribution, KernelRegressionFromMramStallsIsMemoryBound)
+{
+    const RunRecord older = baselineRecord();
+    RunRecord newer = older;
+    newer.times.kernel *= 1.4;
+    // Cycle accounting: total grew, the growth is all memory stall.
+    newer.totalCycles = 1'400'000;
+    newer.issuedCycles = older.issuedCycles;
+    newer.stallFractions = {{"memory", 0.50},
+                            {"revolver", 0.107},
+                            {"rf-hazard", 0.021},
+                            {"sync", 0.015}};
+    const Attribution a = attributeRegression(older, newer);
+    EXPECT_EQ(a.kind, Bottleneck::MemoryBound);
+    EXPECT_NE(a.headline.find("memory-bound"), std::string::npos);
+    EXPECT_TRUE(anyEvidenceContains(a, "dpu.stall.memory_cycles"));
+}
+
+TEST(Attribution, KernelRegressionFromRevolverStallsIsPipelineBound)
+{
+    const RunRecord older = baselineRecord();
+    RunRecord newer = older;
+    newer.times.kernel *= 1.4;
+    newer.totalCycles = 1'400'000;
+    newer.issuedCycles = older.issuedCycles;
+    // Growth concentrated in revolver + rf-hazard stalls; the
+    // record spells the hazard key with a hyphen (stallReasonName).
+    newer.stallFractions = {{"memory", 0.214},
+                            {"revolver", 0.30},
+                            {"rf-hazard", 0.08},
+                            {"sync", 0.015}};
+    const Attribution a = attributeRegression(older, newer);
+    EXPECT_EQ(a.kind, Bottleneck::PipelineBound);
+    EXPECT_NE(a.headline.find("pipeline-bound"), std::string::npos);
+    // Metric-name spelling in the evidence uses the underscore.
+    EXPECT_TRUE(anyEvidenceContains(a, "dpu.stall.rf_hazard_cycles"));
+}
+
+TEST(Attribution, KernelRegressionFromRealWorkIsComputeBound)
+{
+    const RunRecord older = baselineRecord();
+    RunRecord newer = older;
+    newer.times.kernel *= 1.4;
+    // All growth is issued (useful) cycles; stall fractions shrink.
+    newer.totalCycles = 1'400'000;
+    newer.issuedCycles = 900'000;
+    newer.stallFractions = {{"memory", 0.214},
+                            {"revolver", 0.107},
+                            {"rf-hazard", 0.021},
+                            {"sync", 0.015}};
+    const Attribution a = attributeRegression(older, newer);
+    EXPECT_EQ(a.kind, Bottleneck::ComputeBound);
+    EXPECT_NE(a.headline.find("issued cycles"), std::string::npos);
+}
+
+TEST(Attribution, KernelRegressionWithoutProfilesIsComputeBound)
+{
+    // No cycle accounting to subdivide: fall back to the phase.
+    RunRecord older = baselineRecord();
+    older.hasProfile = false;
+    RunRecord newer = older;
+    newer.times.kernel *= 1.4;
+    const Attribution a = attributeRegression(older, newer);
+    EXPECT_EQ(a.kind, Bottleneck::ComputeBound);
+}
+
+TEST(Attribution, IterationCountChangeIsReported)
+{
+    const RunRecord older = baselineRecord();
+    RunRecord newer = older;
+    newer.iterations = 14;
+    newer.times.kernel *= 1.4;
+    const Attribution a = attributeRegression(older, newer);
+    EXPECT_TRUE(anyEvidenceContains(a, "iterations 10 -> 14"));
+}
+
+TEST(Attribution, EvidenceQuotesShareOfRegression)
+{
+    const RunRecord older = baselineRecord();
+    RunRecord newer = older;
+    newer.times.load += 0.06;
+    newer.times.retrieve += 0.02;
+    const Attribution a = attributeRegression(older, newer);
+    ASSERT_GE(a.evidence.size(), 2u);
+    EXPECT_NE(a.evidence[0].find("75% of the regression"),
+              std::string::npos);
+    EXPECT_NE(a.evidence[1].find("25% of the regression"),
+              std::string::npos);
+}
+
+TEST(Attribution, BottleneckNamesAreStable)
+{
+    EXPECT_STREQ(bottleneckName(Bottleneck::TransferBound),
+                 "transfer-bound");
+    EXPECT_STREQ(bottleneckName(Bottleneck::MemoryBound),
+                 "memory-bound");
+    EXPECT_STREQ(bottleneckName(Bottleneck::PipelineBound),
+                 "pipeline-bound");
+    EXPECT_STREQ(bottleneckName(Bottleneck::ComputeBound),
+                 "compute-bound");
+    EXPECT_STREQ(bottleneckName(Bottleneck::HostBound),
+                 "host-bound");
+    EXPECT_STREQ(bottleneckName(Bottleneck::Unknown), "unknown");
+}

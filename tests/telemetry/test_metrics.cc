@@ -5,6 +5,7 @@
  * parsing line-by-line with the documented record shape.
  */
 
+#include <cmath>
 #include <sstream>
 #include <string>
 
@@ -69,6 +70,24 @@ TEST_F(MetricsTest, DistributionsTrackSamples)
     EXPECT_EQ(registry_.distribution("missing"), nullptr);
 }
 
+TEST_F(MetricsTest, DistributionPercentiles)
+{
+    for (int i = 1; i <= 100; ++i)
+        registry_.addSample("dpu.cycles_per_launch",
+                            static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(registry_.distributionPercentile(
+                         "dpu.cycles_per_launch", 50.0),
+                     50.5);
+    EXPECT_DOUBLE_EQ(registry_.distributionPercentile(
+                         "dpu.cycles_per_launch", 95.0),
+                     95.05);
+    EXPECT_DOUBLE_EQ(registry_.distributionPercentile(
+                         "dpu.cycles_per_launch", 99.0),
+                     99.01);
+    EXPECT_TRUE(std::isnan(
+        registry_.distributionPercentile("missing", 50.0)));
+}
+
 TEST_F(MetricsTest, DisabledRegistryIgnoresEveryUpdate)
 {
     registry_.setEnabled(false);
@@ -122,6 +141,9 @@ TEST_F(MetricsTest, JsonlRecordsParseWithExpectedShape)
             EXPECT_DOUBLE_EQ(record.find("mean")->asNumber(), 20.0);
             EXPECT_DOUBLE_EQ(record.find("min")->asNumber(), 10.0);
             EXPECT_DOUBLE_EQ(record.find("max")->asNumber(), 30.0);
+            EXPECT_DOUBLE_EQ(record.find("p50")->asNumber(), 20.0);
+            EXPECT_DOUBLE_EQ(record.find("p95")->asNumber(), 29.0);
+            EXPECT_DOUBLE_EQ(record.find("p99")->asNumber(), 29.8);
         }
     }
     EXPECT_EQ(lines, 3u);

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * alphapim_bench_diff: statistical differ for bench run records and
+ * metrics exports.
+ *
+ * Loads two JSONL files (either `--json-out` run records or
+ * `--metrics-out` registry dumps -- auto-detected), pairs entries by
+ * run identity (bench, dataset, variant, dpus, seed), exact-compares
+ * the deterministic model metrics, puts a bootstrap confidence
+ * interval around the wall-clock samples, and attributes every
+ * regression to a dominant bottleneck (transfer-, memory-,
+ * pipeline-, compute-, or host-bound).
+ *
+ * Exit codes: 0 = no regression, 1 = regression beyond threshold,
+ * 2 = usage or I/O error.
+ *
+ * Examples:
+ *   alphapim_bench_diff bench/baselines/fig07.jsonl new.jsonl
+ *   alphapim_bench_diff --threshold 0.05 --json-report diff.json \
+ *       old.jsonl new.jsonl
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "perf/diff.hh"
+
+using namespace alphapim;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: alphapim_bench_diff [options] OLD.jsonl NEW.jsonl\n"
+        "  --threshold X       relative regression threshold\n"
+        "                      (default 0.02 = 2%%)\n"
+        "  --confidence X      wall-clock bootstrap confidence\n"
+        "                      (default 0.95)\n"
+        "  --resamples N       bootstrap resamples (default 2000)\n"
+        "  --seed N            bootstrap RNG seed (default 42)\n"
+        "  --wall-gate         let a significant wall-clock\n"
+        "                      regression fail the diff (default:\n"
+        "                      advisory -- baselines usually come\n"
+        "                      from another machine)\n"
+        "  --json-report FILE  also write a JSON report\n"
+        "  --metrics           force metrics-file mode (default:\n"
+        "                      auto-detect from the first record)\n"
+        "Every flag also accepts the --flag=value spelling.\n"
+        "Exit codes: 0 = ok, 1 = regression, 2 = usage/IO error.\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    perf::DiffOptions opt;
+    std::string json_report;
+    bool force_metrics = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string inline_value;
+        bool has_inline = false;
+        if (const std::size_t eq = arg.find('=');
+            eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            inline_value = arg.substr(eq + 1);
+            arg.resize(eq);
+            has_inline = true;
+        }
+        auto next = [&]() -> const char * {
+            if (has_inline)
+                return inline_value.c_str();
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--threshold")
+            opt.threshold = std::atof(next());
+        else if (arg == "--confidence")
+            opt.confidence = std::atof(next());
+        else if (arg == "--resamples")
+            opt.resamples = static_cast<std::size_t>(
+                std::strtoull(next(), nullptr, 10));
+        else if (arg == "--seed")
+            opt.bootstrapSeed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--wall-gate")
+            opt.wallClockGate = true;
+        else if (arg == "--json-report")
+            json_report = next();
+        else if (arg == "--metrics")
+            force_metrics = true;
+        else if (arg.rfind("--", 0) == 0)
+            usage();
+        else
+            paths.push_back(arg);
+    }
+    if (paths.size() != 2)
+        usage();
+
+    perf::DiffReport report;
+    if (force_metrics || perf::looksLikeMetricsFile(paths[0])) {
+        std::string error;
+        if (!perf::diffMetricsFiles(paths[0], paths[1], opt, report,
+                                    &error)) {
+            std::fprintf(stderr, "alphapim_bench_diff: %s\n",
+                         error.c_str());
+            return 2;
+        }
+    } else {
+        perf::RecordSet olds, news;
+        std::string error;
+        if (!perf::loadRecordSet(paths[0], olds, &error) ||
+            !perf::loadRecordSet(paths[1], news, &error)) {
+            std::fprintf(stderr, "alphapim_bench_diff: %s\n",
+                         error.c_str());
+            return 2;
+        }
+        report = perf::diffRecordSets(olds, news, opt);
+    }
+
+    std::fputs(perf::renderReport(report, opt).c_str(), stdout);
+
+    if (!json_report.empty()) {
+        std::ofstream out(json_report);
+        if (!out) {
+            std::fprintf(stderr,
+                         "alphapim_bench_diff: cannot write '%s'\n",
+                         json_report.c_str());
+            return 2;
+        }
+        out << perf::reportJson(report) << '\n';
+    }
+    return report.hasRegressions() ? 1 : 0;
+}

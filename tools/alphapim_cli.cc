@@ -14,6 +14,7 @@
  *   alphapim --algo ppr  --dataset face --strategy spmv --csv it.csv
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +27,9 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/table.hh"
+#include "perf/fingerprint.hh"
+#include "perf/manifest.hh"
+#include "perf/record.hh"
 #include "sparse/datasets.hh"
 #include "sparse/generators.hh"
 #include "sparse/graph_stats.hh"
@@ -46,6 +50,7 @@ struct CliOptions
     std::string csv;
     std::string traceOut;
     std::string metricsOut;
+    std::string jsonOut;
     std::string logLevel;
     std::string strategy = "adaptive";
     std::string checkList;
@@ -88,6 +93,8 @@ usage()
         "  --trace-out FILE            Chrome trace-event JSON of\n"
         "                              the run (Perfetto-loadable)\n"
         "  --metrics-out FILE          metrics registry dump (JSONL)\n"
+        "  --json-out FILE             append one schema-tagged run\n"
+        "                              record (JSONL) for bench-diff\n"
         "  --check[=FAMILIES]          run the pim-verify trace\n"
         "                              analyzer; FAMILIES is a comma\n"
         "                              list of race,lock,barrier,dma\n"
@@ -134,6 +141,8 @@ parseCli(int argc, char **argv)
             opt.traceOut = next();
         else if (arg == "--metrics-out")
             opt.metricsOut = next();
+        else if (arg == "--json-out")
+            opt.jsonOut = next();
         else if (arg == "--log-level")
             opt.logLevel = next();
         else if (arg == "--strategy")
@@ -176,7 +185,7 @@ parseCli(int argc, char **argv)
         fatal("unknown log level '%s'", opt.logLevel.c_str());
     if (!opt.traceOut.empty())
         telemetry::tracer().setEnabled(true);
-    if (!opt.metricsOut.empty())
+    if (!opt.metricsOut.empty() || !opt.jsonOut.empty())
         telemetry::metrics().setEnabled(true);
     if (opt.check) {
         analysis::CheckOptions sel;
@@ -279,6 +288,16 @@ main(int argc, char **argv)
     cfg.pprIterations = opt.pprIterations;
 
     // ---- run ----
+    constexpr const char *xfer_counters[6] = {
+        "xfer.scatters",   "xfer.scatter_bytes",
+        "xfer.gathers",    "xfer.gather_bytes",
+        "xfer.broadcasts", "xfer.broadcast_bytes",
+    };
+    std::uint64_t xfer_start[6] = {};
+    for (std::size_t i = 0; i < 6; ++i)
+        xfer_start[i] =
+            telemetry::metrics().counterValue(xfer_counters[i]);
+    const auto wall_start = std::chrono::steady_clock::now();
     apps::AppResult result;
     if (opt.algo == "bfs")
         result = apps::runBfs(sys, matrix, source, cfg);
@@ -290,6 +309,51 @@ main(int argc, char **argv)
         result = apps::runConnectedComponents(sys, matrix, cfg);
     else
         fatal("unknown algorithm '%s'", opt.algo.c_str());
+    const double wall_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+
+    if (!opt.jsonOut.empty()) {
+        perf::RunManifest manifest = perf::currentManifest();
+        manifest.datasetFingerprint =
+            perf::datasetFingerprint(adjacency);
+        manifest.addConfig("scale", opt.scale);
+        manifest.addConfig(
+            "tasklets", static_cast<std::uint64_t>(opt.tasklets));
+        if (opt.threshold >= 0.0)
+            manifest.addConfig("threshold", opt.threshold);
+        if (opt.algo == "ppr")
+            manifest.addConfig(
+                "ppr_iterations",
+                static_cast<std::uint64_t>(opt.pprIterations));
+
+        perf::RunKey key;
+        key.bench = "cli";
+        key.dataset = opt.mtx.empty() ? opt.dataset : opt.mtx;
+        key.variant = opt.algo + "/" + opt.strategy;
+        key.dpus = opt.dpus;
+        key.seed = opt.seed;
+
+        perf::XferCounts xfer;
+        std::uint64_t xfer_now[6];
+        for (std::size_t i = 0; i < 6; ++i)
+            xfer_now[i] =
+                telemetry::metrics().counterValue(xfer_counters[i]);
+        xfer.scatters = xfer_now[0] - xfer_start[0];
+        xfer.scatterBytes = xfer_now[1] - xfer_start[1];
+        xfer.gathers = xfer_now[2] - xfer_start[2];
+        xfer.gatherBytes = xfer_now[3] - xfer_start[3];
+        xfer.broadcasts = xfer_now[4] - xfer_start[4];
+        xfer.broadcastBytes = xfer_now[5] - xfer_start[5];
+
+        telemetry::appendJsonlRecord(
+            opt.jsonOut,
+            perf::encodeRunRecord(
+                manifest, key, result.iterations.size(),
+                result.total, &result.profile, &xfer,
+                wall_seconds));
+    }
 
     std::printf("\n%s from vertex %u: %zu iterations (%s), "
                 "%u SpMSpV / %u SpMV launches\n",

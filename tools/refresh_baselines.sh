@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+#
+# Refresh the committed perf baselines in bench/baselines/.
+#
+# Usage: tools/refresh_baselines.sh [BUILD_DIR]
+#
+# Runs every figure/table bench in --quick mode and points
+# --json-out at bench/baselines/<binary>.jsonl. The files are
+# truncated first because --json-out appends; the record manifests
+# (schema, git SHA, build flags, dataset fingerprint) make any
+# accidental mixing detectable by alphapim_bench_diff anyway.
+#
+# Run this after an *intentional* perf change, eyeball the diff
+# with:
+#
+#   build/tools/alphapim_bench_diff \
+#       <(git show HEAD:bench/baselines/fig09_stall_breakdown.jsonl) \
+#       bench/baselines/fig09_stall_breakdown.jsonl
+#
+# and commit the refreshed baselines together with the change that
+# moved the numbers, explaining the movement in the commit message.
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$REPO/build}"
+OUT="$REPO/bench/baselines"
+
+BENCHES=(
+    fig02_spmv_partitioning
+    fig04_kernel_crossover
+    fig05_spmspv_variants
+    fig06_spmspv_vs_spmv
+    fig07_endtoend_adaptive
+    fig08_dpu_scaling
+    fig09_stall_breakdown
+    fig10_active_threads
+    fig11_instruction_mix
+    table2_datasets
+    table4_system_comparison
+    sens_switch_threshold
+    abl_future_hw
+    ext_sparsep_1d
+)
+
+mkdir -p "$OUT"
+for bench in "${BENCHES[@]}"; do
+    bin="$BUILD/bench/$bench"
+    if [[ ! -x "$bin" ]]; then
+        echo "refresh_baselines: missing $bin -- build first" >&2
+        echo "  (cmake --build $BUILD -j\$(nproc))" >&2
+        exit 1
+    fi
+done
+
+for bench in "${BENCHES[@]}"; do
+    file="$OUT/$bench.jsonl"
+    rm -f "$file"
+    echo "== $bench"
+    "$BUILD/bench/$bench" --quick --json-out "$file" >/dev/null
+    echo "   $(wc -l <"$file") record(s) -> ${file#"$REPO"/}"
+done
+
+echo
+echo "done; review with git diff bench/baselines/ and commit the"
+echo "refreshed files together with the perf change."
