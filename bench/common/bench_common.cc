@@ -12,6 +12,7 @@
 #include "perf/manifest.hh"
 #include "perf/record.hh"
 #include "telemetry/telemetry.hh"
+#include "telemetry/timeline.hh"
 
 namespace alphapim::bench
 {
@@ -124,8 +125,15 @@ parseOptions(int argc, char **argv)
                      opt.logLevel.c_str());
         usage(argv[0]);
     }
-    if (!opt.traceOut.empty())
+    if (!opt.traceOut.empty()) {
         telemetry::tracer().setEnabled(true);
+        // Stream to the output file in chunks so long traced runs
+        // cannot exhaust memory; finishTraceOutput() completes the
+        // document. Falls back to buffered mode on open failure.
+        if (!telemetry::tracer().openStream(opt.traceOut))
+            warn("cannot stream trace to '%s'; buffering instead",
+                 opt.traceOut.c_str());
+    }
     if (!opt.metricsOut.empty() || !opt.jsonOut.empty())
         telemetry::metrics().setEnabled(true);
     if (opt.check) {
@@ -244,9 +252,23 @@ constexpr const char *kXferCounters[6] = {
 RunRecorder::RunRecorder(const BenchOptions &opt, std::string bench)
     : opt_(opt), bench_(std::move(bench))
 {
+    // Records carry a timeline summary, which needs spans; when the
+    // user did not ask for a trace file, run the tracer privately.
+    // Tracing only observes -- the model times are unaffected -- so
+    // records stay identical with and without --trace-out.
+    if (!opt_.jsonOut.empty() && !telemetry::tracer().enabled()) {
+        telemetry::tracer().setEnabled(true);
+        ownsTracer_ = true;
+    }
 }
 
-RunRecorder::~RunRecorder() = default;
+RunRecorder::~RunRecorder()
+{
+    if (ownsTracer_) {
+        telemetry::tracer().setEnabled(false);
+        telemetry::tracer().clear();
+    }
+}
 
 void
 RunRecorder::begin()
@@ -263,6 +285,14 @@ RunRecorder::begin()
     for (std::size_t i = 0; i < 6; ++i)
         xferStart_[i] =
             telemetry::metrics().counterValue(kXferCounters[i]);
+    if (ownsTracer_) {
+        // Private tracer: restart per run, so every timeline begins
+        // at model time zero and memory stays bounded.
+        telemetry::tracer().clear();
+        eventStart_ = 0;
+    } else {
+        eventStart_ = telemetry::tracer().totalEventCount();
+    }
     wallStart_ =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now().time_since_epoch())
@@ -298,8 +328,10 @@ RunRecorder::emit(const std::string &dataset,
     key.seed = opt_.seed;
 
     perf::XferCounts xfer;
+    perf::TimelineSummary timeline;
     double wall = -1.0;
     const perf::XferCounts *xfer_ptr = nullptr;
+    const perf::TimelineSummary *timeline_ptr = nullptr;
     if (began_) {
         std::uint64_t now[6];
         for (std::size_t i = 0; i < 6; ++i)
@@ -312,6 +344,20 @@ RunRecorder::emit(const std::string &dataset,
         xfer.broadcasts = now[4] - xferStart_[4];
         xfer.broadcastBytes = now[5] - xferStart_[5];
         xfer_ptr = &xfer;
+        const std::vector<telemetry::TraceEvent> events =
+            telemetry::tracer().eventsSince(eventStart_);
+        if (!events.empty()) {
+            const telemetry::Timeline tl =
+                telemetry::buildTimeline(events);
+            if (!tl.launches.empty()) {
+                const telemetry::TimelineStats stats =
+                    telemetry::computeStats(tl);
+                telemetry::recordTimelineMetrics(
+                    stats, telemetry::metrics());
+                timeline = perf::summarizeTimeline(tl, stats);
+                timeline_ptr = &timeline;
+            }
+        }
         wall = std::chrono::duration<double>(
                    std::chrono::steady_clock::now()
                        .time_since_epoch())
@@ -325,14 +371,15 @@ RunRecorder::emit(const std::string &dataset,
         opt_.jsonOut,
         perf::encodeRunRecord(manifest, key,
                               static_cast<std::uint64_t>(iterations),
-                              times, profile, xfer_ptr, wall));
+                              times, profile, xfer_ptr, wall,
+                              timeline_ptr));
 }
 
 int
 writeTelemetryOutputs(const BenchOptions &opt)
 {
     if (!opt.traceOut.empty())
-        telemetry::writeTraceFile(opt.traceOut);
+        telemetry::finishTraceOutput(opt.traceOut);
     if (!opt.metricsOut.empty())
         telemetry::writeMetricsFile(opt.metricsOut);
     if (!opt.check)

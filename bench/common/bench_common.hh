@@ -145,11 +145,11 @@ class RunRecorder
     RunRecorder(const BenchOptions &opt, std::string bench);
     ~RunRecorder();
 
-    /** Start a measured region: snapshot the xfer counters and the
-     * wall clock, and open a telemetry recording scope so the
-     * transfer model counts scatter/gather/broadcast volume even
-     * for benches that drive kernels directly (outside PimEngine's
-     * LaunchScope). */
+    /** Start a measured region: snapshot the xfer counters, the
+     * trace-event position and the wall clock, and open a telemetry
+     * recording scope so the transfer model counts
+     * scatter/gather/broadcast volume even for benches that drive
+     * kernels directly (outside PimEngine's LaunchScope). */
     void begin();
 
     /**
@@ -175,6 +175,13 @@ class RunRecorder
     double wallStart_ = 0.0;
     std::uint64_t xferStart_[6] = {};
     std::unique_ptr<telemetry::RecordingScope> recording_;
+
+    /** True when this recorder enabled the tracer itself (records
+     * requested but no --trace-out): spans are then recorded purely
+     * to reconstruct the per-run execution timeline, and the buffer
+     * is cleared at each begin() to keep memory bounded. */
+    bool ownsTracer_ = false;
+    std::size_t eventStart_ = 0; ///< trace position at begin()
 };
 
 /** Write the --trace-out / --metrics-out files if requested, print

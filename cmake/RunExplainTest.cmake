@@ -1,0 +1,51 @@
+# Gate: alphapim --trace-out + alphapim_explain produce a report
+# with a non-empty critical path whose attribution matches the
+# accounted model time, and a non-empty self-contained HTML page.
+#
+# Arguments (all -D):
+#   CLI      path to the alphapim binary
+#   EXPLAIN  path to the alphapim_explain binary
+#   ALGO     application to run (bfs|sssp|ppr|cc)
+#   WORKDIR  scratch directory for the artifacts
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(_trace ${WORKDIR}/${ALGO}.trace.json)
+set(_html ${WORKDIR}/${ALGO}.report.html)
+
+execute_process(
+    COMMAND ${CLI} --algo ${ALGO} --dataset as00 --scale 0.2
+            --dpus 64 --trace-out ${_trace}
+    RESULT_VARIABLE _run_result
+    OUTPUT_QUIET
+)
+if(NOT _run_result EQUAL 0)
+    message(FATAL_ERROR "alphapim --algo ${ALGO} failed (${_run_result})")
+endif()
+
+execute_process(
+    COMMAND ${EXPLAIN} --trace ${_trace} --html ${_html}
+    RESULT_VARIABLE _explain_result
+    OUTPUT_VARIABLE _report
+    ERROR_VARIABLE _report_err
+)
+if(NOT _explain_result EQUAL 0)
+    message(FATAL_ERROR
+        "alphapim_explain failed (${_explain_result}): ${_report_err}")
+endif()
+
+if(NOT _report MATCHES "critical path: [0-9.]+ ms across [1-9][0-9]* nodes")
+    message(FATAL_ERROR "no non-empty critical path in:\n${_report}")
+endif()
+if(NOT _report MATCHES "attribution: .*\\(OK\\)")
+    message(FATAL_ERROR
+        "critical-path attribution does not match the accounted "
+        "model time:\n${_report}")
+endif()
+if(NOT _report MATCHES "what-if overlap bounds")
+    message(FATAL_ERROR "no what-if bounds in:\n${_report}")
+endif()
+
+file(SIZE ${_html} _html_size)
+if(_html_size LESS 512)
+    message(FATAL_ERROR "HTML report is empty or truncated (${_html_size} bytes)")
+endif()

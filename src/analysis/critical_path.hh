@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Launch dependency DAG and critical-path extraction, plus the
+ * what-if overlap estimator that sizes ROADMAP item 1 (async
+ * pipelined execution) before any engine code changes.
+ *
+ * The DAG mirrors the execution model: every launch is a
+ * load -> kernel -> retrieve -> merge spine with strict barriers,
+ * chained merge_{k-1} -> load_k across iterations; per-rank transfer
+ * spans and per-DPU kernel spans hang off the spine in parallel.
+ * The critical path through that DAG *is* the serial model time --
+ * the interesting output is the per-phase attribution and how much
+ * of the path the what-if bounds could hide:
+ *
+ *  - rank overlap:    kernel k runs concurrently with its own
+ *                     load + retrieve (rank i's kernel under rank
+ *                     i+-1's transfers), merges stay serial:
+ *                     T = sum(max(c_k, l_k + r_k) + m_k)
+ *  - double buffering: the next iteration's input-vector load runs
+ *                     under this iteration's host merge:
+ *                     T = l_1 + sum(c_k + r_k)
+ *                       + sum_{k<n} max(m_k, l_{k+1}) + m_n
+ *  - combined:        full pipelining, throughput-bound on the
+ *                     busiest resource:
+ *                     T = max(sum c, sum (l + r), sum m)
+ *
+ * All three are Amdahl-style lower bounds on time (upper bounds on
+ * speedup); combined <= rank overlap <= serial always holds.
+ */
+
+#ifndef ALPHA_PIM_ANALYSIS_CRITICAL_PATH_HH
+#define ALPHA_PIM_ANALYSIS_CRITICAL_PATH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "telemetry/timeline.hh"
+
+namespace alphapim::analysis
+{
+
+/** Phase bucket of one DAG node. */
+enum class PathPhase
+{
+    Load,
+    Kernel,
+    Retrieve,
+    Merge,
+    Other,
+};
+
+inline constexpr std::size_t numPathPhases = 5;
+
+/** Stable lowercase name ("load", "kernel", ...). */
+const char *pathPhaseName(PathPhase phase);
+
+/** One node of the launch dependency DAG. */
+struct DagNode
+{
+    std::string label;
+    PathPhase phase = PathPhase::Other;
+    Seconds duration = 0.0;
+    std::size_t launch = 0; ///< owning launch index
+    int rank = -1;          ///< rank/DPU detail nodes; -1 for spine
+};
+
+/** A launch dependency DAG. Nodes are added explicitly (synthetic
+ * test fixtures) or via buildLaunchDag (reconstructed timelines);
+ * edges must be acyclic. */
+class LaunchDag
+{
+  public:
+    /** Add a node; returns its index. */
+    std::size_t addNode(std::string label, PathPhase phase,
+                        Seconds duration, std::size_t launch = 0,
+                        int rank = -1);
+
+    /** Add a dependency edge `from` -> `to`. */
+    void addEdge(std::size_t from, std::size_t to);
+
+    const std::vector<DagNode> &nodes() const { return nodes_; }
+
+    const std::vector<std::pair<std::size_t, std::size_t>> &
+    edges() const
+    {
+        return edges_;
+    }
+
+  private:
+    std::vector<DagNode> nodes_;
+    std::vector<std::pair<std::size_t, std::size_t>> edges_;
+};
+
+/** The longest (time-weighted) path through a LaunchDag. */
+struct CriticalPath
+{
+    Seconds length = 0.0;
+
+    /** Node indices along the path, in execution order. */
+    std::vector<std::size_t> nodes;
+
+    /** Path time attributed to each PathPhase (index by the enum). */
+    Seconds phaseSeconds[numPathPhases] = {};
+
+    double
+    phaseFraction(PathPhase phase) const
+    {
+        return length > 0.0
+            ? phaseSeconds[static_cast<std::size_t>(phase)] / length
+            : 0.0;
+    }
+
+    /** Fraction of the path spent in transfers (load + retrieve). */
+    double
+    transferFraction() const
+    {
+        return phaseFraction(PathPhase::Load) +
+               phaseFraction(PathPhase::Retrieve);
+    }
+};
+
+/** Longest path via topological order; deterministic tie-breaking
+ * (smaller node index wins). Empty DAGs yield an empty path. */
+CriticalPath computeCriticalPath(const LaunchDag &dag);
+
+/** Per-launch phase durations, the input to the what-if bounds. */
+struct LaunchPhases
+{
+    Seconds load = 0.0;
+    Seconds kernel = 0.0;
+    Seconds retrieve = 0.0;
+    Seconds merge = 0.0;
+
+    Seconds total() const
+    {
+        return load + kernel + retrieve + merge;
+    }
+};
+
+/** What-if overlap bounds (seconds and speedups vs serial). */
+struct WhatIf
+{
+    Seconds serialSeconds = 0.0;
+    Seconds rankOverlapSeconds = 0.0;
+    Seconds doubleBufferSeconds = 0.0;
+    Seconds combinedSeconds = 0.0;
+
+    double
+    rankOverlapSpeedup() const
+    {
+        return rankOverlapSeconds > 0.0
+            ? serialSeconds / rankOverlapSeconds
+            : 1.0;
+    }
+    double
+    doubleBufferSpeedup() const
+    {
+        return doubleBufferSeconds > 0.0
+            ? serialSeconds / doubleBufferSeconds
+            : 1.0;
+    }
+    double
+    combinedSpeedup() const
+    {
+        return combinedSeconds > 0.0
+            ? serialSeconds / combinedSeconds
+            : 1.0;
+    }
+};
+
+/** Evaluate the three overlap bounds for a launch sequence. */
+WhatIf estimateOverlap(const std::vector<LaunchPhases> &launches);
+
+/** Phase breakdown of every launch in a reconstructed timeline. */
+std::vector<LaunchPhases>
+launchPhases(const telemetry::Timeline &timeline);
+
+/** Build the launch dependency DAG of a reconstructed timeline:
+ * the phase spine per launch with iteration chaining, plus per-rank
+ * scatter/broadcast/gather and per-DPU kernel detail nodes. */
+LaunchDag buildLaunchDag(const telemetry::Timeline &timeline);
+
+} // namespace alphapim::analysis
+
+#endif // ALPHA_PIM_ANALYSIS_CRITICAL_PATH_HH

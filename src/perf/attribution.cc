@@ -193,6 +193,16 @@ attributeRegression(const RunRecord &older, const RunRecord &newer)
             }
         }
     }
+    if (older.hasTimeline && newer.hasTimeline) {
+        // Timeline context: how serialized the execution is and how
+        // much of the critical path the transfers own.
+        out.evidence.push_back(fmt(
+            "overlap fraction %.2f -> %.2f; serialized transfers "
+            "%.0f%% of the critical path",
+            older.timeline.overlapFraction,
+            newer.timeline.overlapFraction,
+            newer.timeline.transferCriticalFraction * 100.0));
+    }
     std::string stall_detail;
     if (older.hasProfile && newer.hasProfile) {
         for (const auto &[reason, new_frac] :

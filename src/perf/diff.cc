@@ -130,6 +130,18 @@ compareDeterministic(const RunRecord &o, const RunRecord &n,
             static_cast<double>(o.xfer.broadcastBytes),
             static_cast<double>(n.xfer.broadcastBytes));
     }
+    if (o.hasTimeline && n.hasTimeline) {
+        add("timeline.overlap_fraction",
+            o.timeline.overlapFraction, n.timeline.overlapFraction);
+        add("timeline.rank_occupancy_mean",
+            o.timeline.rankOccupancyMean,
+            n.timeline.rankOccupancyMean);
+        add("timeline.idle_fraction", o.timeline.idleFraction,
+            n.timeline.idleFraction);
+        add("timeline.transfer_critical_fraction",
+            o.timeline.transferCriticalFraction,
+            n.timeline.transferCriticalFraction);
+    }
 }
 
 void

@@ -25,8 +25,10 @@ namespace alphapim::perf
 
 /** Schema tag of the current run-record format. PR 1's records
  * predate manifests and carry no tag; the differ treats an absent
- * tag as "alpha-pim-run-v1" and warns. */
-inline constexpr const char *kRunSchema = "alpha-pim-run-v2";
+ * tag as "alpha-pim-run-v1" and warns. v3 adds the optional
+ * "timeline" block (occupancy, overlap, critical-path and what-if
+ * summary); v2 records still parse, just without it. */
+inline constexpr const char *kRunSchema = "alpha-pim-run-v3";
 
 /** Provenance of one recorded run. */
 struct RunManifest

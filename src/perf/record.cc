@@ -4,6 +4,7 @@
 #include <fstream>
 #include <tuple>
 
+#include "analysis/critical_path.hh"
 #include "core/result_json.hh"
 
 namespace alphapim::perf
@@ -35,7 +36,8 @@ encodeRunRecord(const RunManifest &manifest, const RunKey &key,
                 std::uint64_t iterations,
                 const core::PhaseTimes &times,
                 const upmem::LaunchProfile *profile,
-                const XferCounts *xfer, double wallSeconds)
+                const XferCounts *xfer, double wallSeconds,
+                const TimelineSummary *timeline)
 {
     telemetry::JsonWriter w;
     w.beginObject();
@@ -62,6 +64,29 @@ encodeRunRecord(const RunManifest &manifest, const RunKey &key,
         w.key("gather_bytes").value(xfer->gatherBytes);
         w.key("broadcasts").value(xfer->broadcasts);
         w.key("broadcast_bytes").value(xfer->broadcastBytes);
+        w.endObject();
+    }
+    if (timeline) {
+        w.key("timeline").beginObject();
+        w.key("window_seconds").value(timeline->windowSeconds);
+        w.key("launches").value(timeline->launches);
+        w.key("ranks").value(timeline->ranks);
+        w.key("rank_occupancy_mean")
+            .value(timeline->rankOccupancyMean);
+        w.key("rank_occupancy_min")
+            .value(timeline->rankOccupancyMin);
+        w.key("dpu_occupancy_mean")
+            .value(timeline->dpuOccupancyMean);
+        w.key("overlap_fraction").value(timeline->overlapFraction);
+        w.key("idle_fraction").value(timeline->idleFraction);
+        w.key("transfer_critical_fraction")
+            .value(timeline->transferCriticalFraction);
+        w.key("whatif_rank_overlap_speedup")
+            .value(timeline->whatifRankOverlapSpeedup);
+        w.key("whatif_double_buffer_speedup")
+            .value(timeline->whatifDoubleBufferSpeedup);
+        w.key("whatif_combined_speedup")
+            .value(timeline->whatifCombinedSpeedup);
         w.endObject();
     }
     w.endObject();
@@ -150,6 +175,32 @@ parseRunRecord(const std::string &line, RunRecord &out,
         }
     }
 
+    if (const auto *t = doc.find("timeline"); t && t->isObject()) {
+        out.hasTimeline = true;
+        out.timeline.windowSeconds =
+            numberField(*t, "window_seconds");
+        out.timeline.launches = uintField(*t, "launches");
+        out.timeline.ranks = uintField(*t, "ranks");
+        out.timeline.rankOccupancyMean =
+            numberField(*t, "rank_occupancy_mean");
+        out.timeline.rankOccupancyMin =
+            numberField(*t, "rank_occupancy_min");
+        out.timeline.dpuOccupancyMean =
+            numberField(*t, "dpu_occupancy_mean");
+        out.timeline.overlapFraction =
+            numberField(*t, "overlap_fraction");
+        out.timeline.idleFraction =
+            numberField(*t, "idle_fraction");
+        out.timeline.transferCriticalFraction =
+            numberField(*t, "transfer_critical_fraction");
+        out.timeline.whatifRankOverlapSpeedup =
+            numberField(*t, "whatif_rank_overlap_speedup", 1.0);
+        out.timeline.whatifDoubleBufferSpeedup =
+            numberField(*t, "whatif_double_buffer_speedup", 1.0);
+        out.timeline.whatifCombinedSpeedup =
+            numberField(*t, "whatif_combined_speedup", 1.0);
+    }
+
     if (const auto *x = doc.find("xfer"); x && x->isObject()) {
         out.hasXfer = true;
         out.xfer.scatters = uintField(*x, "scatters");
@@ -160,6 +211,34 @@ parseRunRecord(const std::string &line, RunRecord &out,
         out.xfer.broadcastBytes = uintField(*x, "broadcast_bytes");
     }
     return true;
+}
+
+TimelineSummary
+summarizeTimeline(const telemetry::Timeline &timeline,
+                  const telemetry::TimelineStats &stats)
+{
+    TimelineSummary s;
+    s.windowSeconds = stats.windowSeconds;
+    s.launches = static_cast<std::uint64_t>(stats.launches);
+    s.ranks = static_cast<std::uint64_t>(stats.ranks);
+    s.rankOccupancyMean = stats.rankOccupancyMean;
+    s.rankOccupancyMin = stats.rankOccupancyMin;
+    s.dpuOccupancyMean = stats.dpuOccupancyMean;
+    s.overlapFraction = stats.overlapFraction;
+    s.idleFraction = stats.idleFraction;
+
+    const analysis::LaunchDag dag =
+        analysis::buildLaunchDag(timeline);
+    const analysis::CriticalPath path =
+        analysis::computeCriticalPath(dag);
+    s.transferCriticalFraction = path.transferFraction();
+
+    const analysis::WhatIf whatif =
+        analysis::estimateOverlap(analysis::launchPhases(timeline));
+    s.whatifRankOverlapSpeedup = whatif.rankOverlapSpeedup();
+    s.whatifDoubleBufferSpeedup = whatif.doubleBufferSpeedup();
+    s.whatifCombinedSpeedup = whatif.combinedSpeedup();
+    return s;
 }
 
 bool

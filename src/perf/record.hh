@@ -19,6 +19,7 @@
 
 #include "core/phase_times.hh"
 #include "perf/manifest.hh"
+#include "telemetry/timeline.hh"
 #include "upmem/profile.hh"
 
 namespace alphapim::perf
@@ -39,6 +40,29 @@ struct RunKey
 
     /** "fig07/e-En/BFS-adaptive@256dpus" display form. */
     std::string str() const;
+};
+
+/** Execution-timeline summary of one run (schema v3): occupancy and
+ * overlap from the reconstructed span timeline, critical-path
+ * composition, and the what-if overlap bounds. */
+struct TimelineSummary
+{
+    double windowSeconds = 0.0;
+    std::uint64_t launches = 0;
+    std::uint64_t ranks = 0;
+    double rankOccupancyMean = 0.0;
+    double rankOccupancyMin = 0.0;
+    double dpuOccupancyMean = 0.0;
+    double overlapFraction = 0.0;
+    double idleFraction = 0.0;
+
+    /** Fraction of the critical path spent in transfers. */
+    double transferCriticalFraction = 0.0;
+
+    /** Upper bounds on speedup from the what-if estimator. */
+    double whatifRankOverlapSpeedup = 1.0;
+    double whatifDoubleBufferSpeedup = 1.0;
+    double whatifCombinedSpeedup = 1.0;
 };
 
 /** Per-run transfer-volume deltas (from the xfer.* counters). */
@@ -78,6 +102,11 @@ struct RunRecord
     // ---- transfer volume (absent unless hasXfer) ----
     bool hasXfer = false;
     XferCounts xfer;
+
+    // ---- execution timeline (absent unless hasTimeline; schema v3
+    // records only -- v2 and older parse with hasTimeline false) ----
+    bool hasTimeline = false;
+    TimelineSummary timeline;
 };
 
 /**
@@ -91,6 +120,7 @@ struct RunRecord
  * @param profile    DPU profile, or nullptr
  * @param xfer       per-run transfer deltas, or nullptr
  * @param wallSeconds host wall-clock duration; < 0 omits the field
+ * @param timeline   execution-timeline summary, or nullptr
  */
 std::string encodeRunRecord(const RunManifest &manifest,
                             const RunKey &key,
@@ -98,12 +128,19 @@ std::string encodeRunRecord(const RunManifest &manifest,
                             const core::PhaseTimes &times,
                             const upmem::LaunchProfile *profile,
                             const XferCounts *xfer,
-                            double wallSeconds);
+                            double wallSeconds,
+                            const TimelineSummary *timeline = nullptr);
 
 /** Parse one record line. Returns false (with *error set) on
  * malformed JSON or missing identity fields. */
 bool parseRunRecord(const std::string &line, RunRecord &out,
                     std::string *error);
+
+/** Condense a reconstructed timeline (and its computed stats) into
+ * the record-level summary: occupancy/overlap plus the critical-path
+ * transfer fraction and what-if speedup bounds. */
+TimelineSummary summarizeTimeline(const telemetry::Timeline &timeline,
+                                  const telemetry::TimelineStats &stats);
 
 /** A loaded record file. */
 struct RecordSet

@@ -7,6 +7,22 @@
 namespace alphapim::telemetry
 {
 
+namespace
+{
+
+/** splitmix64 step: cheap, deterministic, well-mixed. */
+std::uint64_t
+nextRandom(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
 void
 MetricsRegistry::setEnabled(bool on)
 {
@@ -62,8 +78,47 @@ MetricsRegistry::addSample(std::string_view name, double x)
     if (it == distributions_.end())
         it = distributions_.emplace(std::string(name), DistEntry())
                  .first;
-    it->second.stats.add(x);
-    it->second.samples.push_back(x);
+    DistEntry &entry = it->second;
+    entry.stats.add(x);
+    const std::size_t cap =
+        sampleCap_.load(std::memory_order_relaxed);
+    if (entry.samples.size() < cap) {
+        entry.samples.push_back(x);
+        return;
+    }
+    // Algorithm R: the retained set stays a uniform sample of
+    // everything seen. Counted so exports can flag the degradation.
+    ++entry.dropped;
+    const std::uint64_t seen =
+        entry.stats.count() > 0
+            ? static_cast<std::uint64_t>(entry.stats.count())
+            : 1;
+    if (cap > 0) {
+        const std::uint64_t slot = nextRandom(entry.rng) % seen;
+        if (slot < cap)
+            entry.samples[static_cast<std::size_t>(slot)] = x;
+    }
+    counters_[it->first + ".samples_dropped"] += 1;
+}
+
+void
+MetricsRegistry::setSampleCap(std::size_t cap)
+{
+    sampleCap_.store(cap, std::memory_order_relaxed);
+}
+
+std::size_t
+MetricsRegistry::sampleCap() const
+{
+    return sampleCap_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+MetricsRegistry::samplesDropped(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = distributions_.find(name);
+    return it == distributions_.end() ? 0 : it->second.dropped;
 }
 
 std::uint64_t
@@ -160,6 +215,8 @@ MetricsRegistry::jsonl() const
             w.key("p95").value(percentile(entry.samples, 95.0));
             w.key("p99").value(percentile(entry.samples, 99.0));
         }
+        if (entry.dropped > 0)
+            w.key("samples_dropped").value(entry.dropped);
         w.endObject();
         out += w.str();
         out += '\n';

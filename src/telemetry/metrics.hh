@@ -53,8 +53,23 @@ class MetricsRegistry
     /** Overwrite a floating-point scalar. */
     void setScalar(std::string_view name, double value);
 
-    /** Fold one sample into a distribution. */
+    /** Fold one sample into a distribution. Below the sample cap
+     * every sample is retained (exact percentiles); past the cap the
+     * retained set becomes a uniform reservoir (Algorithm R with a
+     * deterministic per-entry generator) and the overflow is counted
+     * in `<name>.samples_dropped`. */
     void addSample(std::string_view name, double x);
+
+    /** Per-distribution retained-sample cap (default 8192). Applies
+     * to samples recorded after the call; 0 means "retain none". */
+    void setSampleCap(std::size_t cap);
+
+    /** The current retained-sample cap. */
+    std::size_t sampleCap() const;
+
+    /** Samples a distribution has seen past the cap (0 when absent
+     * or never capped). */
+    std::uint64_t samplesDropped(std::string_view name) const;
 
     /** Counter value; 0 when the counter does not exist. */
     std::uint64_t counterValue(std::string_view name) const;
@@ -85,16 +100,20 @@ class MetricsRegistry
     void writeJsonl(std::ostream &out) const;
 
   private:
-    /** One distribution: running moments plus the raw samples, kept
-     * so percentiles are exact (distributions are opt-in and bounded
-     * by the run length, so retention is affordable). */
+    /** One distribution: running moments plus retained samples. All
+     * samples are kept until the cap, so percentiles stay exact for
+     * typical runs; past the cap the sample set degrades gracefully
+     * into a uniform reservoir and `dropped` counts the overflow. */
     struct DistEntry
     {
         RunningStats stats;
         std::vector<double> samples;
+        std::uint64_t dropped = 0;
+        std::uint64_t rng = 0; ///< per-entry reservoir generator
     };
 
     std::atomic<bool> enabled_{false};
+    std::atomic<std::size_t> sampleCap_{8192};
     mutable std::mutex mutex_;
     std::map<std::string, std::uint64_t, std::less<>> counters_;
     std::map<std::string, double, std::less<>> scalars_;

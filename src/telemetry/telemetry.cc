@@ -40,6 +40,19 @@ writeTraceFile(const std::string &path)
 }
 
 bool
+finishTraceOutput(const std::string &path)
+{
+    Tracer &t = tracer();
+    if (t.streaming()) {
+        t.closeStream();
+        debugLog("telemetry", "closed streamed trace %s",
+                 path.c_str());
+        return true;
+    }
+    return writeTraceFile(path);
+}
+
+bool
 writeMetricsFile(const std::string &path)
 {
     return writeWhole(path, metrics().jsonl(), "metrics");

@@ -24,6 +24,13 @@ namespace alphapim::telemetry
 bool writeTraceFile(const std::string &path);
 
 /**
+ * Finish the trace output for `path`: close the streaming sink when
+ * one is open (the document was being flushed there incrementally),
+ * otherwise write the buffered trace to `path` in one shot.
+ */
+bool finishTraceOutput(const std::string &path);
+
+/**
  * Write the global metrics registry as JSONL to `path`.
  * Warns and returns false on I/O failure.
  */

@@ -1,0 +1,355 @@
+#include "timeline.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace alphapim::telemetry
+{
+
+namespace
+{
+
+/** Numeric value of a pre-encoded JSON arg fragment (0 otherwise). */
+double
+argNumber(const std::vector<TraceArg> &args, const char *key)
+{
+    for (const TraceArg &a : args) {
+        if (a.key == key)
+            return std::strtod(a.json.c_str(), nullptr);
+    }
+    return 0.0;
+}
+
+/** Sort spans by start (duration-desc tie break, like the viewer). */
+void
+sortSpans(std::vector<TimelineSpan> &spans)
+{
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TimelineSpan &a, const TimelineSpan &b) {
+                         if (a.start != b.start)
+                             return a.start < b.start;
+                         return a.duration > b.duration;
+                     });
+}
+
+/** Index of the span whose [start, end] contains `t`; npos if none.
+ * Later spans win so nested emission order is irrelevant. */
+std::size_t
+spanAt(const std::vector<TimelineSpan> &spans, Seconds t)
+{
+    for (std::size_t k = spans.size(); k-- > 0;) {
+        if (spans[k].start <= t && t <= spans[k].end())
+            return k;
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+} // namespace
+
+Seconds
+Timeline::accountedSeconds() const
+{
+    Seconds total = 0.0;
+    for (const LaunchWindow &l : launches)
+        total += l.total();
+    return total;
+}
+
+Timeline
+buildTimeline(const std::vector<TraceEvent> &events)
+{
+    std::vector<TimelineSpan> spans;
+    spans.reserve(events.size());
+    for (const TraceEvent &e : events) {
+        if (e.phase != 'X')
+            continue;
+        TimelineSpan s;
+        s.name = e.name;
+        s.category = e.category;
+        s.pid = e.track.pid;
+        s.tid = e.track.tid;
+        s.start = e.start;
+        s.duration = e.duration;
+        s.bytes = argNumber(e.args, "bytes");
+        s.cycles = argNumber(e.args, "cycles");
+        spans.push_back(std::move(s));
+    }
+    return buildTimeline(spans);
+}
+
+Timeline
+buildTimeline(const std::vector<TimelineSpan> &spans)
+{
+    Timeline tl;
+    std::vector<TimelineSpan> multiplies;
+    std::vector<TimelineSpan> phases;
+    bool any = false;
+    for (const TimelineSpan &s : spans) {
+        if (!any || s.start < tl.windowStart)
+            tl.windowStart = s.start;
+        if (!any || s.end() > tl.windowEnd)
+            tl.windowEnd = s.end();
+        any = true;
+        if (s.pid == pidRank) {
+            tl.rankSpans[s.tid].push_back(s);
+        } else if (s.pid == pidDpu) {
+            tl.dpuSpans[s.tid].push_back(s);
+        } else if (s.pid == pidEngine) {
+            if (s.category == "multiply")
+                multiplies.push_back(s);
+            else if (s.category == "phase")
+                phases.push_back(s);
+            else if (s.category == "app" &&
+                     s.name.size() > 10 &&
+                     s.name.compare(s.name.size() - 10, 10,
+                                    ".iteration") == 0)
+                tl.iterations.push_back(s);
+        }
+    }
+    if (!any)
+        return tl;
+    for (auto &[rank, list] : tl.rankSpans)
+        sortSpans(list);
+    for (auto &[dpu, list] : tl.dpuSpans)
+        sortSpans(list);
+    sortSpans(multiplies);
+    sortSpans(phases);
+    sortSpans(tl.iterations);
+
+    // Launch windows from the multiply spans; their phase breakdown
+    // from the phase spans tiled inside each window (matched by
+    // midpoint, so exact boundary arithmetic does not matter).
+    std::vector<LaunchWindow> launches;
+    std::vector<char> refined(multiplies.size(), 0);
+    launches.reserve(multiplies.size());
+    for (const TimelineSpan &m : multiplies) {
+        LaunchWindow w;
+        w.kernel = m.name;
+        w.start = m.start;
+        launches.push_back(std::move(w));
+    }
+    for (const TimelineSpan &p : phases) {
+        const std::size_t k = spanAt(multiplies, p.mid());
+        if (k == static_cast<std::size_t>(-1))
+            continue;
+        refined[k] = 1;
+        if (p.name == "load")
+            launches[k].load = p.duration;
+        else if (p.name == "kernel")
+            launches[k].kernel_time = p.duration;
+        else if (p.name == "retrieve")
+            launches[k].retrieve = p.duration;
+        else if (p.name == "merge")
+            launches[k].merge = p.duration;
+    }
+    // A multiply without phase spans (older or foreign traces) keeps
+    // its whole duration, attributed to merge as the only bucket.
+    for (std::size_t k = 0; k < launches.size(); ++k) {
+        if (!refined[k])
+            launches[k].merge = multiplies[k].duration;
+    }
+
+    // Fold the host extra the applications account after the phase
+    // spans (graph_apps' host_merge_extra) back into the enclosing
+    // launch's merge phase: phase attribution then sums to the
+    // iteration span, i.e. to total model time.
+    for (const TimelineSpan &it : tl.iterations) {
+        std::size_t last = static_cast<std::size_t>(-1);
+        for (std::size_t k = 0; k < launches.size(); ++k) {
+            const Seconds mid =
+                launches[k].start + launches[k].total() / 2.0;
+            if (it.start <= mid && mid <= it.end())
+                last = k;
+        }
+        if (last == static_cast<std::size_t>(-1))
+            continue;
+        const Seconds gap = it.end() - launches[last].end();
+        if (gap > 0.0)
+            launches[last].merge += gap;
+    }
+    tl.launches = std::move(launches);
+    return tl;
+}
+
+Seconds
+unionLength(std::vector<std::pair<Seconds, Seconds>> intervals)
+{
+    std::sort(intervals.begin(), intervals.end());
+    Seconds total = 0.0;
+    Seconds cur_start = 0.0;
+    Seconds cur_end = 0.0;
+    bool open = false;
+    for (const auto &[start, end] : intervals) {
+        if (end <= start)
+            continue;
+        if (!open || start > cur_end) {
+            if (open)
+                total += cur_end - cur_start;
+            cur_start = start;
+            cur_end = end;
+            open = true;
+        } else {
+            cur_end = std::max(cur_end, end);
+        }
+    }
+    if (open)
+        total += cur_end - cur_start;
+    return total;
+}
+
+namespace
+{
+
+/** Merge into disjoint sorted intervals. */
+std::vector<std::pair<Seconds, Seconds>>
+normalize(std::vector<std::pair<Seconds, Seconds>> intervals)
+{
+    std::sort(intervals.begin(), intervals.end());
+    std::vector<std::pair<Seconds, Seconds>> out;
+    for (const auto &[start, end] : intervals) {
+        if (end <= start)
+            continue;
+        if (out.empty() || start > out.back().second)
+            out.emplace_back(start, end);
+        else
+            out.back().second = std::max(out.back().second, end);
+    }
+    return out;
+}
+
+} // namespace
+
+Seconds
+intersectionLength(std::vector<std::pair<Seconds, Seconds>> a,
+                   std::vector<std::pair<Seconds, Seconds>> b)
+{
+    const auto na = normalize(std::move(a));
+    const auto nb = normalize(std::move(b));
+    Seconds total = 0.0;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < na.size() && j < nb.size()) {
+        const Seconds lo = std::max(na[i].first, nb[j].first);
+        const Seconds hi = std::min(na[i].second, nb[j].second);
+        if (hi > lo)
+            total += hi - lo;
+        if (na[i].second < nb[j].second)
+            ++i;
+        else
+            ++j;
+    }
+    return total;
+}
+
+TimelineStats
+computeStats(const Timeline &timeline)
+{
+    TimelineStats s;
+    s.windowSeconds = timeline.window();
+    s.launches = timeline.launches.size();
+    s.ranks = timeline.rankSpans.size();
+    s.dpus = timeline.dpuSpans.size();
+
+    std::vector<std::pair<Seconds, Seconds>> xfer_busy;
+    std::vector<std::pair<Seconds, Seconds>> kernel_busy;
+
+    for (const auto &[rank, spans] : timeline.rankSpans) {
+        std::vector<std::pair<Seconds, Seconds>> busy;
+        busy.reserve(spans.size());
+        for (const TimelineSpan &span : spans) {
+            busy.emplace_back(span.start, span.end());
+            xfer_busy.emplace_back(span.start, span.end());
+        }
+        const double frac = s.windowSeconds > 0.0
+            ? unionLength(std::move(busy)) / s.windowSeconds
+            : 0.0;
+        s.rankOccupancy.emplace_back(rank, frac);
+    }
+    for (const auto &[dpu, spans] : timeline.dpuSpans) {
+        std::vector<std::pair<Seconds, Seconds>> busy;
+        busy.reserve(spans.size());
+        for (const TimelineSpan &span : spans) {
+            busy.emplace_back(span.start, span.end());
+            kernel_busy.emplace_back(span.start, span.end());
+        }
+        const double frac = s.windowSeconds > 0.0
+            ? unionLength(std::move(busy)) / s.windowSeconds
+            : 0.0;
+        s.dpuOccupancy.emplace_back(dpu, frac);
+    }
+
+    if (!s.rankOccupancy.empty()) {
+        double sum = 0.0;
+        double min = s.rankOccupancy.front().second;
+        for (const auto &[rank, frac] : s.rankOccupancy) {
+            sum += frac;
+            min = std::min(min, frac);
+        }
+        s.rankOccupancyMean =
+            sum / static_cast<double>(s.rankOccupancy.size());
+        s.rankOccupancyMin = min;
+    }
+    if (!s.dpuOccupancy.empty()) {
+        double sum = 0.0;
+        for (const auto &[dpu, frac] : s.dpuOccupancy)
+            sum += frac;
+        s.dpuOccupancyMean =
+            sum / static_cast<double>(s.dpuOccupancy.size());
+    }
+
+    s.transferBusySeconds = unionLength(xfer_busy);
+    s.kernelBusySeconds = unionLength(kernel_busy);
+    s.overlapSeconds =
+        intersectionLength(std::move(xfer_busy), kernel_busy);
+    const Seconds smaller =
+        std::min(s.transferBusySeconds, s.kernelBusySeconds);
+    s.overlapFraction =
+        smaller > 0.0 ? s.overlapSeconds / smaller : 0.0;
+
+    std::vector<std::pair<Seconds, Seconds>> device_busy;
+    for (const auto &[rank, spans] : timeline.rankSpans)
+        for (const TimelineSpan &span : spans)
+            device_busy.emplace_back(span.start, span.end());
+    for (const auto &[dpu, spans] : timeline.dpuSpans)
+        for (const TimelineSpan &span : spans)
+            device_busy.emplace_back(span.start, span.end());
+    s.idleFraction = s.windowSeconds > 0.0
+        ? 1.0 - unionLength(std::move(device_busy)) / s.windowSeconds
+        : 0.0;
+    return s;
+}
+
+void
+recordTimelineMetrics(const TimelineStats &stats,
+                      MetricsRegistry &registry)
+{
+    if (!registry.enabled())
+        return;
+    registry.setScalar("timeline.window_seconds",
+                       stats.windowSeconds);
+    registry.setScalar("timeline.launches",
+                       static_cast<double>(stats.launches));
+    registry.setScalar("timeline.transfer_busy_seconds",
+                       stats.transferBusySeconds);
+    registry.setScalar("timeline.kernel_busy_seconds",
+                       stats.kernelBusySeconds);
+    registry.setScalar("timeline.overlap_fraction",
+                       stats.overlapFraction);
+    registry.setScalar("timeline.idle_fraction", stats.idleFraction);
+    registry.setScalar("timeline.rank_occupancy_mean",
+                       stats.rankOccupancyMean);
+    registry.setScalar("timeline.rank_occupancy_min",
+                       stats.rankOccupancyMin);
+    registry.setScalar("timeline.dpu_occupancy_mean",
+                       stats.dpuOccupancyMean);
+    for (const auto &[rank, frac] : stats.rankOccupancy) {
+        (void)rank;
+        registry.addSample("timeline.rank.occupancy", frac);
+    }
+    for (const auto &[dpu, frac] : stats.dpuOccupancy) {
+        (void)dpu;
+        registry.addSample("timeline.dpu.occupancy", frac);
+    }
+}
+
+} // namespace alphapim::telemetry

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Timeline reconstruction: turns the flat span stream the tracer
+ * records (or a parsed Chrome trace) back into per-launch, per-rank
+ * and per-DPU timelines, and computes occupancy / idle-gap /
+ * phase-overlap fractions as first-class metrics.
+ *
+ * The reconstruction is the analysis counterpart of the emitters in
+ * core::LaunchScope (multiply + phase spans on the engine track),
+ * upmem::TransferModel (per-rank bus spans) and
+ * upmem::UpmemSystem::launchKernel (per-DPU kernel spans). One
+ * subtlety is owned here: the applications account host-side
+ * convergence work *after* the launch's phase spans are emitted
+ * (graph_apps' `host_merge_extra`), enclosing both in an
+ * "<app>.iteration" span -- reconstruction folds that trailing gap
+ * back into the launch's merge phase so phase attribution sums to
+ * total model time.
+ */
+
+#ifndef ALPHA_PIM_TELEMETRY_TIMELINE_HH
+#define ALPHA_PIM_TELEMETRY_TIMELINE_HH
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace alphapim::telemetry
+{
+
+/** One reconstructed span: the viewer-independent subset of a trace
+ * event, with the numeric args the analyzers use pre-extracted. */
+struct TimelineSpan
+{
+    std::string name;
+    std::string category;
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    Seconds start = 0.0;
+    Seconds duration = 0.0;
+    double bytes = 0.0;  ///< "bytes" arg; 0 when absent
+    double cycles = 0.0; ///< "cycles" arg; 0 when absent
+
+    Seconds end() const { return start + duration; }
+    Seconds mid() const { return start + duration / 2.0; }
+};
+
+/** One reconstructed kernel launch with its phase breakdown. The
+ * merge phase includes any host extra folded in from the enclosing
+ * application-iteration span. */
+struct LaunchWindow
+{
+    std::string kernel; ///< kernel name (the multiply span's name)
+    Seconds start = 0.0;
+    Seconds load = 0.0;
+    Seconds kernel_time = 0.0;
+    Seconds retrieve = 0.0;
+    Seconds merge = 0.0;
+
+    Seconds total() const
+    {
+        return load + kernel_time + retrieve + merge;
+    }
+    Seconds end() const { return start + total(); }
+};
+
+/** A reconstructed execution timeline. */
+struct Timeline
+{
+    Seconds windowStart = 0.0;
+    Seconds windowEnd = 0.0;
+
+    /** Kernel launches in start order (empty for traces produced by
+     * benches that drive kernels below PimEngine). */
+    std::vector<LaunchWindow> launches;
+
+    /** Transfer bus spans per memory rank, in start order. */
+    std::map<unsigned, std::vector<TimelineSpan>> rankSpans;
+
+    /** Kernel spans per DPU track, in start order. */
+    std::map<unsigned, std::vector<TimelineSpan>> dpuSpans;
+
+    /** Application iteration spans ("<app>.iteration"). */
+    std::vector<TimelineSpan> iterations;
+
+    Seconds window() const { return windowEnd - windowStart; }
+
+    /** Sum of launch totals: the accounted model time. */
+    Seconds accountedSeconds() const;
+};
+
+/** Reconstruct a timeline from tracer events (in-process path). */
+Timeline buildTimeline(const std::vector<TraceEvent> &events);
+
+/** Reconstruct a timeline from simplified spans (the trace-file
+ * parsing path of alphapim_explain, and synthetic test fixtures). */
+Timeline buildTimeline(const std::vector<TimelineSpan> &spans);
+
+/** Occupancy / overlap statistics of one timeline. */
+struct TimelineStats
+{
+    Seconds windowSeconds = 0.0;
+    std::size_t launches = 0;
+    std::size_t ranks = 0;
+    std::size_t dpus = 0;
+
+    /** (rank id, busy fraction of the window) per rank. */
+    std::vector<std::pair<unsigned, double>> rankOccupancy;
+
+    /** (dpu id, busy fraction of the window) per traced DPU. */
+    std::vector<std::pair<unsigned, double>> dpuOccupancy;
+
+    double rankOccupancyMean = 0.0;
+    double rankOccupancyMin = 0.0;
+    double dpuOccupancyMean = 0.0;
+
+    /** Total bus-busy time (union across ranks). */
+    Seconds transferBusySeconds = 0.0;
+
+    /** Total kernel-busy time (union across DPU tracks). */
+    Seconds kernelBusySeconds = 0.0;
+
+    /** Model time where transfers and kernels run concurrently. */
+    Seconds overlapSeconds = 0.0;
+
+    /** overlapSeconds / min(transferBusy, kernelBusy); 0 when either
+     * side is idle for the whole window. 0 = fully serialized,
+     * 1 = the smaller activity is fully hidden by the larger. */
+    double overlapFraction = 0.0;
+
+    /** Fraction of the window where neither a rank bus nor a DPU is
+     * busy: launch latencies, host staging and merge time. */
+    double idleFraction = 0.0;
+};
+
+/** Compute occupancy / overlap statistics. */
+TimelineStats computeStats(const Timeline &timeline);
+
+/** Export the statistics into a metrics registry under timeline.*
+ * (scalars) and timeline.rank.occupancy / timeline.dpu.occupancy
+ * (distributions, one sample per track). No-op when disabled. */
+void recordTimelineMetrics(const TimelineStats &stats,
+                           MetricsRegistry &registry);
+
+/** Total length of the union of (possibly overlapping) intervals. */
+Seconds unionLength(std::vector<std::pair<Seconds, Seconds>> intervals);
+
+/** Total length of the intersection of two interval unions. */
+Seconds intersectionLength(
+    std::vector<std::pair<Seconds, Seconds>> a,
+    std::vector<std::pair<Seconds, Seconds>> b);
+
+} // namespace alphapim::telemetry
+
+#endif // ALPHA_PIM_TELEMETRY_TIMELINE_HH

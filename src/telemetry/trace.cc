@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "telemetry/json.hh"
+#include "telemetry/metrics.hh"
 
 namespace alphapim::telemetry
 {
@@ -31,6 +32,72 @@ processName(std::uint32_t pid)
         return "kernels (per DPU)";
       default:
         return "process";
+    }
+}
+
+/** Chrome-viewer event ordering: outer spans before inner. */
+bool
+viewerOrder(const TraceEvent &a, const TraceEvent &b)
+{
+    if (a.track.pid != b.track.pid)
+        return a.track.pid < b.track.pid;
+    if (a.track.tid != b.track.tid)
+        return a.track.tid < b.track.tid;
+    if (a.start != b.start)
+        return a.start < b.start;
+    return a.duration > b.duration;
+}
+
+/** Write one data event into an open JSON array. */
+void
+writeEventJson(JsonWriter &w, const TraceEvent &e)
+{
+    w.beginObject();
+    w.key("name").value(e.name);
+    w.key("cat").value(e.category.empty() ? "model" : e.category);
+    w.key("ph").value(std::string(1, e.phase));
+    w.key("pid").value(static_cast<std::uint64_t>(e.track.pid));
+    w.key("tid").value(static_cast<std::uint64_t>(e.track.tid));
+    w.key("ts").value(toMicros(e.start));
+    if (e.phase == 'X')
+        w.key("dur").value(toMicros(e.duration));
+    else
+        w.key("s").value("t");
+    if (!e.args.empty()) {
+        w.key("args").beginObject();
+        for (const auto &a : e.args)
+            w.key(a.key).rawValue(a.json);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+/** Write the process/thread-name metadata events. */
+void
+writeMetadataJson(JsonWriter &w,
+                  const std::set<std::uint32_t> &pids,
+                  const std::map<std::uint64_t, std::string> &names)
+{
+    for (const auto pid : pids) {
+        w.beginObject();
+        w.key("ph").value("M");
+        w.key("pid").value(static_cast<std::uint64_t>(pid));
+        w.key("name").value("process_name");
+        w.key("args").beginObject();
+        w.key("name").value(processName(pid));
+        w.endObject();
+        w.endObject();
+    }
+    for (const auto &[key, name] : names) {
+        w.beginObject();
+        w.key("ph").value("M");
+        w.key("pid").value(key >> 32);
+        w.key("tid").value(key & 0xFFFFFFFFu);
+        w.key("name").value("thread_name");
+        w.key("args").beginObject();
+        w.key("name").value(name);
+        w.endObject();
+        w.endObject();
     }
 }
 
@@ -85,6 +152,20 @@ Tracer::resetClock()
 }
 
 void
+Tracer::recordLocked(TraceEvent event)
+{
+    if (!sink_ && events_.size() >= bufferLimit_) {
+        ++dropped_;
+        metrics().addCounter("trace.dropped_spans");
+        return;
+    }
+    pidsSeen_.insert(event.track.pid);
+    events_.push_back(std::move(event));
+    if (sink_ && events_.size() >= flushChunk_)
+        flushLocked();
+}
+
+void
 Tracer::completeEvent(Track track, std::string name,
                       std::string category, Seconds start,
                       Seconds duration, std::vector<TraceArg> args)
@@ -92,8 +173,8 @@ Tracer::completeEvent(Track track, std::string name,
     if (!enabled())
         return;
     std::lock_guard<std::mutex> lock(mutex_);
-    events_.push_back({std::move(name), std::move(category), 'X',
-                       track, start, duration, std::move(args)});
+    recordLocked({std::move(name), std::move(category), 'X', track,
+                  start, duration, std::move(args)});
 }
 
 void
@@ -104,8 +185,8 @@ Tracer::instantEvent(Track track, std::string name,
     if (!enabled())
         return;
     std::lock_guard<std::mutex> lock(mutex_);
-    events_.push_back({std::move(name), std::move(category), 'i',
-                       track, ts, 0.0, std::move(args)});
+    recordLocked({std::move(name), std::move(category), 'i', track,
+                  ts, 0.0, std::move(args)});
 }
 
 void
@@ -124,11 +205,31 @@ Tracer::eventCount() const
     return events_.size();
 }
 
+std::size_t
+Tracer::totalEventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return flushed_ + events_.size();
+}
+
 std::vector<TraceEvent>
 Tracer::events() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return events_;
+}
+
+std::vector<TraceEvent>
+Tracer::eventsSince(std::size_t index) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t offset =
+        index > flushed_ ? index - flushed_ : 0;
+    if (offset >= events_.size())
+        return {};
+    return {events_.begin() +
+                static_cast<std::ptrdiff_t>(offset),
+            events_.end()};
 }
 
 void
@@ -137,7 +238,97 @@ Tracer::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     events_.clear();
     trackNames_.clear();
+    pidsSeen_.clear();
+    flushed_ = 0;
+    dropped_ = 0;
     now_.store(0.0, std::memory_order_relaxed);
+}
+
+bool
+Tracer::openStream(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sink_)
+        return false;
+    auto out = std::make_unique<std::ofstream>(path);
+    if (!*out)
+        return false;
+    *out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    sink_ = std::move(out);
+    sinkHasEvents_ = false;
+    return true;
+}
+
+void
+Tracer::writeEventLocked(const TraceEvent &event)
+{
+    JsonWriter w;
+    writeEventJson(w, event);
+    if (sinkHasEvents_)
+        *sink_ << ',';
+    *sink_ << '\n' << w.str();
+    sinkHasEvents_ = true;
+}
+
+void
+Tracer::flushLocked()
+{
+    if (!sink_ || events_.empty())
+        return;
+    std::stable_sort(events_.begin(), events_.end(), viewerOrder);
+    for (const TraceEvent &e : events_)
+        writeEventLocked(e);
+    flushed_ += events_.size();
+    events_.clear();
+    sink_->flush();
+}
+
+void
+Tracer::closeStream()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!sink_)
+        return;
+    flushLocked();
+    // Metadata events go last; Chrome/Perfetto accept them anywhere
+    // in the array. Build them inside a scratch array so the writer
+    // handles the commas, then splice the elements.
+    JsonWriter w;
+    w.beginArray();
+    writeMetadataJson(w, pidsSeen_, trackNames_);
+    w.endArray();
+    const std::string meta =
+        w.str().substr(1, w.str().size() - 2);
+    if (!meta.empty()) {
+        if (sinkHasEvents_)
+            *sink_ << ',';
+        *sink_ << '\n' << meta;
+        sinkHasEvents_ = true;
+    }
+    *sink_ << "\n]}\n";
+    sink_.reset();
+    sinkHasEvents_ = false;
+}
+
+bool
+Tracer::streaming() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sink_ != nullptr;
+}
+
+void
+Tracer::setBufferLimit(std::size_t limit)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    bufferLimit_ = limit;
+}
+
+std::uint64_t
+Tracer::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
 }
 
 void
@@ -151,81 +342,24 @@ Tracer::chromeTraceJson() const
 {
     std::vector<TraceEvent> events;
     std::map<std::uint64_t, std::string> names;
+    std::set<std::uint32_t> pids;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         events = events_;
         names = trackNames_;
+        pids = pidsSeen_;
     }
     // Viewers stack complete events by containment; sorting outer
     // spans first keeps nesting deterministic.
-    std::stable_sort(events.begin(), events.end(),
-                     [](const TraceEvent &a, const TraceEvent &b) {
-                         if (a.track.pid != b.track.pid)
-                             return a.track.pid < b.track.pid;
-                         if (a.track.tid != b.track.tid)
-                             return a.track.tid < b.track.tid;
-                         if (a.start != b.start)
-                             return a.start < b.start;
-                         return a.duration > b.duration;
-                     });
+    std::stable_sort(events.begin(), events.end(), viewerOrder);
 
     JsonWriter w;
     w.beginObject();
     w.key("displayTimeUnit").value("ms");
     w.key("traceEvents").beginArray();
-
-    // Metadata: process names, then thread (track) names.
-    std::vector<std::uint32_t> pids;
-    for (const auto &e : events) {
-        if (std::find(pids.begin(), pids.end(), e.track.pid) ==
-            pids.end()) {
-            pids.push_back(e.track.pid);
-        }
-    }
-    std::sort(pids.begin(), pids.end());
-    for (const auto pid : pids) {
-        w.beginObject();
-        w.key("ph").value("M");
-        w.key("pid").value(static_cast<std::uint64_t>(pid));
-        w.key("name").value("process_name");
-        w.key("args").beginObject();
-        w.key("name").value(processName(pid));
-        w.endObject();
-        w.endObject();
-    }
-    for (const auto &[key, name] : names) {
-        w.beginObject();
-        w.key("ph").value("M");
-        w.key("pid").value(key >> 32);
-        w.key("tid").value(key & 0xFFFFFFFFu);
-        w.key("name").value("thread_name");
-        w.key("args").beginObject();
-        w.key("name").value(name);
-        w.endObject();
-        w.endObject();
-    }
-
-    for (const auto &e : events) {
-        w.beginObject();
-        w.key("name").value(e.name);
-        w.key("cat").value(e.category.empty() ? "model"
-                                              : e.category);
-        w.key("ph").value(std::string(1, e.phase));
-        w.key("pid").value(static_cast<std::uint64_t>(e.track.pid));
-        w.key("tid").value(static_cast<std::uint64_t>(e.track.tid));
-        w.key("ts").value(toMicros(e.start));
-        if (e.phase == 'X')
-            w.key("dur").value(toMicros(e.duration));
-        else
-            w.key("s").value("t");
-        if (!e.args.empty()) {
-            w.key("args").beginObject();
-            for (const auto &a : e.args)
-                w.key(a.key).rawValue(a.json);
-            w.endObject();
-        }
-        w.endObject();
-    }
+    writeMetadataJson(w, pids, names);
+    for (const auto &e : events)
+        writeEventJson(w, e);
     w.endArray();
     w.endObject();
     return w.str();

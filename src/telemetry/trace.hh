@@ -24,9 +24,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -145,14 +148,57 @@ class Tracer
     /** Name a track (rendered as the Perfetto thread name). */
     void nameTrack(Track track, std::string name);
 
-    /** Number of recorded events. */
+    /** Number of buffered (not yet flushed) events. */
     std::size_t eventCount() const;
 
-    /** Copy of the recorded events (test/inspection use). */
+    /** Number of events recorded since the last clear(), including
+     * events already flushed to an open stream (dropped events are
+     * not counted -- they were never recorded). */
+    std::size_t totalEventCount() const;
+
+    /** Copy of the buffered events (test/inspection use). */
     std::vector<TraceEvent> events() const;
 
-    /** Drop all events and names and reset the clock. */
+    /**
+     * Buffered events recorded at or after total-count position
+     * `index` (a prior totalEventCount() snapshot). Events already
+     * flushed past the snapshot are gone from the buffer and not
+     * returned -- callers sampling per-run windows under an active
+     * stream get the retained suffix.
+     */
+    std::vector<TraceEvent> eventsSince(std::size_t index) const;
+
+    /** Drop all events, names, stream/drop accounting, and reset the
+     * clock. Do not call while a stream is open. */
     void clear();
+
+    /**
+     * Open a streaming sink: events are flushed to `path` in chunks
+     * as they accumulate instead of buffering until exit, so long
+     * runs cannot OOM silently. The document is completed (metadata,
+     * closing brackets) by closeStream(). Returns false when the
+     * file cannot be created (the tracer then stays in buffered
+     * mode).
+     */
+    bool openStream(const std::string &path);
+
+    /** Flush remaining events, complete and close the stream.
+     * No-op without an open stream. */
+    void closeStream();
+
+    /** True while a streaming sink is open. */
+    bool streaming() const;
+
+    /**
+     * Without a stream, the event buffer is capped at this many
+     * events (default 1M); events recorded past the cap are dropped
+     * and counted in droppedEvents() plus the trace.dropped_spans
+     * metric. With a stream, the buffer flushes long before the cap.
+     */
+    void setBufferLimit(std::size_t limit);
+
+    /** Events dropped at the buffer cap since the last clear(). */
+    std::uint64_t droppedEvents() const;
 
     /**
      * Per-DPU kernel tracks are capped at this many DPUs to bound
@@ -175,12 +221,25 @@ class Tracer
     void writeChromeTrace(std::ostream &out) const;
 
   private:
+    void recordLocked(TraceEvent event);
+    void flushLocked();
+    void writeEventLocked(const TraceEvent &event);
+
     std::atomic<bool> enabled_{false};
     std::atomic<double> now_{0.0};
     std::atomic<unsigned> dpuTrackLimit_{128};
     mutable std::mutex mutex_;
     std::vector<TraceEvent> events_;
     std::map<std::uint64_t, std::string> trackNames_;
+    std::set<std::uint32_t> pidsSeen_;
+
+    // Streaming sink + buffered-mode drop accounting.
+    std::unique_ptr<std::ofstream> sink_;
+    bool sinkHasEvents_ = false;
+    std::size_t flushChunk_ = 8192;
+    std::size_t bufferLimit_ = 1u << 20;
+    std::size_t flushed_ = 0;
+    std::uint64_t dropped_ = 0;
 };
 
 /** The process-wide tracer. */

@@ -141,7 +141,9 @@ TransferModel::scatterGather(const std::vector<Bytes> &per_dpu_bytes,
                 op_name, "xfer", bus_start,
                 static_cast<double>(rank_payload[r]) /
                     rankBandwidth(dir),
-                {telemetry::arg("bytes", rank_payload[r])});
+                {telemetry::arg("bytes", rank_payload[r]),
+                 telemetry::arg(
+                     "rank", static_cast<std::uint64_t>(r))});
         }
         t.advance(time);
     }
@@ -209,7 +211,9 @@ TransferModel::broadcast(Bytes bytes, unsigned num_dpus) const
                     rankBandwidth(TransferDirection::HostToDpu),
                 {telemetry::arg("bytes",
                                 bytes * static_cast<Bytes>(
-                                            dpus_in_rank))});
+                                            dpus_in_rank)),
+                 telemetry::arg(
+                     "rank", static_cast<std::uint64_t>(r))});
         }
         t.advance(time);
     }

@@ -126,7 +126,13 @@ UpmemSystem::launchKernel(
                 telemetry::dpuTrack(d), "kernel", "dpu", start,
                 static_cast<double>(per_dpu_cycles[d]) /
                     cfg_.dpu.clockHz,
-                {telemetry::arg("cycles", per_dpu_cycles[d])});
+                {telemetry::arg("cycles", per_dpu_cycles[d]),
+                 telemetry::arg("dpu",
+                                static_cast<std::uint64_t>(d)),
+                 telemetry::arg(
+                     "rank",
+                     static_cast<std::uint64_t>(
+                         d / cfg_.transfer.dpusPerRank))});
         }
         if (shown < num_dpus) {
             debugLog("telemetry",

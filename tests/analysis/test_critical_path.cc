@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Critical-path and what-if estimator tests against hand-computed
+ * DAGs: a diamond with a known longest path, deterministic
+ * tie-breaking, the launch-spine DAG of a synthetic timeline whose
+ * attribution must sum to total model time, and the three overlap
+ * bounds evaluated on pencil-and-paper launch sequences.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/critical_path.hh"
+#include "telemetry/timeline.hh"
+
+using namespace alphapim;
+using namespace alphapim::analysis;
+using namespace alphapim::telemetry;
+
+namespace
+{
+
+TimelineSpan
+span(const char *name, const char *category, std::uint32_t pid,
+     std::uint32_t tid, Seconds start, Seconds duration)
+{
+    TimelineSpan s;
+    s.name = name;
+    s.category = category;
+    s.pid = pid;
+    s.tid = tid;
+    s.start = start;
+    s.duration = duration;
+    return s;
+}
+
+/** Two launches, [0, 10) and [10, 20): load 2, kernel 3,
+ * retrieve 1, merge 4 each, with one rank span per transfer phase
+ * and one DPU span per kernel phase. */
+Timeline
+twoLaunchTimeline()
+{
+    std::vector<TimelineSpan> spans;
+    for (int k = 0; k < 2; ++k) {
+        const Seconds t0 = 10.0 * k;
+        spans.push_back(
+            span("spmv", "multiply", pidEngine, 0, t0, 10.0));
+        spans.push_back(
+            span("load", "phase", pidEngine, 0, t0, 2.0));
+        spans.push_back(
+            span("kernel", "phase", pidEngine, 0, t0 + 2.0, 3.0));
+        spans.push_back(
+            span("retrieve", "phase", pidEngine, 0, t0 + 5.0, 1.0));
+        spans.push_back(
+            span("merge", "phase", pidEngine, 0, t0 + 6.0, 4.0));
+        spans.push_back(
+            span("scatter", "xfer", pidRank, 0, t0, 2.0));
+        spans.push_back(
+            span("kernel", "dpu", pidDpu, 0, t0 + 2.0, 3.0));
+        spans.push_back(
+            span("gather", "xfer", pidRank, 0, t0 + 5.0, 1.0));
+    }
+    return buildTimeline(spans);
+}
+
+} // namespace
+
+TEST(CriticalPath, EmptyDagYieldsEmptyPath)
+{
+    const CriticalPath path = computeCriticalPath(LaunchDag{});
+    EXPECT_DOUBLE_EQ(path.length, 0.0);
+    EXPECT_TRUE(path.nodes.empty());
+    EXPECT_DOUBLE_EQ(path.transferFraction(), 0.0);
+}
+
+TEST(CriticalPath, DiamondPicksTheLongerArm)
+{
+    // A(2) -> {B(3), C(4)} -> D(1): the longest path is A,C,D = 7.
+    LaunchDag dag;
+    const auto a = dag.addNode("A", PathPhase::Load, 2.0);
+    const auto b = dag.addNode("B", PathPhase::Kernel, 3.0);
+    const auto c = dag.addNode("C", PathPhase::Kernel, 4.0);
+    const auto d = dag.addNode("D", PathPhase::Merge, 1.0);
+    dag.addEdge(a, b);
+    dag.addEdge(a, c);
+    dag.addEdge(b, d);
+    dag.addEdge(c, d);
+
+    const CriticalPath path = computeCriticalPath(dag);
+    EXPECT_DOUBLE_EQ(path.length, 7.0);
+    ASSERT_EQ(path.nodes.size(), 3u);
+    EXPECT_EQ(path.nodes[0], a);
+    EXPECT_EQ(path.nodes[1], c);
+    EXPECT_EQ(path.nodes[2], d);
+    EXPECT_DOUBLE_EQ(
+        path.phaseSeconds[static_cast<std::size_t>(PathPhase::Load)],
+        2.0);
+    EXPECT_DOUBLE_EQ(
+        path.phaseSeconds[static_cast<std::size_t>(
+            PathPhase::Kernel)],
+        4.0);
+    EXPECT_DOUBLE_EQ(
+        path.phaseSeconds[static_cast<std::size_t>(PathPhase::Merge)],
+        1.0);
+    EXPECT_DOUBLE_EQ(path.transferFraction(), 2.0 / 7.0);
+}
+
+TEST(CriticalPath, EqualArmsBreakTiesDeterministically)
+{
+    // Both arms weigh 3: the smaller node index must win, every run.
+    LaunchDag dag;
+    const auto a = dag.addNode("A", PathPhase::Load, 1.0);
+    const auto b = dag.addNode("B", PathPhase::Kernel, 3.0);
+    const auto c = dag.addNode("C", PathPhase::Kernel, 3.0);
+    const auto d = dag.addNode("D", PathPhase::Merge, 1.0);
+    dag.addEdge(a, b);
+    dag.addEdge(a, c);
+    dag.addEdge(b, d);
+    dag.addEdge(c, d);
+
+    const CriticalPath path = computeCriticalPath(dag);
+    EXPECT_DOUBLE_EQ(path.length, 5.0);
+    ASSERT_EQ(path.nodes.size(), 3u);
+    EXPECT_EQ(path.nodes[1], b);
+}
+
+TEST(CriticalPath, LaunchSpineAttributionSumsToModelTime)
+{
+    const Timeline tl = twoLaunchTimeline();
+    ASSERT_EQ(tl.launches.size(), 2u);
+    const LaunchDag dag = buildLaunchDag(tl);
+    const CriticalPath path = computeCriticalPath(dag);
+
+    // The spine with strict barriers *is* the serial model time, and
+    // the per-phase attribution must account for every second of it.
+    EXPECT_NEAR(path.length, tl.accountedSeconds(), 1e-12);
+    Seconds phase_sum = 0.0;
+    for (std::size_t p = 0; p < numPathPhases; ++p)
+        phase_sum += path.phaseSeconds[p];
+    EXPECT_NEAR(phase_sum, path.length, 1e-12);
+    // load 2 + retrieve 1 of each 10s launch: transfers own 30%.
+    EXPECT_NEAR(path.transferFraction(), 0.3, 1e-12);
+}
+
+TEST(CriticalPath, LaunchPhasesMirrorTheTimeline)
+{
+    const std::vector<LaunchPhases> phases =
+        launchPhases(twoLaunchTimeline());
+    ASSERT_EQ(phases.size(), 2u);
+    for (const LaunchPhases &p : phases) {
+        EXPECT_DOUBLE_EQ(p.load, 2.0);
+        EXPECT_DOUBLE_EQ(p.kernel, 3.0);
+        EXPECT_DOUBLE_EQ(p.retrieve, 1.0);
+        EXPECT_DOUBLE_EQ(p.merge, 4.0);
+    }
+}
+
+TEST(WhatIf, HandComputedBoundsForTwoLaunches)
+{
+    // Two launches of load 2, kernel 3, retrieve 1, merge 4:
+    //   serial        = 2 * (2+3+1+4)            = 20
+    //   rank overlap  = 2 * (max(3, 2+1) + 4)    = 14
+    //   double buffer = 2 + 2*(3+1) + max(4,2) + 4 = 18
+    //   combined      = max(6, 6, 8)             = 8
+    const std::vector<LaunchPhases> launches(
+        2, LaunchPhases{2.0, 3.0, 1.0, 4.0});
+    const WhatIf w = estimateOverlap(launches);
+    EXPECT_DOUBLE_EQ(w.serialSeconds, 20.0);
+    EXPECT_DOUBLE_EQ(w.rankOverlapSeconds, 14.0);
+    EXPECT_DOUBLE_EQ(w.doubleBufferSeconds, 18.0);
+    EXPECT_DOUBLE_EQ(w.combinedSeconds, 8.0);
+    EXPECT_DOUBLE_EQ(w.rankOverlapSpeedup(), 20.0 / 14.0);
+    EXPECT_DOUBLE_EQ(w.doubleBufferSpeedup(), 20.0 / 18.0);
+    EXPECT_DOUBLE_EQ(w.combinedSpeedup(), 2.5);
+}
+
+TEST(WhatIf, SingleLaunchHasNoDoubleBufferWin)
+{
+    // One launch {1, 2, 3, 4}: nothing to pipeline across
+    // iterations, so double buffering changes nothing.
+    const std::vector<LaunchPhases> launches{
+        LaunchPhases{1.0, 2.0, 3.0, 4.0}};
+    const WhatIf w = estimateOverlap(launches);
+    EXPECT_DOUBLE_EQ(w.serialSeconds, 10.0);
+    EXPECT_DOUBLE_EQ(w.rankOverlapSeconds, 8.0);
+    EXPECT_DOUBLE_EQ(w.doubleBufferSeconds, 10.0);
+    EXPECT_DOUBLE_EQ(w.combinedSeconds, 4.0);
+    EXPECT_DOUBLE_EQ(w.doubleBufferSpeedup(), 1.0);
+}
+
+TEST(WhatIf, EmptyLaunchSequenceIsNeutral)
+{
+    const WhatIf w = estimateOverlap({});
+    EXPECT_DOUBLE_EQ(w.serialSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(w.rankOverlapSpeedup(), 1.0);
+    EXPECT_DOUBLE_EQ(w.doubleBufferSpeedup(), 1.0);
+    EXPECT_DOUBLE_EQ(w.combinedSpeedup(), 1.0);
+}
+
+TEST(WhatIf, BoundOrderingAlwaysHolds)
+{
+    // combined <= rank overlap <= serial, double buffer <= serial.
+    const std::vector<LaunchPhases> launches{
+        LaunchPhases{0.5, 4.0, 0.25, 1.0},
+        LaunchPhases{2.0, 1.0, 2.0, 0.5},
+        LaunchPhases{1.0, 1.0, 1.0, 1.0}};
+    const WhatIf w = estimateOverlap(launches);
+    EXPECT_LE(w.combinedSeconds, w.rankOverlapSeconds);
+    EXPECT_LE(w.rankOverlapSeconds, w.serialSeconds);
+    EXPECT_LE(w.doubleBufferSeconds, w.serialSeconds);
+    EXPECT_GT(w.combinedSeconds, 0.0);
+}

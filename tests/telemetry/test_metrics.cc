@@ -88,6 +88,91 @@ TEST_F(MetricsTest, DistributionPercentiles)
         registry_.distributionPercentile("missing", 50.0)));
 }
 
+TEST_F(MetricsTest, SamplesBelowTheCapStayExact)
+{
+    registry_.setSampleCap(8);
+    for (int i = 1; i <= 8; ++i)
+        registry_.addSample("d", static_cast<double>(i));
+    EXPECT_EQ(registry_.samplesDropped("d"), 0u);
+    EXPECT_EQ(registry_.counterValue("d.samples_dropped"), 0u);
+    // All 8 retained: exact percentiles of the full sample set.
+    EXPECT_DOUBLE_EQ(registry_.distributionPercentile("d", 0.0),
+                     1.0);
+    EXPECT_DOUBLE_EQ(registry_.distributionPercentile("d", 100.0),
+                     8.0);
+}
+
+TEST_F(MetricsTest, ReservoirCapsRetainedSamples)
+{
+    registry_.setSampleCap(4);
+    for (int i = 1; i <= 100; ++i)
+        registry_.addSample("d", static_cast<double>(i));
+
+    // The running moments see every sample; only retention is capped.
+    const auto *dist = registry_.distribution("d");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_EQ(dist->count(), 100u);
+    EXPECT_DOUBLE_EQ(dist->min(), 1.0);
+    EXPECT_DOUBLE_EQ(dist->max(), 100.0);
+
+    // 96 samples overflowed the reservoir, and the overflow is
+    // surfaced as a per-distribution counter.
+    EXPECT_EQ(registry_.samplesDropped("d"), 96u);
+    EXPECT_EQ(registry_.counterValue("d.samples_dropped"), 96u);
+    EXPECT_EQ(registry_.samplesDropped("missing"), 0u);
+
+    // Percentiles of the retained reservoir stay within the data
+    // range (the reservoir is a subset of the real samples).
+    const double p50 = registry_.distributionPercentile("d", 50.0);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LE(p50, 100.0);
+}
+
+TEST_F(MetricsTest, SampleCapZeroRetainsNothing)
+{
+    registry_.setSampleCap(0);
+    registry_.addSample("d", 1.0);
+    registry_.addSample("d", 2.0);
+    EXPECT_EQ(registry_.samplesDropped("d"), 2u);
+    EXPECT_TRUE(
+        std::isnan(registry_.distributionPercentile("d", 50.0)));
+    // Moments still track every sample.
+    const auto *dist = registry_.distribution("d");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_EQ(dist->count(), 2u);
+}
+
+TEST_F(MetricsTest, JsonlReportsSamplesDropped)
+{
+    registry_.setSampleCap(2);
+    for (int i = 0; i < 10; ++i)
+        registry_.addSample("capped", static_cast<double>(i));
+    registry_.addSample("uncapped", 1.0);
+
+    bool saw_dropped_field = false;
+    std::istringstream lines(registry_.jsonl());
+    std::string line;
+    while (std::getline(lines, line)) {
+        JsonValue record;
+        std::string error;
+        ASSERT_TRUE(JsonValue::parse(line, record, &error)) << error;
+        const JsonValue *name = record.find("name");
+        if (!name || record.find("kind")->asString() !=
+                         "distribution")
+            continue;
+        const JsonValue *dropped = record.find("samples_dropped");
+        if (name->asString() == "capped") {
+            ASSERT_NE(dropped, nullptr);
+            EXPECT_DOUBLE_EQ(dropped->asNumber(), 8.0);
+            saw_dropped_field = true;
+        } else {
+            // Never-capped distributions keep the lean record shape.
+            EXPECT_EQ(dropped, nullptr);
+        }
+    }
+    EXPECT_TRUE(saw_dropped_field);
+}
+
 TEST_F(MetricsTest, DisabledRegistryIgnoresEveryUpdate)
 {
     registry_.setEnabled(false);

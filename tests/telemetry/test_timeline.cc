@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Timeline reconstruction tests on synthetic span sets with
+ * hand-computed phase breakdowns, occupancy and overlap fractions --
+ * including the fully-serial (overlap 0) and fully-overlapped
+ * (overlap 1) fixtures the what-if estimator is calibrated against.
+ */
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/timeline.hh"
+#include "telemetry/trace.hh"
+
+using namespace alphapim;
+using namespace alphapim::telemetry;
+
+namespace
+{
+
+TimelineSpan
+span(const char *name, const char *category, std::uint32_t pid,
+     std::uint32_t tid, Seconds start, Seconds duration)
+{
+    TimelineSpan s;
+    s.name = name;
+    s.category = category;
+    s.pid = pid;
+    s.tid = tid;
+    s.start = start;
+    s.duration = duration;
+    return s;
+}
+
+} // namespace
+
+TEST(Timeline, EmptySpanSetYieldsEmptyTimeline)
+{
+    const Timeline tl = buildTimeline(std::vector<TimelineSpan>{});
+    EXPECT_TRUE(tl.launches.empty());
+    EXPECT_TRUE(tl.rankSpans.empty());
+    EXPECT_TRUE(tl.dpuSpans.empty());
+    EXPECT_DOUBLE_EQ(tl.window(), 0.0);
+    EXPECT_DOUBLE_EQ(tl.accountedSeconds(), 0.0);
+}
+
+TEST(Timeline, PhaseSpansRefineTheLaunchWindow)
+{
+    // One launch [0, 10): load 2, kernel 3, retrieve 1, merge 4.
+    std::vector<TimelineSpan> spans;
+    spans.push_back(span("spmv", "multiply", pidEngine, 0, 0.0, 10.0));
+    spans.push_back(span("load", "phase", pidEngine, 0, 0.0, 2.0));
+    spans.push_back(span("kernel", "phase", pidEngine, 0, 2.0, 3.0));
+    spans.push_back(span("retrieve", "phase", pidEngine, 0, 5.0, 1.0));
+    spans.push_back(span("merge", "phase", pidEngine, 0, 6.0, 4.0));
+
+    const Timeline tl = buildTimeline(spans);
+    ASSERT_EQ(tl.launches.size(), 1u);
+    const LaunchWindow &l = tl.launches[0];
+    EXPECT_EQ(l.kernel, "spmv");
+    EXPECT_DOUBLE_EQ(l.start, 0.0);
+    EXPECT_DOUBLE_EQ(l.load, 2.0);
+    EXPECT_DOUBLE_EQ(l.kernel_time, 3.0);
+    EXPECT_DOUBLE_EQ(l.retrieve, 1.0);
+    EXPECT_DOUBLE_EQ(l.merge, 4.0);
+    EXPECT_DOUBLE_EQ(l.total(), 10.0);
+    EXPECT_DOUBLE_EQ(tl.accountedSeconds(), 10.0);
+}
+
+TEST(Timeline, UnrefinedMultiplyKeepsItsDurationAsMerge)
+{
+    // A multiply with no phase spans (foreign trace): the whole
+    // duration lands in the merge bucket so attribution still sums.
+    std::vector<TimelineSpan> spans;
+    spans.push_back(span("spmv", "multiply", pidEngine, 0, 1.0, 5.0));
+
+    const Timeline tl = buildTimeline(spans);
+    ASSERT_EQ(tl.launches.size(), 1u);
+    EXPECT_DOUBLE_EQ(tl.launches[0].merge, 5.0);
+    EXPECT_DOUBLE_EQ(tl.launches[0].total(), 5.0);
+}
+
+TEST(Timeline, IterationGapFoldsIntoTheLastLaunchMerge)
+{
+    // The app accounts 2s of host extra after the launch's phase
+    // spans, inside the enclosing iteration span: reconstruction
+    // folds it into the launch's merge so the attribution sums to
+    // the iteration, i.e. to total model time.
+    std::vector<TimelineSpan> spans;
+    spans.push_back(
+        span("bfs.iteration", "app", pidEngine, 0, 0.0, 12.0));
+    spans.push_back(span("spmv", "multiply", pidEngine, 0, 0.0, 10.0));
+    spans.push_back(span("load", "phase", pidEngine, 0, 0.0, 2.0));
+    spans.push_back(span("kernel", "phase", pidEngine, 0, 2.0, 3.0));
+    spans.push_back(span("retrieve", "phase", pidEngine, 0, 5.0, 1.0));
+    spans.push_back(span("merge", "phase", pidEngine, 0, 6.0, 4.0));
+
+    const Timeline tl = buildTimeline(spans);
+    ASSERT_EQ(tl.launches.size(), 1u);
+    EXPECT_DOUBLE_EQ(tl.launches[0].merge, 6.0); // 4 + 2 folded
+    EXPECT_DOUBLE_EQ(tl.accountedSeconds(), 12.0);
+    EXPECT_DOUBLE_EQ(tl.window(), 12.0);
+    ASSERT_EQ(tl.iterations.size(), 1u);
+}
+
+TEST(Timeline, RankAndDpuSpansLandOnTheirTracks)
+{
+    std::vector<TimelineSpan> spans;
+    spans.push_back(span("scatter", "xfer", pidRank, 0, 0.0, 1.0));
+    spans.push_back(span("scatter", "xfer", pidRank, 1, 0.0, 1.5));
+    spans.push_back(span("kernel", "dpu", pidDpu, 0, 1.5, 2.0));
+
+    const Timeline tl = buildTimeline(spans);
+    EXPECT_EQ(tl.rankSpans.size(), 2u);
+    EXPECT_EQ(tl.dpuSpans.size(), 1u);
+    ASSERT_EQ(tl.rankSpans.at(1).size(), 1u);
+    EXPECT_DOUBLE_EQ(tl.rankSpans.at(1)[0].duration, 1.5);
+}
+
+TEST(Timeline, UnionAndIntersectionLengths)
+{
+    using I = std::pair<Seconds, Seconds>;
+    EXPECT_DOUBLE_EQ(unionLength({}), 0.0);
+    EXPECT_DOUBLE_EQ(unionLength({I{0.0, 1.0}, I{2.0, 3.0}}), 2.0);
+    EXPECT_DOUBLE_EQ(unionLength({I{0.0, 2.0}, I{1.0, 3.0}}), 3.0);
+    EXPECT_DOUBLE_EQ(unionLength({I{0.0, 1.0}, I{0.0, 1.0}}), 1.0);
+    // Degenerate / inverted intervals are ignored.
+    EXPECT_DOUBLE_EQ(unionLength({I{1.0, 1.0}, I{3.0, 2.0}}), 0.0);
+
+    EXPECT_DOUBLE_EQ(
+        intersectionLength({I{0.0, 2.0}}, {I{1.0, 3.0}}), 1.0);
+    EXPECT_DOUBLE_EQ(
+        intersectionLength({I{0.0, 1.0}}, {I{1.0, 2.0}}), 0.0);
+    EXPECT_DOUBLE_EQ(
+        intersectionLength({I{0.0, 4.0}}, {I{1.0, 2.0}, I{3.0, 5.0}}),
+        2.0);
+}
+
+TEST(Timeline, FullySerialExecutionHasZeroOverlap)
+{
+    // Transfer on [0, 1), kernel on [1, 2): no concurrency at all.
+    std::vector<TimelineSpan> spans;
+    spans.push_back(span("scatter", "xfer", pidRank, 0, 0.0, 1.0));
+    spans.push_back(span("kernel", "dpu", pidDpu, 0, 1.0, 1.0));
+
+    const TimelineStats s = computeStats(buildTimeline(spans));
+    EXPECT_DOUBLE_EQ(s.windowSeconds, 2.0);
+    EXPECT_DOUBLE_EQ(s.transferBusySeconds, 1.0);
+    EXPECT_DOUBLE_EQ(s.kernelBusySeconds, 1.0);
+    EXPECT_DOUBLE_EQ(s.overlapSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(s.overlapFraction, 0.0);
+    EXPECT_DOUBLE_EQ(s.idleFraction, 0.0);
+    ASSERT_EQ(s.rankOccupancy.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.rankOccupancy[0].second, 0.5);
+    EXPECT_DOUBLE_EQ(s.dpuOccupancyMean, 0.5);
+}
+
+TEST(Timeline, FullyOverlappedKernelHasOverlapOne)
+{
+    // Transfer covers [0, 2); the kernel [0.5, 1.5) is entirely
+    // hidden under it: overlap = kernel busy, fraction = 1.
+    std::vector<TimelineSpan> spans;
+    spans.push_back(span("scatter", "xfer", pidRank, 0, 0.0, 2.0));
+    spans.push_back(span("kernel", "dpu", pidDpu, 0, 0.5, 1.0));
+
+    const TimelineStats s = computeStats(buildTimeline(spans));
+    EXPECT_DOUBLE_EQ(s.overlapSeconds, 1.0);
+    EXPECT_DOUBLE_EQ(s.overlapFraction, 1.0);
+    EXPECT_DOUBLE_EQ(s.idleFraction, 0.0);
+}
+
+TEST(Timeline, OccupancyAveragesAcrossTracks)
+{
+    // Window [0, 4): rank 0 busy 2s (0.5), rank 1 busy 1s (0.25).
+    std::vector<TimelineSpan> spans;
+    spans.push_back(span("scatter", "xfer", pidRank, 0, 0.0, 2.0));
+    spans.push_back(span("gather", "xfer", pidRank, 1, 3.0, 1.0));
+
+    const TimelineStats s = computeStats(buildTimeline(spans));
+    EXPECT_EQ(s.ranks, 2u);
+    EXPECT_DOUBLE_EQ(s.rankOccupancyMean, 0.375);
+    EXPECT_DOUBLE_EQ(s.rankOccupancyMin, 0.25);
+    // [2, 3) has no device activity: idle fraction 1/4.
+    EXPECT_DOUBLE_EQ(s.idleFraction, 0.25);
+}
+
+TEST(Timeline, RecordTimelineMetricsExportsScalarsAndSamples)
+{
+    std::vector<TimelineSpan> spans;
+    spans.push_back(span("scatter", "xfer", pidRank, 0, 0.0, 1.0));
+    spans.push_back(span("scatter", "xfer", pidRank, 1, 0.0, 2.0));
+    spans.push_back(span("kernel", "dpu", pidDpu, 0, 1.0, 1.0));
+    const TimelineStats s = computeStats(buildTimeline(spans));
+
+    MetricsRegistry registry;
+    registry.setEnabled(true);
+    recordTimelineMetrics(s, registry);
+    EXPECT_DOUBLE_EQ(registry.scalarValue("timeline.window_seconds"),
+                     2.0);
+    EXPECT_DOUBLE_EQ(
+        registry.scalarValue("timeline.overlap_fraction"),
+        s.overlapFraction);
+    EXPECT_DOUBLE_EQ(registry.scalarValue("timeline.idle_fraction"),
+                     s.idleFraction);
+    const RunningStats *rank_occ =
+        registry.distribution("timeline.rank.occupancy");
+    ASSERT_NE(rank_occ, nullptr);
+    EXPECT_EQ(rank_occ->count(), 2u);
+    const RunningStats *dpu_occ =
+        registry.distribution("timeline.dpu.occupancy");
+    ASSERT_NE(dpu_occ, nullptr);
+    EXPECT_EQ(dpu_occ->count(), 1u);
+
+    // The disabled registry must stay empty.
+    MetricsRegistry off;
+    recordTimelineMetrics(s, off);
+    EXPECT_EQ(off.size(), 0u);
+}

@@ -9,6 +9,9 @@
  */
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -261,6 +264,89 @@ TEST_F(TracerTest, BfsRunProducesNestedPhaseAndDeviceTracks)
 
     // The whole export must still parse as JSON.
     parsedTrace();
+}
+
+TEST_F(TracerTest, BufferCapDropsAndCountsOverflow)
+{
+    tracer().setEnabled(true);
+    tracer().setBufferLimit(4);
+    metrics().setEnabled(true);
+    metrics().clear();
+
+    for (int i = 0; i < 10; ++i)
+        tracer().completeEvent(engineTrack, "e", "test",
+                               static_cast<Seconds>(i), 1.0);
+    EXPECT_EQ(tracer().eventCount(), 4u);
+    EXPECT_EQ(tracer().droppedEvents(), 6u);
+    EXPECT_EQ(metrics().counterValue("trace.dropped_spans"), 6u);
+
+    tracer().clear();
+    EXPECT_EQ(tracer().droppedEvents(), 0u);
+    tracer().setBufferLimit(1u << 20);
+    metrics().clear();
+    metrics().setEnabled(false);
+}
+
+TEST_F(TracerTest, StreamedTraceIsCompleteAndParseable)
+{
+    const std::string path =
+        testing::TempDir() + "alphapim_stream_trace.json";
+    tracer().setEnabled(true);
+    tracer().nameTrack(engineTrack, "engine");
+    ASSERT_TRUE(tracer().openStream(path));
+    EXPECT_TRUE(tracer().streaming());
+    // A second sink cannot be opened over the first.
+    EXPECT_FALSE(tracer().openStream(path));
+
+    for (int i = 0; i < 64; ++i)
+        tracer().completeEvent(engineTrack, "e", "test",
+                               static_cast<Seconds>(i), 0.5);
+    tracer().instantEvent(rankTrack(1), "tick", "test", 2.0);
+    tracer().closeStream();
+    EXPECT_FALSE(tracer().streaming());
+    // Everything flushed: the buffer is empty, the total remembers.
+    EXPECT_EQ(tracer().eventCount(), 0u);
+    EXPECT_EQ(tracer().totalEventCount(), 65u);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(buf.str(), root, &error)) << error;
+    const JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    std::size_t spans = 0, metas = 0;
+    for (const auto &e : events->items()) {
+        const std::string &ph = e.find("ph")->asString();
+        if (ph == "X" || ph == "i")
+            ++spans;
+        else if (ph == "M")
+            ++metas;
+    }
+    EXPECT_EQ(spans, 65u);
+    EXPECT_GE(metas, 2u); // process_name + thread_name at least
+    std::remove(path.c_str());
+}
+
+TEST_F(TracerTest, EventsSinceReturnsTheRecordedSuffix)
+{
+    tracer().setEnabled(true);
+    tracer().completeEvent(engineTrack, "a", "test", 0.0, 1.0);
+    tracer().completeEvent(engineTrack, "b", "test", 1.0, 1.0);
+    const std::size_t mark = tracer().totalEventCount();
+    EXPECT_EQ(mark, 2u);
+    tracer().completeEvent(engineTrack, "c", "test", 2.0, 1.0);
+    tracer().completeEvent(engineTrack, "d", "test", 3.0, 1.0);
+
+    const auto suffix = tracer().eventsSince(mark);
+    ASSERT_EQ(suffix.size(), 2u);
+    EXPECT_EQ(suffix[0].name, "c");
+    EXPECT_EQ(suffix[1].name, "d");
+    EXPECT_TRUE(tracer().eventsSince(100).empty());
+    EXPECT_EQ(tracer().eventsSince(0).size(), 4u);
 }
 
 TEST_F(TracerTest, DpuTrackLimitCapsKernelTracks)

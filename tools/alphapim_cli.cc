@@ -35,6 +35,7 @@
 #include "sparse/graph_stats.hh"
 #include "sparse/mmio.hh"
 #include "telemetry/telemetry.hh"
+#include "telemetry/timeline.hh"
 #include "upmem/report.hh"
 
 using namespace alphapim;
@@ -183,8 +184,20 @@ parseCli(int argc, char **argv)
     if (!opt.logLevel.empty() &&
         !setLogLevelByName(opt.logLevel.c_str()))
         fatal("unknown log level '%s'", opt.logLevel.c_str());
-    if (!opt.traceOut.empty())
+    if (!opt.traceOut.empty()) {
         telemetry::tracer().setEnabled(true);
+        // Flush to the file in chunks so long runs stay bounded;
+        // buffered fallback when the file cannot be created.
+        if (!telemetry::tracer().openStream(opt.traceOut))
+            warn("cannot stream trace to '%s'; buffering instead",
+                 opt.traceOut.c_str());
+    }
+    if (!opt.jsonOut.empty()) {
+        // Run records carry an execution-timeline summary, which is
+        // reconstructed from trace spans -- record them even when no
+        // trace file was requested.
+        telemetry::tracer().setEnabled(true);
+    }
     if (!opt.metricsOut.empty() || !opt.jsonOut.empty())
         telemetry::metrics().setEnabled(true);
     if (opt.check) {
@@ -347,12 +360,25 @@ main(int argc, char **argv)
         xfer.broadcasts = xfer_now[4] - xfer_start[4];
         xfer.broadcastBytes = xfer_now[5] - xfer_start[5];
 
+        perf::TimelineSummary timeline;
+        const perf::TimelineSummary *timeline_ptr = nullptr;
+        const telemetry::Timeline tl =
+            telemetry::buildTimeline(telemetry::tracer().events());
+        if (!tl.launches.empty()) {
+            const telemetry::TimelineStats tl_stats =
+                telemetry::computeStats(tl);
+            telemetry::recordTimelineMetrics(tl_stats,
+                                             telemetry::metrics());
+            timeline = perf::summarizeTimeline(tl, tl_stats);
+            timeline_ptr = &timeline;
+        }
+
         telemetry::appendJsonlRecord(
             opt.jsonOut,
             perf::encodeRunRecord(
                 manifest, key, result.iterations.size(),
                 result.total, &result.profile, &xfer,
-                wall_seconds));
+                wall_seconds, timeline_ptr));
     }
 
     std::printf("\n%s from vertex %u: %zu iterations (%s), "
@@ -444,7 +470,7 @@ main(int argc, char **argv)
                     agg.avgActiveThreads());
     }
     if (!opt.traceOut.empty())
-        telemetry::writeTraceFile(opt.traceOut);
+        telemetry::finishTraceOutput(opt.traceOut);
     if (!opt.metricsOut.empty())
         telemetry::writeMetricsFile(opt.metricsOut);
 

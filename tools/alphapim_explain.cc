@@ -1,0 +1,480 @@
+/**
+ * @file
+ * alphapim_explain: execution-timeline observatory over the run
+ * artifacts the framework already emits.
+ *
+ * Trace mode (--trace FILE, a --trace-out Chrome trace):
+ * reconstructs the per-rank / per-DPU timeline, extracts the launch
+ * dependency DAG and its critical path with per-phase attribution
+ * (checked against the accounted model time), reports rank/DPU
+ * occupancy, the transfer/kernel overlap fraction, and the what-if
+ * overlap bounds; --html FILE additionally renders a self-contained
+ * HTML page (inline SVG, no external dependencies).
+ *
+ * Records mode (--records FILE, a --json-out JSONL file): prints the
+ * timeline summary block of every run record that carries one
+ * (schema v3).
+ *
+ * Exit codes: 0 report produced, 1 artifact held no reconstructible
+ * launches, 2 usage or I/O error.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/critical_path.hh"
+#include "common/types.hh"
+#include "perf/record.hh"
+#include "telemetry/json.hh"
+#include "telemetry/timeline.hh"
+
+using namespace alphapim;
+
+namespace
+{
+
+struct ExplainOptions
+{
+    std::string trace;
+    std::string records;
+    std::string html;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: alphapim_explain --trace FILE [--html FILE]\n"
+        "       alphapim_explain --records FILE\n"
+        "  --trace FILE    Chrome trace JSON (from --trace-out)\n"
+        "  --records FILE  run-record JSONL (from --json-out)\n"
+        "  --html FILE     write a self-contained HTML report\n"
+        "Every flag also accepts the --flag=value spelling.\n");
+    std::exit(2);
+}
+
+ExplainOptions
+parseArgs(int argc, char **argv)
+{
+    ExplainOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string inline_value;
+        bool has_inline = false;
+        if (const std::size_t eq = arg.find('=');
+            eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            inline_value = arg.substr(eq + 1);
+            arg.resize(eq);
+            has_inline = true;
+        }
+        auto next = [&]() -> const char * {
+            if (has_inline)
+                return inline_value.c_str();
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--trace")
+            opt.trace = next();
+        else if (arg == "--records")
+            opt.records = next();
+        else if (arg == "--html")
+            opt.html = next();
+        else
+            usage();
+    }
+    if (opt.trace.empty() == opt.records.empty())
+        usage();
+    return opt;
+}
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buf, sizeof(buf), format, args);
+    va_end(args);
+    return buf;
+}
+
+double
+numberOf(const telemetry::JsonValue &obj, const char *key,
+         double fallback = 0.0)
+{
+    const auto *v = obj.find(key);
+    return v && v->isNumber() ? v->asNumber() : fallback;
+}
+
+/** Load a Chrome trace file back into timeline spans. */
+bool
+loadTraceSpans(const std::string &path,
+               std::vector<telemetry::TimelineSpan> &out,
+               std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        *error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    telemetry::JsonValue doc;
+    if (!telemetry::JsonValue::parse(buffer.str(), doc, error))
+        return false;
+    const auto *events = doc.find("traceEvents");
+    if (!events || !events->isArray()) {
+        *error = "no traceEvents array -- not a Chrome trace";
+        return false;
+    }
+    for (const auto &e : events->items()) {
+        if (!e.isObject())
+            continue;
+        const auto *ph = e.find("ph");
+        if (!ph || !ph->isString() || ph->asString() != "X")
+            continue;
+        telemetry::TimelineSpan s;
+        if (const auto *v = e.find("name"); v && v->isString())
+            s.name = v->asString();
+        if (const auto *v = e.find("cat"); v && v->isString())
+            s.category = v->asString();
+        s.pid = static_cast<std::uint32_t>(numberOf(e, "pid"));
+        s.tid = static_cast<std::uint32_t>(numberOf(e, "tid"));
+        s.start = numberOf(e, "ts") / 1e6; // micros -> seconds
+        s.duration = numberOf(e, "dur") / 1e6;
+        if (const auto *args = e.find("args");
+            args && args->isObject()) {
+            s.bytes = numberOf(*args, "bytes");
+            s.cycles = numberOf(*args, "cycles");
+        }
+        out.push_back(std::move(s));
+    }
+    return true;
+}
+
+/** Everything the reports are rendered from. */
+struct Analysis
+{
+    telemetry::Timeline timeline;
+    telemetry::TimelineStats stats;
+    analysis::CriticalPath path;
+    analysis::WhatIf whatif;
+    double accounted = 0.0;
+    double attributionError = 0.0; ///< |path - accounted| / accounted
+};
+
+Analysis
+analyze(std::vector<telemetry::TimelineSpan> spans)
+{
+    Analysis a;
+    a.timeline = telemetry::buildTimeline(spans);
+    a.stats = telemetry::computeStats(a.timeline);
+    a.path = analysis::computeCriticalPath(
+        analysis::buildLaunchDag(a.timeline));
+    a.whatif = analysis::estimateOverlap(
+        analysis::launchPhases(a.timeline));
+    a.accounted = a.timeline.accountedSeconds();
+    a.attributionError = a.accounted > 0.0
+        ? std::abs(a.path.length - a.accounted) / a.accounted
+        : 0.0;
+    return a;
+}
+
+std::string
+textReport(const std::string &source, const Analysis &a)
+{
+    const auto &s = a.stats;
+    std::string out;
+    out += fmt("alphapim-explain: %s\n", source.c_str());
+    out += fmt(
+        "window: %.3f ms model time -- %zu launches, %zu rank "
+        "tracks, %zu DPU tracks\n",
+        toMillis(s.windowSeconds), s.launches, s.ranks, s.dpus);
+
+    out += fmt("critical path: %.3f ms across %zu nodes\n",
+               toMillis(a.path.length), a.path.nodes.size());
+    for (std::size_t p = 0; p < analysis::numPathPhases; ++p) {
+        const auto phase = static_cast<analysis::PathPhase>(p);
+        const double seconds = a.path.phaseSeconds[p];
+        if (seconds <= 0.0 && phase == analysis::PathPhase::Other)
+            continue;
+        out += fmt("  %-9s %8.3f ms  (%5.1f%% of the path)\n",
+                   analysis::pathPhaseName(phase), toMillis(seconds),
+                   a.path.phaseFraction(phase) * 100.0);
+    }
+    out += fmt(
+        "attribution: path %.3f ms vs accounted launch time %.3f "
+        "ms -- %.2f%% apart (%s)\n",
+        toMillis(a.path.length), toMillis(a.accounted),
+        a.attributionError * 100.0,
+        a.attributionError <= 0.01 ? "OK" : "MISMATCH");
+
+    out += fmt(
+        "rank occupancy: mean %.1f%%, min %.1f%%; DPU occupancy "
+        "mean %.2f%%\n",
+        s.rankOccupancyMean * 100.0, s.rankOccupancyMin * 100.0,
+        s.dpuOccupancyMean * 100.0);
+    for (const auto &[rank, frac] : s.rankOccupancy)
+        out += fmt("  rank %-3u busy %5.1f%% of the window\n", rank,
+                   frac * 100.0);
+    out += fmt(
+        "transfer/kernel overlap: %.2f (transfers busy %.3f ms, "
+        "kernels busy %.3f ms); idle fraction %.2f\n",
+        s.overlapFraction, toMillis(s.transferBusySeconds),
+        toMillis(s.kernelBusySeconds), s.idleFraction);
+
+    const auto &w = a.whatif;
+    out += "what-if overlap bounds (speedup ceilings vs the "
+           "serial schedule):\n";
+    out += fmt(
+        "  rank overlap      %.3f ms  (%.2fx)  kernels hidden "
+        "under neighbouring ranks' transfers\n",
+        toMillis(w.rankOverlapSeconds), w.rankOverlapSpeedup());
+    out += fmt(
+        "  double buffering  %.3f ms  (%.2fx)  next input load "
+        "hidden under the host merge\n",
+        toMillis(w.doubleBufferSeconds), w.doubleBufferSpeedup());
+    out += fmt(
+        "  combined pipeline %.3f ms  (%.2fx)  throughput-bound "
+        "on the busiest resource\n",
+        toMillis(w.combinedSeconds), w.combinedSpeedup());
+    return out;
+}
+
+const char *
+phaseColor(const std::string &name)
+{
+    if (name == "scatter" || name == "broadcast")
+        return "#3b82f6"; // load-side transfers: blue
+    if (name == "gather")
+        return "#8b5cf6"; // retrieve transfers: violet
+    if (name == "kernel")
+        return "#16a34a"; // kernels: green
+    return "#9ca3af";
+}
+
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        switch (c) {
+          case '<':
+            out += "&lt;";
+            break;
+          case '>':
+            out += "&gt;";
+            break;
+          case '&':
+            out += "&amp;";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Self-contained HTML page: summary <pre> + inline SVG Gantt of the
+ * rank tracks, a bounded set of DPU tracks, and the launch spine. */
+std::string
+htmlReport(const std::string &source, const Analysis &a)
+{
+    constexpr double width = 1000.0;
+    constexpr double rowH = 18.0;
+    constexpr double labelW = 90.0;
+    constexpr unsigned maxDpuRows = 16;
+
+    const telemetry::Timeline &tl = a.timeline;
+    const double t0 = tl.windowStart;
+    const double span = tl.window() > 0.0 ? tl.window() : 1.0;
+    auto x_of = [&](double t) {
+        return labelW + (t - t0) / span * (width - labelW - 10.0);
+    };
+
+    struct Row
+    {
+        std::string label;
+        const std::vector<telemetry::TimelineSpan> *spans;
+    };
+    std::vector<Row> rows;
+    for (const auto &[rank, spans] : tl.rankSpans)
+        rows.push_back({"rank " + std::to_string(rank), &spans});
+    unsigned dpu_rows = 0;
+    for (const auto &[dpu, spans] : tl.dpuSpans) {
+        if (dpu_rows++ >= maxDpuRows)
+            break;
+        rows.push_back({"dpu " + std::to_string(dpu), &spans});
+    }
+
+    std::string svg;
+    const double launch_row_y = 4.0;
+    const double tracks_y = launch_row_y + rowH + 6.0;
+    const double height =
+        tracks_y + static_cast<double>(rows.size()) * rowH + 8.0;
+    svg += fmt("<svg viewBox=\"0 0 %.0f %.0f\" "
+               "xmlns=\"http://www.w3.org/2000/svg\" "
+               "font-family=\"monospace\" font-size=\"11\">\n",
+               width, height);
+
+    // Launch spine: one bar per launch, phase-colored segments.
+    svg += fmt("<text x=\"4\" y=\"%.1f\">launches</text>\n",
+               launch_row_y + rowH - 5.0);
+    const char *spine_colors[4] = {"#3b82f6", "#16a34a", "#8b5cf6",
+                                   "#f59e0b"};
+    for (const telemetry::LaunchWindow &l : tl.launches) {
+        double t = l.start;
+        const double parts[4] = {l.load, l.kernel_time, l.retrieve,
+                                 l.merge};
+        for (int p = 0; p < 4; ++p) {
+            if (parts[p] <= 0.0)
+                continue;
+            svg += fmt("<rect x=\"%.2f\" y=\"%.1f\" width=\"%.2f\" "
+                       "height=\"%.0f\" fill=\"%s\"><title>%s "
+                       "%s %.3f ms</title></rect>\n",
+                       x_of(t), launch_row_y,
+                       std::max(0.5, x_of(t + parts[p]) - x_of(t)),
+                       rowH - 4.0, spine_colors[p],
+                       htmlEscape(l.kernel).c_str(),
+                       analysis::pathPhaseName(
+                           static_cast<analysis::PathPhase>(p)),
+                       toMillis(parts[p]));
+            t += parts[p];
+        }
+    }
+
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const double y =
+            tracks_y + static_cast<double>(r) * rowH;
+        svg += fmt("<text x=\"4\" y=\"%.1f\">%s</text>\n",
+                   y + rowH - 5.0,
+                   htmlEscape(rows[r].label).c_str());
+        for (const telemetry::TimelineSpan &s : *rows[r].spans) {
+            svg += fmt(
+                "<rect x=\"%.2f\" y=\"%.1f\" width=\"%.2f\" "
+                "height=\"%.0f\" fill=\"%s\"><title>%s %.3f "
+                "ms</title></rect>\n",
+                x_of(s.start), y,
+                std::max(0.5, x_of(s.end()) - x_of(s.start)),
+                rowH - 4.0, phaseColor(s.name),
+                htmlEscape(s.name).c_str(), toMillis(s.duration));
+        }
+    }
+    svg += "</svg>\n";
+
+    std::string html;
+    html += "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+            "<title>alphapim-explain</title>\n<style>\n"
+            "body { font-family: sans-serif; margin: 2em; }\n"
+            "pre { background: #f3f4f6; padding: 1em; }\n"
+            ".legend span { padding: 0 0.6em; }\n"
+            "</style></head><body>\n";
+    html += "<h1>Execution timeline: " + htmlEscape(source) +
+            "</h1>\n";
+    html += "<div class=\"legend\">"
+            "<span style=\"background:#3b82f6;color:#fff\">load / "
+            "scatter</span>"
+            "<span style=\"background:#16a34a;color:#fff\">kernel"
+            "</span>"
+            "<span style=\"background:#8b5cf6;color:#fff\">retrieve "
+            "/ gather</span>"
+            "<span style=\"background:#f59e0b;color:#fff\">merge"
+            "</span></div>\n";
+    html += svg;
+    html += "<h2>Report</h2>\n<pre>" +
+            htmlEscape(textReport(source, a)) + "</pre>\n";
+    html += "</body></html>\n";
+    return html;
+}
+
+int
+runTraceMode(const ExplainOptions &opt)
+{
+    std::vector<telemetry::TimelineSpan> spans;
+    std::string error;
+    if (!loadTraceSpans(opt.trace, spans, &error)) {
+        std::fprintf(stderr, "alphapim-explain: %s\n",
+                     error.c_str());
+        return 2;
+    }
+    const Analysis a = analyze(std::move(spans));
+    if (a.timeline.launches.empty()) {
+        std::fprintf(stderr,
+                     "alphapim-explain: no launches found in '%s' "
+                     "-- was the trace recorded with this tool "
+                     "chain?\n",
+                     opt.trace.c_str());
+        return 1;
+    }
+    std::fputs(textReport(opt.trace, a).c_str(), stdout);
+    if (!opt.html.empty()) {
+        std::ofstream out(opt.html);
+        if (!out) {
+            std::fprintf(stderr,
+                         "alphapim-explain: cannot create '%s'\n",
+                         opt.html.c_str());
+            return 2;
+        }
+        out << htmlReport(opt.trace, a);
+        std::printf("wrote HTML report to %s\n", opt.html.c_str());
+    }
+    return 0;
+}
+
+int
+runRecordsMode(const ExplainOptions &opt)
+{
+    perf::RecordSet set;
+    std::string error;
+    if (!perf::loadRecordSet(opt.records, set, &error)) {
+        std::fprintf(stderr, "alphapim-explain: %s\n",
+                     error.c_str());
+        return 2;
+    }
+    std::printf("alphapim-explain: %s -- %zu records\n",
+                opt.records.c_str(), set.records.size());
+    std::size_t with_timeline = 0;
+    for (const perf::RunRecord &r : set.records) {
+        if (!r.hasTimeline)
+            continue;
+        ++with_timeline;
+        const perf::TimelineSummary &t = r.timeline;
+        std::printf(
+            "  %s: window %.3f ms, %llu launches, overlap %.2f, "
+            "rank occupancy mean %.1f%%, transfers %.0f%% of the "
+            "critical path; what-if rank overlap %.2fx, double "
+            "buffer %.2fx, combined %.2fx\n",
+            r.key.str().c_str(), toMillis(t.windowSeconds),
+            static_cast<unsigned long long>(t.launches),
+            t.overlapFraction, t.rankOccupancyMean * 100.0,
+            t.transferCriticalFraction * 100.0,
+            t.whatifRankOverlapSpeedup, t.whatifDoubleBufferSpeedup,
+            t.whatifCombinedSpeedup);
+    }
+    if (with_timeline == 0) {
+        std::fprintf(stderr,
+                     "alphapim-explain: no record carries a "
+                     "timeline block (records predate schema "
+                     "alpha-pim-run-v3?)\n");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ExplainOptions opt = parseArgs(argc, argv);
+    return opt.trace.empty() ? runRecordsMode(opt)
+                             : runTraceMode(opt);
+}
