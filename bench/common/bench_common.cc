@@ -47,7 +47,8 @@ usage(const char *prog)
         "          [--datasets a,b,c] [--seed N] [--quick]\n"
         "          [--trace-out FILE] [--metrics-out FILE]\n"
         "          [--json-out FILE] [--check[=FAMILIES]]\n"
-        "          [--check-out FILE] [--log-level LEVEL]\n",
+        "          [--check-out FILE] [--check-inject KIND]\n"
+        "          [--log-level LEVEL]\n",
         prog);
     std::exit(2);
 }
@@ -107,6 +108,21 @@ parseOptions(int argc, char **argv)
         } else if (arg == "--check-out") {
             opt.check = true;
             opt.checkOut = next();
+        } else if (arg == "--check-inject") {
+            opt.check = true;
+            opt.checkInject = next();
+            bool known = false;
+            for (unsigned k = 0; k < analysis::numFindingKinds; ++k)
+                known = known ||
+                        opt.checkInject ==
+                            analysis::findingKindName(
+                                static_cast<analysis::FindingKind>(k));
+            if (!known) {
+                std::fprintf(stderr,
+                             "--check-inject: unknown kind '%s'\n",
+                             opt.checkInject.c_str());
+                usage(argv[0]);
+            }
         } else if (arg == "--log-level") {
             opt.logLevel = next();
         } else {
@@ -385,26 +401,19 @@ writeTelemetryOutputs(const BenchOptions &opt)
     if (!opt.check)
         return 0;
 
-    const auto report = analysis::checker().report();
-    std::printf("\npim-verify: %llu finding(s) across %llu DPU "
-                "launches checked\n",
-                static_cast<unsigned long long>(report.total()),
-                static_cast<unsigned long long>(report.dpusChecked));
-    for (const auto &f : report.findings)
-        std::printf("  %s\n", analysis::describeFinding(f).c_str());
-    if (report.dropped > 0)
-        std::printf("  ... and %llu more (not retained)\n",
-                    static_cast<unsigned long long>(report.dropped));
-    if (!opt.checkOut.empty()) {
-        if (!analysis::checker().writeReport(opt.checkOut)) {
-            std::fprintf(stderr,
-                         "cannot write check report '%s'\n",
-                         opt.checkOut.c_str());
-            return 2;
+    if (!opt.checkInject.empty()) {
+        for (unsigned k = 0; k < analysis::numFindingKinds; ++k) {
+            const auto kind = static_cast<analysis::FindingKind>(k);
+            if (opt.checkInject == analysis::findingKindName(kind)) {
+                analysis::Finding f;
+                f.kind = kind;
+                f.detail =
+                    "synthetic finding injected by --check-inject";
+                analysis::checker().injectFinding(std::move(f));
+            }
         }
-        inform("wrote pim-verify report to %s", opt.checkOut.c_str());
     }
-    return report.total() > 0 ? 3 : 0;
+    return analysis::finalizeCheckReport(opt.checkOut);
 }
 
 } // namespace alphapim::bench

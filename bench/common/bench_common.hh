@@ -17,6 +17,8 @@
  *   --check[=FAMS]    pim-verify trace analysis (race,lock,barrier,
  *                     dma); the bench exits 3 when findings exist
  *   --check-out FILE  JSON findings report (implies --check)
+ *   --check-inject KIND  fold one synthetic finding into the report
+ *                     (exit-code regression tests)
  *   --log-level L     silent|normal|verbose
  * (every flag also accepts the --flag=value spelling) plus
  * environment variables ALPHAPIM_SCALE / ALPHAPIM_EDGE_TARGET.
@@ -61,6 +63,7 @@ struct BenchOptions
     std::string metricsOut; ///< metrics JSONL path ("" = off)
     std::string jsonOut;    ///< per-run record JSONL path ("" = off)
     std::string checkOut;   ///< pim-verify JSON report ("" = off)
+    std::string checkInject; ///< synthetic finding kind ("" = off)
     std::string logLevel;   ///< "" = leave the level alone
     bool check = false;     ///< run the pim-verify analyzer
 };

@@ -1,0 +1,27 @@
+# Gate: run TOOL with ARGS and require the exact exit code EXPECT.
+# WILL_FAIL only distinguishes zero from non-zero; the analysis tools
+# reserve specific codes (3 = findings, 4 = bound hit), so the gates
+# must check the code exactly or a crash would pass as a detection.
+#
+# Arguments (all -D):
+#   TOOL    path to the binary under test
+#   ARGS    semicolon-separated argument list (optional)
+#   EXPECT  required exit code
+#   MATCH   regex the combined stdout+stderr must match (optional)
+
+execute_process(
+    COMMAND ${TOOL} ${ARGS}
+    RESULT_VARIABLE _code
+    OUTPUT_VARIABLE _out
+    ERROR_VARIABLE _err
+)
+if(NOT _code EQUAL ${EXPECT})
+    message(FATAL_ERROR
+        "${TOOL} ${ARGS}: expected exit ${EXPECT}, got "
+        "${_code}\n${_out}${_err}")
+endif()
+if(MATCH AND NOT "${_out}${_err}" MATCHES "${MATCH}")
+    message(FATAL_ERROR
+        "${TOOL} ${ARGS}: output does not match '${MATCH}':\n"
+        "${_out}${_err}")
+endif()

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Trace capture: a process-wide tap on kernel launches that collects
+ * the per-tasklet traces every DPU generated, optionally skipping the
+ * revolver replay. The model checker (src/analysis/modelcheck/) uses
+ * it to harvest synchronization skeletons from real kernel runs on
+ * small abstract partitions without paying for timing simulation.
+ *
+ * Like the trace checker, the capture is a singleton consulted by
+ * UpmemSystem::launchKernel; it is disabled by default and every
+ * entry point is a cheap no-op until a tool enables it.
+ */
+
+#ifndef ALPHA_PIM_ANALYSIS_CAPTURE_HH
+#define ALPHA_PIM_ANALYSIS_CAPTURE_HH
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "upmem/trace.hh"
+
+namespace alphapim::analysis
+{
+
+/** The traces one launchKernel call generated, indexed by DPU. */
+struct CapturedLaunch
+{
+    std::vector<std::vector<upmem::TaskletTrace>> dpuTraces;
+};
+
+/**
+ * Thread-safe collector of launch traces.
+ *
+ * beginLaunch() / captureDpu() are called by UpmemSystem::launchKernel
+ * (the latter concurrently from the launch worker pool); start() /
+ * stop() bracket a capture session in the harvesting tool.
+ */
+class TraceCapture
+{
+  public:
+    /** True when launches should be captured. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Start capturing, dropping anything captured before.
+     *
+     * @param skip_replay when true, captured launches skip the
+     *        revolver replay entirely (timing comes back zero); the
+     *        kernels still execute functionally.
+     */
+    void start(bool skip_replay = true);
+
+    /** Stop capturing and hand back everything captured. */
+    std::vector<CapturedLaunch> stop();
+
+    /** True when captured launches skip the revolver replay. */
+    bool skipReplay() const;
+
+    /** Open a new launch group of `num_dpus` DPU slots. */
+    void beginLaunch(unsigned num_dpus);
+
+    /** Store one DPU's traces into the current launch group. */
+    void captureDpu(unsigned dpu,
+                    const std::vector<upmem::TaskletTrace> &traces);
+
+  private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    bool skipReplay_ = true;
+    std::vector<CapturedLaunch> launches_;
+};
+
+/** The process-wide trace capture. */
+TraceCapture &capture();
+
+} // namespace alphapim::analysis
+
+#endif // ALPHA_PIM_ANALYSIS_CAPTURE_HH

@@ -1,12 +1,15 @@
 #include "analysis/checker.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <functional>
 #include <map>
 #include <sstream>
 #include <tuple>
 #include <utility>
+
+#include "common/logging.hh"
 
 #include "telemetry/json.hh"
 #include "telemetry/metrics.hh"
@@ -22,6 +25,25 @@ using upmem::OpClass;
 using upmem::RecordKind;
 using upmem::TaskletTrace;
 using upmem::TraceRecord;
+
+/**
+ * Insert a finding into the sorted-unique retained list, evicting
+ * from the back once over the cap: the kept set is the first `cap`
+ * distinct findings in report order no matter in which order the
+ * launch workers delivered them, so --check-out reports are
+ * byte-stable across runs.
+ */
+void
+storeFinding(std::vector<Finding> &stored, Finding f, std::size_t cap)
+{
+    const auto it = std::lower_bound(stored.begin(), stored.end(), f,
+                                     findingLess);
+    if (it != stored.end() && findingEquals(*it, f))
+        return;
+    stored.insert(it, std::move(f));
+    if (stored.size() > cap)
+        stored.pop_back();
+}
 
 /** One deduplicated addressed access of one tasklet. */
 struct Access
@@ -99,24 +121,7 @@ void
 DpuAnalysis::checkDma(unsigned t, const TraceRecord &r)
 {
     const std::uint32_t bytes = r.arg;
-    const char *why = nullptr;
-    if (bytes == 0) {
-        why = "zero-length transfer";
-    } else if (bytes % upmem::dmaGranularity != 0) {
-        why = "size not a multiple of the 8-byte DMA granularity";
-    } else if (bytes > upmem::dmaMaxBytes) {
-        why = "size exceeds the 2048-byte hardware transfer maximum";
-    } else {
-        const auto staging = std::max<Bytes>(
-            upmem::dmaGranularity,
-            cfg.wramChunkBytes &
-                ~static_cast<Bytes>(upmem::dmaGranularity - 1));
-        if (bytes > staging)
-            why = "transfer does not fit the WRAM staging buffer";
-    }
-    if (why == nullptr && r.addressed() &&
-        r.addr % upmem::dmaGranularity != 0)
-        why = "MRAM address not 8-byte aligned";
+    const char *why = dmaViolation(r, cfg);
     if (why == nullptr)
         return;
 
@@ -392,6 +397,27 @@ DpuAnalysis::checkRaces()
 
 } // namespace
 
+const char *
+dmaViolation(const upmem::TraceRecord &r, const upmem::DpuConfig &cfg)
+{
+    const std::uint32_t bytes = r.arg;
+    if (bytes == 0)
+        return "zero-length transfer";
+    if (bytes % upmem::dmaGranularity != 0)
+        return "size not a multiple of the 8-byte DMA granularity";
+    if (bytes > upmem::dmaMaxBytes)
+        return "size exceeds the 2048-byte hardware transfer maximum";
+    const auto staging = std::max<Bytes>(
+        upmem::dmaGranularity,
+        cfg.wramChunkBytes &
+            ~static_cast<Bytes>(upmem::dmaGranularity - 1));
+    if (bytes > staging)
+        return "transfer does not fit the WRAM staging buffer";
+    if (r.addressed() && r.addr % upmem::dmaGranularity != 0)
+        return "MRAM address not 8-byte aligned";
+    return nullptr;
+}
+
 bool
 CheckOptions::parseList(std::string_view list, CheckOptions &out,
                         std::string *error)
@@ -508,10 +534,17 @@ TraceChecker::analyzeDpu(unsigned dpu,
     report_.tracesChecked += nonEmpty;
     for (unsigned k = 0; k < numFindingKinds; ++k)
         report_.counts[k] += a.counts[k];
-    for (auto &f : a.findings) {
-        if (report_.findings.size() < maxStoredFindings)
-            report_.findings.push_back(std::move(f));
-    }
+    for (auto &f : a.findings)
+        storeFinding(report_.findings, std::move(f), maxStoredFindings);
+    report_.dropped = report_.total() - report_.findings.size();
+}
+
+void
+TraceChecker::injectFinding(Finding f)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++report_.counts[static_cast<unsigned>(f.kind)];
+    storeFinding(report_.findings, std::move(f), maxStoredFindings);
     report_.dropped = report_.total() - report_.findings.size();
 }
 
@@ -601,6 +634,30 @@ checker()
 {
     static TraceChecker instance;
     return instance;
+}
+
+int
+finalizeCheckReport(const std::string &report_path)
+{
+    const AnalysisReport report = checker().report();
+    std::printf("\npim-verify: %llu finding(s) across %llu DPU "
+                "launches checked\n",
+                static_cast<unsigned long long>(report.total()),
+                static_cast<unsigned long long>(report.dpusChecked));
+    for (const Finding &f : report.findings)
+        std::printf("  %s\n", describeFinding(f).c_str());
+    if (report.dropped > 0)
+        std::printf("  ... and %llu more (not retained)\n",
+                    static_cast<unsigned long long>(report.dropped));
+    if (!report_path.empty()) {
+        if (!checker().writeReport(report_path)) {
+            std::fprintf(stderr, "cannot write check report '%s'\n",
+                         report_path.c_str());
+            return 2;
+        }
+        inform("wrote pim-verify report to %s", report_path.c_str());
+    }
+    return report.total() > 0 ? 3 : 0;
 }
 
 std::string

@@ -109,6 +109,13 @@ class TraceChecker
                     const std::vector<upmem::TaskletTrace> &traces,
                     const upmem::DpuConfig &cfg);
 
+    /**
+     * Fold one externally-produced finding into the report. Used by
+     * the model checker front-ends and by the exit-code regression
+     * tests (--check-inject); counted like any other occurrence.
+     */
+    void injectFinding(Finding f);
+
     /** Snapshot of everything accumulated so far. */
     AnalysisReport report() const;
 
@@ -139,6 +146,24 @@ TraceChecker &checker();
 
 /** One-line console rendering of a finding. */
 std::string describeFinding(const Finding &f);
+
+/**
+ * Why a DMA trace record violates the hardware transfer contract
+ * (granularity, 2048-byte range, staging fit, alignment), or nullptr
+ * when it is legal. Shared by the trace checker and the model
+ * checker's skeleton lint.
+ */
+const char *dmaViolation(const upmem::TraceRecord &r,
+                         const upmem::DpuConfig &cfg);
+
+/**
+ * The shared --check epilogue of the CLI and every bench binary:
+ * print the finding summary of the process-wide checker, write the
+ * JSON report when `report_path` is non-empty, and return the
+ * uniform process exit status -- 0 clean, 2 when the report cannot
+ * be written, 3 when there are findings.
+ */
+int finalizeCheckReport(const std::string &report_path);
 
 } // namespace alphapim::analysis
 

@@ -1,7 +1,33 @@
 #include "analysis/findings.hh"
 
+#include <tuple>
+
 namespace alphapim::analysis
 {
+
+namespace
+{
+
+auto
+findingKey(const Finding &f)
+{
+    return std::tie(f.kind, f.dpu, f.tasklet, f.addr, f.otherTasklet,
+                    f.space, f.bytes, f.id, f.detail);
+}
+
+} // namespace
+
+bool
+findingLess(const Finding &a, const Finding &b)
+{
+    return findingKey(a) < findingKey(b);
+}
+
+bool
+findingEquals(const Finding &a, const Finding &b)
+{
+    return findingKey(a) == findingKey(b);
+}
 
 const char *
 findingKindName(FindingKind kind)

@@ -66,6 +66,16 @@ struct Finding
     std::string detail;      ///< human-readable one-liner
 };
 
+/**
+ * Deterministic report ordering: (kind, dpu, tasklet, addr), then
+ * every remaining field, so finding lists are byte-stable across
+ * runs and diffable in CI.
+ */
+bool findingLess(const Finding &a, const Finding &b);
+
+/** Full-field equality, used to deduplicate repeated findings. */
+bool findingEquals(const Finding &a, const Finding &b);
+
 /** Aggregated checker output. */
 struct AnalysisReport
 {

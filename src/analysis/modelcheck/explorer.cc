@@ -1,0 +1,534 @@
+#include "analysis/modelcheck/explorer.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace alphapim::analysis::modelcheck
+{
+
+namespace
+{
+
+/** A transition is one tasklet about to take one event; (tasklet,
+ * pc) identifies it across the states a sleep-set entry survives. */
+struct TransitionId
+{
+    unsigned tasklet;
+    std::uint32_t pc;
+
+    bool
+    operator==(const TransitionId &o) const
+    {
+        return tasklet == o.tasklet && pc == o.pc;
+    }
+};
+
+/** One access executed on the current DFS path, with the clock of
+ * its tasklet at execution time for happens-before tests. */
+struct PathAccess
+{
+    unsigned tasklet; ///< skeleton index
+    AccessRange range;
+    std::vector<std::uint32_t> clock;
+};
+
+class Explorer
+{
+  public:
+    Explorer(const SyncSkeleton &skel, const ExploreOptions &opts)
+        : skel_(skel), opts_(opts), n_(skel.tasklets.size())
+    {
+        pc_.assign(n_, 0);
+        clocks_.assign(n_, std::vector<std::uint32_t>(n_, 0));
+    }
+
+    ExploreResult
+    run()
+    {
+        if (n_ > 0)
+            dfs(0, {});
+        result_.complete = !bounded_;
+        std::sort(result_.findings.begin(), result_.findings.end(),
+                  findingLess);
+        result_.findings.erase(
+            std::unique(result_.findings.begin(),
+                        result_.findings.end(), findingEquals),
+            result_.findings.end());
+        return std::move(result_);
+    }
+
+  private:
+    const SyncSkeleton &skel_;
+    const ExploreOptions &opts_;
+    const std::size_t n_;
+
+    // Mutable exploration state, updated and undone along the path.
+    std::vector<std::uint32_t> pc_;
+    std::map<std::uint32_t, unsigned> owner_; ///< mutex -> tasklet
+    std::vector<std::vector<std::uint32_t>> clocks_;
+    std::map<std::uint32_t, std::vector<std::uint32_t>> mutexClock_;
+    std::vector<PathAccess> accessLog_;
+
+    ExploreResult result_;
+    bool bounded_ = false;
+
+    const SyncEvent &
+    eventAt(unsigned i, std::uint32_t pc) const
+    {
+        return skel_.tasklets[i].events[pc];
+    }
+
+    bool
+    finished(unsigned i) const
+    {
+        return pc_[i] >= skel_.tasklets[i].events.size();
+    }
+
+    /** Hardware tasklet id for finding attribution. */
+    unsigned
+    hwTasklet(unsigned i) const
+    {
+        return skel_.tasklets[i].tasklet;
+    }
+
+    /** True when tasklet i's next event can fire on its own. */
+    bool
+    enabledAlone(unsigned i) const
+    {
+        if (finished(i))
+            return false;
+        const SyncEvent &e = eventAt(i, pc_[i]);
+        switch (e.kind) {
+          case EventKind::Acquire:
+            return owner_.find(e.id) == owner_.end();
+          case EventKind::Barrier:
+            return false; // only as a collective step
+          default:
+            return true;
+        }
+    }
+
+    bool
+    independent(const TransitionId &a, const TransitionId &b) const
+    {
+        if (a.tasklet == b.tasklet)
+            return false;
+        const SyncEvent &ea = eventAt(a.tasklet, a.pc);
+        const SyncEvent &eb = eventAt(b.tasklet, b.pc);
+        if (ea.kind == EventKind::Barrier ||
+            eb.kind == EventKind::Barrier)
+            return false;
+        const bool aMutex = ea.kind != EventKind::Access;
+        const bool bMutex = eb.kind != EventKind::Access;
+        if (aMutex && bMutex)
+            return ea.id != eb.id;
+        if (aMutex || bMutex)
+            return true; // mutex op vs plain access: commute
+        for (const AccessRange &ra : ea.ranges) {
+            for (const AccessRange &rb : eb.ranges) {
+                if (ra.conflicts(rb))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    void
+    store(Finding f)
+    {
+        // Dedup on insert: the same defect is rediscovered on every
+        // schedule that reaches it.
+        for (const Finding &g : result_.findings) {
+            if (findingEquals(g, f))
+                return;
+        }
+        if (result_.findings.size() < opts_.maxFindings)
+            result_.findings.push_back(std::move(f));
+    }
+
+    void
+    reportRace(unsigned i, const AccessRange &r, const PathAccess &p)
+    {
+        Finding f;
+        f.kind = FindingKind::DataRace;
+        f.dpu = skel_.dpu;
+        f.tasklet = hwTasklet(i);
+        f.otherTasklet = p.tasklet < n_ ? hwTasklet(p.tasklet)
+                                        : p.tasklet;
+        f.space = r.space;
+        f.addr = std::max(r.addr, p.range.addr);
+        f.bytes = static_cast<std::uint32_t>(
+            std::min(r.end, p.range.end) - f.addr);
+        std::ostringstream os;
+        os << (r.write ? "write" : "read") << " by tasklet "
+           << f.tasklet << " races with "
+           << (p.range.write ? "write" : "read") << " by tasklet "
+           << f.otherTasklet << " at " << memSpaceName(r.space)
+           << "+0x" << std::hex << f.addr << std::dec << " ("
+           << f.bytes << " bytes) in an explored schedule";
+        f.detail = os.str();
+        store(std::move(f));
+    }
+
+    /** Race check for tasklet i's segment against the path log:
+     * unordered (no happens-before) conflicting accesses race. */
+    void
+    checkAccess(unsigned i, const SyncEvent &e)
+    {
+        for (const PathAccess &p : accessLog_) {
+            if (p.tasklet == i)
+                continue;
+            // p happens-before the current event iff i has seen
+            // p.tasklet's component at p's time.
+            if (p.clock[p.tasklet] <= clocks_[i][p.tasklet])
+                continue;
+            for (const AccessRange &r : e.ranges) {
+                if (r.conflicts(p.range))
+                    reportRace(i, r, p);
+            }
+        }
+    }
+
+    // ---- deadlock classification ---------------------------------
+
+    void
+    reportDeadlock()
+    {
+        ++result_.stats.deadlockStates;
+
+        // Wait-for edges tasklet -> owner for mutex-blocked tasklets.
+        std::map<unsigned, std::pair<unsigned, std::uint32_t>> waits;
+        std::vector<unsigned> atBarrier;
+        std::vector<unsigned> done;
+        for (unsigned i = 0; i < n_; ++i) {
+            if (finished(i)) {
+                done.push_back(i);
+                continue;
+            }
+            const SyncEvent &e = eventAt(i, pc_[i]);
+            if (e.kind == EventKind::Barrier) {
+                atBarrier.push_back(i);
+            } else if (e.kind == EventKind::Acquire) {
+                const auto it = owner_.find(e.id);
+                if (it != owner_.end())
+                    waits[i] = {it->second, e.id};
+            }
+        }
+
+        // Cyclic mutex waits take precedence: they deadlock even
+        // with perfectly consistent barriers.
+        for (const auto &[start, edge] : waits) {
+            std::vector<unsigned> path{start};
+            std::vector<std::uint32_t> ids{edge.second};
+            unsigned cur = edge.first;
+            while (true) {
+                const auto cycleAt =
+                    std::find(path.begin(), path.end(), cur);
+                if (cycleAt != path.end()) {
+                    Finding f;
+                    f.kind = FindingKind::LockOrderCycle;
+                    f.dpu = skel_.dpu;
+                    f.tasklet = hwTasklet(*cycleAt);
+                    f.id = ids[static_cast<std::size_t>(
+                        cycleAt - path.begin())];
+                    std::ostringstream os;
+                    os << "reachable deadlock: cyclic mutex wait";
+                    for (auto p = cycleAt; p != path.end(); ++p) {
+                        os << " t" << hwTasklet(*p) << " waits m"
+                           << ids[static_cast<std::size_t>(
+                                  p - path.begin())]
+                           << " ->";
+                    }
+                    os << " t" << hwTasklet(*cycleAt);
+                    f.detail = os.str();
+                    store(std::move(f));
+                    return;
+                }
+                const auto next = waits.find(cur);
+                if (next == waits.end())
+                    break;
+                path.push_back(cur);
+                ids.push_back(next->second.second);
+                cur = next->second.first;
+            }
+        }
+
+        if (!atBarrier.empty()) {
+            // Tasklets disagree on the barrier round: differing ids,
+            // a partner that exited early, or one stuck on a mutex.
+            Finding f;
+            f.kind = FindingKind::BarrierDivergence;
+            f.dpu = skel_.dpu;
+            f.tasklet = hwTasklet(atBarrier.front());
+            f.id = eventAt(atBarrier.front(), pc_[atBarrier.front()]).id;
+            std::ostringstream os;
+            os << "reachable barrier deadlock:";
+            for (const unsigned i : atBarrier) {
+                os << " t" << hwTasklet(i) << " waits at barrier "
+                   << eventAt(i, pc_[i]).id << ";";
+            }
+            for (const unsigned i : done)
+                os << " t" << hwTasklet(i) << " exited;";
+            for (const auto &[i, edge] : waits) {
+                os << " t" << hwTasklet(i) << " waits mutex "
+                   << edge.second << ";";
+            }
+            f.detail = os.str();
+            if (!done.empty()) {
+                f.otherTasklet = hwTasklet(done.front());
+            }
+            store(std::move(f));
+            return;
+        }
+
+        // Remaining case: an acyclic mutex wait on a tasklet that
+        // exited while holding the lock (also linted statically as
+        // LockHeldAtExit).
+        if (!waits.empty()) {
+            const auto &[i, edge] = *waits.begin();
+            Finding f;
+            f.kind = FindingKind::LockOrderCycle;
+            f.dpu = skel_.dpu;
+            f.tasklet = hwTasklet(i);
+            f.id = edge.second;
+            f.detail = "reachable deadlock: tasklet " +
+                       std::to_string(hwTasklet(i)) +
+                       " waits for mutex " +
+                       std::to_string(edge.second) +
+                       " that is never released";
+            store(std::move(f));
+        }
+    }
+
+    // ---- execution and undo --------------------------------------
+
+    /** Undo record of one transition (or collective barrier). */
+    struct Undo
+    {
+        bool barrier = false;
+        unsigned tasklet = 0;
+        std::vector<std::uint32_t> clock; ///< executing tasklet's
+        std::vector<std::vector<std::uint32_t>> allClocks; ///< barrier
+        std::vector<bool> advanced; ///< barrier: pcs it advanced
+        bool tookMutex = false;
+        bool releasedMutex = false;
+        std::uint32_t mutex = 0;
+        std::vector<std::uint32_t> mutexClock;
+        bool hadMutexClock = false;
+        std::size_t logSize = 0;
+    };
+
+    Undo
+    execute(unsigned i)
+    {
+        const SyncEvent &e = eventAt(i, pc_[i]);
+        Undo u;
+        u.tasklet = i;
+        u.clock = clocks_[i];
+        u.logSize = accessLog_.size();
+
+        switch (e.kind) {
+          case EventKind::Acquire: {
+            owner_.emplace(e.id, i);
+            u.tookMutex = true;
+            u.mutex = e.id;
+            const auto it = mutexClock_.find(e.id);
+            if (it != mutexClock_.end()) {
+                for (std::size_t k = 0; k < n_; ++k) {
+                    clocks_[i][k] =
+                        std::max(clocks_[i][k], it->second[k]);
+                }
+            }
+            break;
+          }
+          case EventKind::Release: {
+            owner_.erase(e.id);
+            u.releasedMutex = true;
+            u.mutex = e.id;
+            const auto it = mutexClock_.find(e.id);
+            u.hadMutexClock = it != mutexClock_.end();
+            if (u.hadMutexClock)
+                u.mutexClock = it->second;
+            break;
+          }
+          case EventKind::Access:
+            break;
+          case EventKind::Barrier:
+            break; // handled by executeBarrier
+        }
+
+        ++clocks_[i][i];
+        if (e.kind == EventKind::Release)
+            mutexClock_[e.id] = clocks_[i];
+        if (e.kind == EventKind::Access) {
+            checkAccess(i, e);
+            for (const AccessRange &r : e.ranges)
+                accessLog_.push_back({i, r, clocks_[i]});
+        }
+        ++pc_[i];
+        ++result_.stats.transitions;
+        return u;
+    }
+
+    void
+    undo(const Undo &u)
+    {
+        if (u.barrier) {
+            for (unsigned i = 0; i < n_; ++i) {
+                if (u.advanced[i])
+                    --pc_[i];
+            }
+            clocks_ = u.allClocks;
+            return;
+        }
+        --pc_[u.tasklet];
+        clocks_[u.tasklet] = u.clock;
+        accessLog_.resize(u.logSize);
+        if (u.tookMutex)
+            owner_.erase(u.mutex);
+        if (u.releasedMutex) {
+            owner_.emplace(u.mutex, u.tasklet);
+            if (u.hadMutexClock)
+                mutexClock_[u.mutex] = u.mutexClock;
+            else
+                mutexClock_.erase(u.mutex);
+        }
+    }
+
+    Undo
+    executeBarrier()
+    {
+        Undo u;
+        u.barrier = true;
+        u.allClocks = clocks_;
+        u.advanced.assign(n_, false);
+
+        // Join every participant's clock, then advance each: the
+        // barrier orders everything before it against everything
+        // after it, in every tasklet pair.
+        std::vector<std::uint32_t> join(n_, 0);
+        for (unsigned i = 0; i < n_; ++i) {
+            if (finished(i))
+                continue;
+            for (std::size_t k = 0; k < n_; ++k)
+                join[k] = std::max(join[k], clocks_[i][k]);
+        }
+        for (unsigned i = 0; i < n_; ++i) {
+            if (finished(i))
+                continue;
+            clocks_[i] = join;
+            ++clocks_[i][i];
+            ++pc_[i];
+            u.advanced[i] = true;
+        }
+        ++result_.stats.transitions;
+        return u;
+    }
+
+    // ---- the search ----------------------------------------------
+
+    void
+    dfs(std::uint64_t depth, std::vector<TransitionId> sleep)
+    {
+        ++result_.stats.states;
+        result_.stats.maxDepth =
+            std::max(result_.stats.maxDepth, depth);
+        if (result_.stats.states > opts_.maxStates) {
+            bounded_ = true;
+            return;
+        }
+
+        bool allDone = true;
+        bool anyFinished = false;
+        bool anyEnabled = false;
+        bool allAtBarrier = true;
+        bool barrierIdsAgree = true;
+        std::uint32_t barrierId = 0;
+        bool sawBarrier = false;
+        for (unsigned i = 0; i < n_; ++i) {
+            if (finished(i)) {
+                anyFinished = true;
+                continue;
+            }
+            allDone = false;
+            const SyncEvent &e = eventAt(i, pc_[i]);
+            if (e.kind == EventKind::Barrier) {
+                if (!sawBarrier) {
+                    sawBarrier = true;
+                    barrierId = e.id;
+                } else if (e.id != barrierId) {
+                    barrierIdsAgree = false;
+                }
+            } else {
+                allAtBarrier = false;
+                if (enabledAlone(i))
+                    anyEnabled = true;
+            }
+        }
+
+        if (allDone) {
+            ++result_.stats.schedules;
+            return;
+        }
+
+        if (!anyEnabled) {
+            // Either every live tasklet reached the same barrier
+            // (one collective step, clearing the sleep set: barriers
+            // commute with nothing) or the state is a deadlock -- a
+            // finished tasklet never arrives, and differing ids mean
+            // the rounds already diverged.
+            if (allAtBarrier && sawBarrier && barrierIdsAgree &&
+                !anyFinished) {
+                const Undo u = executeBarrier();
+                dfs(depth + 1, {});
+                undo(u);
+                return;
+            }
+            reportDeadlock();
+            return;
+        }
+
+        std::vector<TransitionId> currentSleep = std::move(sleep);
+        for (unsigned i = 0; i < n_; ++i) {
+            if (!enabledAlone(i))
+                continue;
+            const TransitionId t{i, pc_[i]};
+            if (opts_.reduction &&
+                std::find(currentSleep.begin(), currentSleep.end(),
+                          t) != currentSleep.end()) {
+                ++result_.stats.sleepSkips;
+                continue;
+            }
+
+            std::vector<TransitionId> childSleep;
+            if (opts_.reduction) {
+                for (const TransitionId &s : currentSleep) {
+                    if (independent(s, t))
+                        childSleep.push_back(s);
+                }
+            }
+
+            const Undo u = execute(i);
+            dfs(depth + 1, std::move(childSleep));
+            undo(u);
+            if (bounded_)
+                return;
+            if (opts_.reduction)
+                currentSleep.push_back(t);
+        }
+    }
+
+};
+
+} // namespace
+
+ExploreResult
+explore(const SyncSkeleton &skeleton, const ExploreOptions &opts)
+{
+    Explorer e(skeleton, opts);
+    return e.run();
+}
+
+} // namespace alphapim::analysis::modelcheck

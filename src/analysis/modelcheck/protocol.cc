@@ -1,0 +1,348 @@
+#include "analysis/modelcheck/protocol.hh"
+
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace alphapim::analysis::modelcheck
+{
+
+namespace
+{
+
+// Disjoint host/device buffer address map of the abstract protocol.
+// Lengths are one "image" unit; only disjointness and aliasing
+// matter to the explorer, not magnitudes.
+constexpr std::uint64_t imageBytes = 0x800;
+constexpr std::uint64_t slotBytes = 0x1000;
+
+constexpr std::uint64_t
+inputBuf(unsigned rank, unsigned buf)
+{
+    return 0x1000000ull + (rank * 2ull + buf) * slotBytes;
+}
+
+constexpr std::uint64_t
+matrixBuf(unsigned rank)
+{
+    return 0x2000000ull + rank * slotBytes;
+}
+
+constexpr std::uint64_t
+outputBuf(unsigned rank, unsigned buf)
+{
+    return 0x3000000ull + (rank * 2ull + buf) * slotBytes;
+}
+
+constexpr std::uint64_t
+stagingBuf(unsigned rank, unsigned buf)
+{
+    return 0x4000000ull + (rank * 2ull + buf) * slotBytes;
+}
+
+constexpr std::uint64_t
+resultSlice(unsigned rank, unsigned buf)
+{
+    return 0x5000000ull + buf * 0x100000ull + rank * slotBytes;
+}
+
+/**
+ * Skeleton assembler: phases of concurrent accesses separated by
+ * global barriers. Threads: 0 = loader, 1..ranks = rank kernels,
+ * ranks+1 = retriever, ranks+2 = merger.
+ */
+struct ProtocolBuilder
+{
+    const ProtocolOptions &opt;
+    SyncSkeleton skel;
+    std::uint32_t nextBarrier = 0;
+
+    unsigned loader = 0;
+    unsigned retriever;
+    unsigned merger;
+
+    explicit ProtocolBuilder(const ProtocolOptions &o) : opt(o)
+    {
+        retriever = o.ranks + 1;
+        merger = o.ranks + 2;
+        skel.tasklets.resize(o.ranks + 3);
+        for (unsigned t = 0; t < skel.tasklets.size(); ++t)
+            skel.tasklets[t].tasklet = t;
+    }
+
+    unsigned
+    kernelThread(unsigned rank) const
+    {
+        return 1 + rank;
+    }
+
+    /** Collapse double-buffer parity under the seeded defect. */
+    unsigned
+    buf(unsigned b) const
+    {
+        return opt.singleBuffer ? 0 : b;
+    }
+
+    /** Alias all staging under the seeded defect. */
+    unsigned
+    stagingRank(unsigned rank) const
+    {
+        return opt.sharedStaging ? 0 : rank;
+    }
+
+    void
+    access(unsigned thread, std::uint64_t addr, bool write,
+           std::uint64_t bytes = imageBytes)
+    {
+        SyncEvent e;
+        e.kind = EventKind::Access;
+        e.ranges.push_back(
+            {MemSpace::Mram, addr, addr + bytes, write});
+        skel.tasklets[thread].events.push_back(std::move(e));
+    }
+
+    /** End the phase: every thread arrives at one fresh barrier;
+     * `skip` (noTasklet = nobody) models a dropped barrier wait. */
+    void
+    barrier(unsigned skip = noTasklet)
+    {
+        const std::uint32_t id = nextBarrier++;
+        for (unsigned t = 0; t < skel.tasklets.size(); ++t) {
+            if (t == skip)
+                continue;
+            SyncEvent e;
+            e.kind = EventKind::Barrier;
+            e.id = id;
+            skel.tasklets[t].events.push_back(std::move(e));
+        }
+    }
+
+    // Building blocks shared by the schedules.
+
+    void
+    loadRank(unsigned rank, unsigned b)
+    {
+        access(loader, inputBuf(rank, buf(b)), true);
+    }
+
+    /** The next iteration's input depends on a merged result. */
+    void
+    loadReadsResult(unsigned b)
+    {
+        for (unsigned r = 0; r < opt.ranks; ++r)
+            access(loader, resultSlice(r, buf(b)), false);
+    }
+
+    void
+    kernelRank(unsigned rank, unsigned b)
+    {
+        const unsigned t = kernelThread(rank);
+        access(t, inputBuf(rank, buf(b)), false);
+        access(t, matrixBuf(rank), false);
+        access(t, outputBuf(rank, buf(b)), true);
+    }
+
+    void
+    retrieveRank(unsigned rank, unsigned b)
+    {
+        access(retriever, outputBuf(rank, buf(b)), false);
+        access(retriever, stagingBuf(stagingRank(rank), buf(b)),
+               true);
+    }
+
+    void
+    mergeRank(unsigned rank, unsigned b)
+    {
+        access(merger, stagingBuf(stagingRank(rank), buf(b)), false);
+        access(merger, resultSlice(rank, buf(b)), true);
+    }
+};
+
+/** Today's engine: every pipeline step is its own global phase. */
+SyncSkeleton
+buildSerial(const ProtocolOptions &opt)
+{
+    ProtocolBuilder b(opt);
+    for (unsigned k = 0; k < opt.iterations; ++k) {
+        if (k > 0)
+            b.loadReadsResult((k - 1) % 2);
+        for (unsigned r = 0; r < opt.ranks; ++r)
+            b.loadRank(r, k % 2);
+        if (!(opt.dropLoadBarrier && k == 0))
+            b.barrier();
+        for (unsigned r = 0; r < opt.ranks; ++r)
+            b.kernelRank(r, k % 2);
+        b.barrier();
+        for (unsigned r = 0; r < opt.ranks; ++r)
+            b.retrieveRank(r, k % 2);
+        b.barrier();
+        for (unsigned r = 0; r < opt.ranks; ++r)
+            b.mergeRank(r, k % 2);
+        const bool last = k + 1 == opt.iterations;
+        b.barrier(last && opt.skipFinalBarrier ? b.merger
+                                               : noTasklet);
+    }
+    return std::move(b.skel);
+}
+
+/**
+ * Rank overlap: rank r's kernel runs while rank r+1's input lands
+ * and rank r-1's output drains; the merger streams rank r-2's
+ * staging in the same phase. Legal because every rank owns its
+ * buffers -- which is exactly what the explorer proves (and refutes
+ * under the shared-staging seed).
+ */
+SyncSkeleton
+buildRankOverlap(const ProtocolOptions &opt)
+{
+    ProtocolBuilder b(opt);
+    const unsigned R = opt.ranks;
+    for (unsigned k = 0; k < opt.iterations; ++k) {
+        const unsigned bk = k % 2;
+        if (k > 0)
+            b.loadReadsResult((k - 1) % 2);
+        b.loadRank(0, bk);
+        if (!(opt.dropLoadBarrier && k == 0))
+            b.barrier();
+        // Pipeline body plus two drain phases.
+        for (unsigned p = 0; p < R + 2; ++p) {
+            if (p < R)
+                b.kernelRank(p, bk);
+            if (p + 1 < R)
+                b.loadRank(p + 1, bk);
+            if (p >= 1 && p - 1 < R)
+                b.retrieveRank(p - 1, bk);
+            if (p >= 2 && p - 2 < R)
+                b.mergeRank(p - 2, bk);
+            const bool last = k + 1 == opt.iterations && p + 1 == R + 2;
+            b.barrier(last && opt.skipFinalBarrier ? b.merger
+                                                   : noTasklet);
+        }
+    }
+    return std::move(b.skel);
+}
+
+/**
+ * Input double-buffering across app iterations: iteration k+1's
+ * load runs under iteration k's merge, reading the *previous*
+ * completed result (the speculative dependency critical_path.hh's
+ * what-if assumes) and writing the other input-buffer parity. Legal
+ * with two buffers; the single-buffer seed makes the loader read
+ * the result image the merger is still writing.
+ */
+SyncSkeleton
+buildDoubleBuffer(const ProtocolOptions &opt)
+{
+    ProtocolBuilder b(opt);
+    for (unsigned r = 0; r < opt.ranks; ++r)
+        b.loadRank(r, 0);
+    if (!opt.dropLoadBarrier)
+        b.barrier();
+    for (unsigned k = 0; k < opt.iterations; ++k) {
+        const unsigned bk = k % 2;
+        for (unsigned r = 0; r < opt.ranks; ++r)
+            b.kernelRank(r, bk);
+        b.barrier();
+        for (unsigned r = 0; r < opt.ranks; ++r)
+            b.retrieveRank(r, bk);
+        b.barrier();
+        // Merge of k overlapped with the load of k+1.
+        for (unsigned r = 0; r < opt.ranks; ++r)
+            b.mergeRank(r, bk);
+        if (k + 1 < opt.iterations) {
+            if (k > 0)
+                b.loadReadsResult((k - 1) % 2);
+            for (unsigned r = 0; r < opt.ranks; ++r)
+                b.loadRank(r, (k + 1) % 2);
+        }
+        const bool last = k + 1 == opt.iterations;
+        b.barrier(last && opt.skipFinalBarrier ? b.merger
+                                               : noTasklet);
+    }
+    return std::move(b.skel);
+}
+
+/** Both overlaps at once: the rank pipeline of iteration k with the
+ * loads of iteration k+1 folded into its phases. */
+SyncSkeleton
+buildCombined(const ProtocolOptions &opt)
+{
+    ProtocolBuilder b(opt);
+    const unsigned R = opt.ranks;
+    for (unsigned r = 0; r < R; ++r)
+        b.loadRank(r, 0);
+    if (!opt.dropLoadBarrier)
+        b.barrier();
+    for (unsigned k = 0; k < opt.iterations; ++k) {
+        const unsigned bk = k % 2;
+        for (unsigned p = 0; p < R + 2; ++p) {
+            if (p < R)
+                b.kernelRank(p, bk);
+            if (p >= 1 && p - 1 < R)
+                b.retrieveRank(p - 1, bk);
+            if (p >= 2 && p - 2 < R)
+                b.mergeRank(p - 2, bk);
+            // Prefetch the next iteration's image for one rank per
+            // phase, against the result of two iterations back.
+            if (k + 1 < opt.iterations && p < R) {
+                if (k > 0)
+                    b.access(b.loader,
+                             resultSlice(p, b.buf((k - 1) % 2)),
+                             false);
+                b.loadRank(p, (k + 1) % 2);
+            }
+            const bool last = k + 1 == opt.iterations && p + 1 == R + 2;
+            b.barrier(last && opt.skipFinalBarrier ? b.merger
+                                                   : noTasklet);
+        }
+    }
+    return std::move(b.skel);
+}
+
+} // namespace
+
+const char *
+launchScheduleName(LaunchSchedule schedule)
+{
+    switch (schedule) {
+      case LaunchSchedule::Serial:
+        return "serial";
+      case LaunchSchedule::RankOverlap:
+        return "rank-overlap";
+      case LaunchSchedule::DoubleBuffer:
+        return "double-buffer";
+      case LaunchSchedule::Combined:
+        return "combined";
+    }
+    return "unknown";
+}
+
+SyncSkeleton
+buildProtocolSkeleton(LaunchSchedule schedule,
+                      const ProtocolOptions &opts)
+{
+    ALPHA_ASSERT(opts.ranks >= 1 && opts.iterations >= 1,
+                 "protocol model needs >= 1 rank and iteration");
+    SyncSkeleton skel;
+    switch (schedule) {
+      case LaunchSchedule::Serial:
+        skel = buildSerial(opts);
+        break;
+      case LaunchSchedule::RankOverlap:
+        skel = buildRankOverlap(opts);
+        break;
+      case LaunchSchedule::DoubleBuffer:
+        skel = buildDoubleBuffer(opts);
+        break;
+      case LaunchSchedule::Combined:
+        skel = buildCombined(opts);
+        break;
+    }
+    skel.subject =
+        std::string("launch-protocol/") + launchScheduleName(schedule);
+    skel.dpu = 0;
+    return skel;
+}
+
+} // namespace alphapim::analysis::modelcheck

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Abstract model of the host launch protocol, built as a
+ * synchronization skeleton so the same explorer that checks kernels
+ * also machine-checks the Load -> Kernel -> Retrieve -> Merge
+ * orderings PimEngine drives through UpmemSystem -- including the
+ * proposed async schedules of src/analysis/critical_path.hh's
+ * what-if variants (rank overlap, input double-buffering, the
+ * combined pipeline), *before* ROADMAP item 1 makes the engine
+ * concurrent for real.
+ *
+ * Actors ("tasklets" of the skeleton): a loader thread scattering
+ * per-rank input images, one kernel thread per rank, a retriever
+ * gathering per-rank output images into host staging, and a merger
+ * folding staging into the iteration result the next load depends
+ * on. Buffers are disjoint address ranges; a schedule is a phase
+ * structure (global barriers) plus a buffer assignment. The explorer
+ * then proves the retained barriers suffice for the buffers chosen
+ * -- or exhibits the race/deadlock when a seeded variant drops a
+ * barrier or aliases a buffer.
+ */
+
+#ifndef ALPHA_PIM_ANALYSIS_MODELCHECK_PROTOCOL_HH
+#define ALPHA_PIM_ANALYSIS_MODELCHECK_PROTOCOL_HH
+
+#include "analysis/modelcheck/skeleton.hh"
+
+namespace alphapim::analysis::modelcheck
+{
+
+/** The launch orderings checked (critical_path.hh what-ifs). */
+enum class LaunchSchedule
+{
+    Serial,       ///< today's engine: fully phase-ordered
+    RankOverlap,  ///< rank r+1 transfers under rank r's kernel
+    DoubleBuffer, ///< iteration k+1 load under iteration k merge
+    Combined,     ///< both overlaps at once
+};
+
+/** Display name ("serial", "rank-overlap", ...). */
+const char *launchScheduleName(LaunchSchedule schedule);
+
+/** Protocol model shape and seeded-defect switches. */
+struct ProtocolOptions
+{
+    unsigned ranks = 2;
+    unsigned iterations = 2;
+
+    /** Seed: drop the load->kernel barrier of iteration 0 (the
+     * kernels read input images the loader still writes). */
+    bool dropLoadBarrier = false;
+
+    /** Seed: all ranks gather into one shared staging buffer. */
+    bool sharedStaging = false;
+
+    /** Seed: collapse double-buffered pairs to a single buffer. */
+    bool singleBuffer = false;
+
+    /** Seed: the merger skips the final rendezvous barrier. */
+    bool skipFinalBarrier = false;
+};
+
+/** Build the skeleton of one launch schedule. */
+SyncSkeleton buildProtocolSkeleton(LaunchSchedule schedule,
+                                   const ProtocolOptions &opts = {});
+
+} // namespace alphapim::analysis::modelcheck
+
+#endif // ALPHA_PIM_ANALYSIS_MODELCHECK_PROTOCOL_HH

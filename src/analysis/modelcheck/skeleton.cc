@@ -1,0 +1,243 @@
+#include "analysis/modelcheck/skeleton.hh"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "analysis/checker.hh"
+
+namespace alphapim::analysis::modelcheck
+{
+
+namespace
+{
+
+using upmem::OpClass;
+using upmem::RecordKind;
+using upmem::TraceRecord;
+
+/** Coalesce a segment's raw ranges: sort, then merge overlapping or
+ * adjacent ranges of the same (space, direction). */
+std::vector<AccessRange>
+coalesce(std::vector<AccessRange> raw)
+{
+    const auto key = [](const AccessRange &r) {
+        return std::make_tuple(r.space, r.write, r.addr, r.end);
+    };
+    std::sort(raw.begin(), raw.end(),
+              [&](const AccessRange &a, const AccessRange &b) {
+                  return key(a) < key(b);
+              });
+    std::vector<AccessRange> out;
+    for (const AccessRange &r : raw) {
+        if (!out.empty() && out.back().space == r.space &&
+            out.back().write == r.write && r.addr <= out.back().end) {
+            out.back().end = std::max(out.back().end, r.end);
+            continue;
+        }
+        out.push_back(r);
+    }
+    return out;
+}
+
+/** Per-tasklet extraction walk: segments, sync events, static lint. */
+struct TaskletWalk
+{
+    unsigned dpu;
+    unsigned tasklet;
+    const upmem::DpuConfig &cfg;
+    TaskletSkeleton skeleton;
+    std::vector<Finding> &lint;
+
+    std::vector<AccessRange> segment;
+    std::vector<std::uint32_t> held;
+
+    TaskletWalk(unsigned d, unsigned t, const upmem::DpuConfig &c,
+                std::vector<Finding> &l)
+        : dpu(d), tasklet(t), cfg(c), lint(l)
+    {
+    }
+
+    void
+    emitLint(FindingKind kind, std::uint32_t id, std::string detail)
+    {
+        Finding f;
+        f.kind = kind;
+        f.dpu = dpu;
+        f.tasklet = tasklet;
+        f.id = id;
+        f.detail = std::move(detail);
+        lint.push_back(std::move(f));
+    }
+
+    void
+    flushSegment()
+    {
+        if (segment.empty())
+            return;
+        SyncEvent e;
+        e.kind = EventKind::Access;
+        e.ranges = coalesce(std::move(segment));
+        segment.clear();
+        skeleton.events.push_back(std::move(e));
+    }
+
+    void
+    sync(EventKind kind, std::uint32_t id)
+    {
+        flushSegment();
+        SyncEvent e;
+        e.kind = kind;
+        e.id = id;
+        skeleton.events.push_back(std::move(e));
+    }
+
+    void
+    record(const TraceRecord &r)
+    {
+        switch (r.kind) {
+          case RecordKind::Mutex: {
+            const std::uint32_t id = r.arg;
+            const auto it = std::find(held.begin(), held.end(), id);
+            if (r.count == 1) { // lock
+                if (it != held.end()) {
+                    emitLint(FindingKind::DoubleLock, id,
+                             "mutex " + std::to_string(id) +
+                                 " locked while already held");
+                    // Keep the model live: a faithful re-acquire
+                    // self-deadlocks on every schedule, drowning the
+                    // already-reported defect in derived findings.
+                    break;
+                }
+                held.push_back(id);
+                sync(EventKind::Acquire, id);
+            } else { // unlock
+                if (it == held.end()) {
+                    emitLint(FindingKind::UnlockUnheld, id,
+                             "mutex " + std::to_string(id) +
+                                 " unlocked while not held");
+                    break;
+                }
+                held.erase(it);
+                sync(EventKind::Release, id);
+            }
+            break;
+          }
+          case RecordKind::Barrier:
+            sync(EventKind::Barrier, r.arg);
+            break;
+          case RecordKind::Dma: {
+            if (const char *why = dmaViolation(r, cfg)) {
+                Finding f;
+                f.kind = FindingKind::IllegalDma;
+                f.dpu = dpu;
+                f.tasklet = tasklet;
+                f.space = MemSpace::Mram;
+                f.addr = r.addressed() ? r.addr : 0;
+                f.bytes = r.arg;
+                f.detail = std::string(r.cls == OpClass::DmaWrite
+                                           ? "DMA write"
+                                           : "DMA read") +
+                           " of " + std::to_string(r.arg) +
+                           " bytes: " + why;
+                lint.push_back(std::move(f));
+            }
+            if (r.addressed()) {
+                segment.push_back({MemSpace::Mram, r.addr,
+                                   r.addr + r.arg,
+                                   r.cls == OpClass::DmaWrite});
+            }
+            break;
+          }
+          case RecordKind::Ops:
+            if (r.addressed()) {
+                segment.push_back({MemSpace::Wram, r.addr,
+                                   r.addr + r.arg,
+                                   r.cls == OpClass::StoreWram});
+            }
+            break;
+        }
+    }
+
+    void
+    finish()
+    {
+        flushSegment();
+        for (const std::uint32_t id : held) {
+            emitLint(FindingKind::LockHeldAtExit, id,
+                     "mutex " + std::to_string(id) +
+                         " still held at end of trace");
+        }
+    }
+};
+
+void
+hashMix(std::uint64_t &h, std::uint64_t v)
+{
+    // FNV-1a over the value's bytes.
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xffu;
+        h *= 0x100000001b3ull;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+SyncSkeleton::eventCount() const
+{
+    std::uint64_t n = 0;
+    for (const TaskletSkeleton &t : tasklets)
+        n += t.events.size();
+    return n;
+}
+
+std::uint64_t
+SyncSkeleton::fingerprint() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    hashMix(h, tasklets.size());
+    for (const TaskletSkeleton &t : tasklets) {
+        hashMix(h, 0x7461736bull); // tasklet delimiter
+        for (const SyncEvent &e : t.events) {
+            hashMix(h, static_cast<std::uint64_t>(e.kind));
+            hashMix(h, e.id);
+            for (const AccessRange &r : e.ranges) {
+                hashMix(h, static_cast<std::uint64_t>(r.space) |
+                               (r.write ? 0x100u : 0u));
+                hashMix(h, r.addr);
+                hashMix(h, r.end);
+            }
+        }
+    }
+    return h;
+}
+
+SkeletonBuild
+buildSkeleton(unsigned dpu,
+              const std::vector<upmem::TaskletTrace> &traces,
+              const upmem::DpuConfig &cfg, std::string subject)
+{
+    SkeletonBuild build;
+    build.skeleton.subject = std::move(subject);
+    build.skeleton.dpu = dpu;
+    for (unsigned t = 0; t < traces.size(); ++t) {
+        if (traces[t].empty())
+            continue;
+        TaskletWalk walk(dpu, t, cfg, build.lintFindings);
+        for (const TraceRecord &r : traces[t].records())
+            walk.record(r);
+        walk.finish();
+        walk.skeleton.tasklet = t;
+        build.skeleton.tasklets.push_back(std::move(walk.skeleton));
+    }
+    std::sort(build.lintFindings.begin(), build.lintFindings.end(),
+              findingLess);
+    build.lintFindings.erase(
+        std::unique(build.lintFindings.begin(),
+                    build.lintFindings.end(), findingEquals),
+        build.lintFindings.end());
+    return build;
+}
+
+} // namespace alphapim::analysis::modelcheck

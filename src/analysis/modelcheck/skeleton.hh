@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Synchronization skeletons: the model checker's program abstraction.
+ *
+ * A skeleton keeps, per tasklet, only the events that other tasklets
+ * can observe -- mutex acquire/release, barrier arrivals, and the
+ * WRAM/MRAM address ranges touched between them -- extracted from the
+ * addressed trace records kernels produce (upmem::TaskletTrace). All
+ * accesses between two synchronization operations form one *segment*
+ * and are coalesced into a minimal set of disjoint ranges per
+ * (space, direction): interleavings within a segment cannot change
+ * which conflicts exist, so the coalescing is exact for race
+ * detection while shrinking the explorer's state space by orders of
+ * magnitude.
+ *
+ * Extraction also lints each tasklet's record stream for the
+ * schedule-independent protocol defects (double lock, unlock of an
+ * unheld mutex, mutex held at exit, illegal DMA shapes); these need
+ * no exploration and are reported directly with the same
+ * analysis::Finding kinds pim-verify uses.
+ */
+
+#ifndef ALPHA_PIM_ANALYSIS_MODELCHECK_SKELETON_HH
+#define ALPHA_PIM_ANALYSIS_MODELCHECK_SKELETON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/findings.hh"
+#include "upmem/dpu_config.hh"
+#include "upmem/trace.hh"
+
+namespace alphapim::analysis::modelcheck
+{
+
+/** One coalesced address range touched by a segment. */
+struct AccessRange
+{
+    MemSpace space = MemSpace::Wram;
+    std::uint64_t addr = 0;
+    std::uint64_t end = 0; ///< addr + length
+    bool write = false;
+
+    /** True when the ranges can race: same space, overlapping, and
+     * at least one side writing. */
+    bool
+    conflicts(const AccessRange &o) const
+    {
+        return space == o.space && (write || o.write) &&
+               addr < o.end && o.addr < end;
+    }
+};
+
+/** Kind of skeleton event. */
+enum class EventKind : std::uint8_t
+{
+    Acquire, ///< mutex lock (blocking)
+    Release, ///< mutex unlock
+    Barrier, ///< barrier arrival (blocks until all tasklets arrive)
+    Access,  ///< one segment's coalesced shared-memory footprint
+};
+
+/** One observable step of one tasklet. */
+struct SyncEvent
+{
+    EventKind kind = EventKind::Access;
+    std::uint32_t id = 0; ///< mutex / barrier id (non-Access)
+    std::vector<AccessRange> ranges; ///< Access only
+};
+
+/** The event sequence of one tasklet. */
+struct TaskletSkeleton
+{
+    /** Original tasklet id (skeletons drop empty tasklets, so the
+     * vector index can differ); used for finding attribution. */
+    unsigned tasklet = 0;
+    std::vector<SyncEvent> events;
+};
+
+/** The per-DPU program the explorer enumerates schedules of. */
+struct SyncSkeleton
+{
+    std::string subject; ///< display label ("CSC-2D", "bfs launch 3")
+    unsigned dpu = 0;    ///< finding attribution
+    std::vector<TaskletSkeleton> tasklets;
+
+    /** Total events across all tasklets. */
+    std::uint64_t eventCount() const;
+
+    /** Structural FNV-1a hash: identical values mean identical
+     * synchronization behavior, used to dedup the skeletons of DPUs
+     * that run the same code on partitions of the same shape. */
+    std::uint64_t fingerprint() const;
+};
+
+/** Extraction output: the skeleton plus the static lint findings. */
+struct SkeletonBuild
+{
+    SyncSkeleton skeleton;
+    /** Schedule-independent defects (DoubleLock, UnlockUnheld,
+     * LockHeldAtExit, IllegalDma) found while walking the traces. */
+    std::vector<Finding> lintFindings;
+};
+
+/**
+ * Build the synchronization skeleton of one DPU's recorded traces.
+ * Tasklets with empty traces are dropped (they never launched -- the
+ * same exemption the replay scheduler's barrier quorum applies).
+ *
+ * @param dpu     DPU index for finding attribution
+ * @param traces  one trace per tasklet, as handed to the scheduler
+ * @param cfg     DPU configuration (DMA staging lint)
+ * @param subject display label for reports
+ */
+SkeletonBuild buildSkeleton(unsigned dpu,
+                            const std::vector<upmem::TaskletTrace> &traces,
+                            const upmem::DpuConfig &cfg,
+                            std::string subject);
+
+} // namespace alphapim::analysis::modelcheck
+
+#endif // ALPHA_PIM_ANALYSIS_MODELCHECK_SKELETON_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "analysis/capture.hh"
 #include "analysis/checker.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
@@ -83,6 +84,13 @@ UpmemSystem::launchKernel(
     const bool tracing = telemetry::tracer().enabled();
     const bool sampling = telemetry::metrics().enabled();
     const bool checking = analysis::checker().enabled();
+    const bool capturing = analysis::capture().enabled();
+    // The model checker harvests traces without timing them; replay
+    // is the dominant cost of a launch, so skip it when asked to.
+    const bool replaying =
+        !capturing || !analysis::capture().skipReplay();
+    if (capturing)
+        analysis::capture().beginLaunch(num_dpus);
 
     const RevolverScheduler scheduler(cfg_.dpu);
     LaunchProfile launch;
@@ -103,7 +111,12 @@ UpmemSystem::launchKernel(
             analysis::checker().analyzeDpu(
                 static_cast<unsigned>(dpu), traces, cfg_.dpu);
         }
-        per_dpu_profiles[dpu] = scheduler.run(traces);
+        if (capturing) {
+            analysis::capture().captureDpu(static_cast<unsigned>(dpu),
+                                           traces);
+        }
+        if (replaying)
+            per_dpu_profiles[dpu] = scheduler.run(traces);
         if (!per_dpu_cycles.empty())
             per_dpu_cycles[dpu] = per_dpu_profiles[dpu].totalCycles;
     });

@@ -332,6 +332,69 @@ TEST_F(CheckerTest, JsonReportRoundTrips)
     EXPECT_GE(counts->find("data_race")->asNumber(), 1.0);
 }
 
+TEST_F(CheckerTest, RepeatedFindingsAreDedupedButCounted)
+{
+    std::vector<TaskletTrace> traces(1);
+    traces[0].mutexUnlock(4);
+    // The same defect on the same DPU, analyzed twice (as a bench
+    // binary re-running a configuration would): one retained finding,
+    // two counted occurrences.
+    c.analyzeDpu(0, traces, cfg);
+    c.analyzeDpu(0, traces, cfg);
+    const auto rep = c.report();
+    EXPECT_EQ(rep.findings.size(), 1u);
+    EXPECT_EQ(countOf(rep, FindingKind::UnlockUnheld), 2u);
+    EXPECT_EQ(rep.total(), 2u);
+}
+
+TEST_F(CheckerTest, FindingsAreSortedDeterministically)
+{
+    // Feed DPUs in descending order with mixed kinds; the report must
+    // come out in (kind, dpu, tasklet, addr) order regardless.
+    for (const unsigned dpu : {5u, 1u, 3u}) {
+        std::vector<TaskletTrace> traces(2);
+        traces[0].wramAccess(OpClass::StoreWram, 1, 0x4000, 4);
+        traces[1].wramAccess(OpClass::StoreWram, 1, 0x4000, 4);
+        traces[1].mutexUnlock(2);
+        c.analyzeDpu(dpu, traces, cfg);
+    }
+    const auto rep = c.report();
+    ASSERT_GE(rep.findings.size(), 2u);
+    for (std::size_t i = 1; i < rep.findings.size(); ++i) {
+        EXPECT_FALSE(
+            findingLess(rep.findings[i], rep.findings[i - 1]));
+        EXPECT_FALSE(
+            findingEquals(rep.findings[i - 1], rep.findings[i]));
+    }
+    // Byte-stable report: a second checker fed the same defects in a
+    // different DPU order renders the identical JSON document.
+    TraceChecker c2;
+    c2.enable(CheckOptions{});
+    for (const unsigned dpu : {1u, 3u, 5u}) {
+        std::vector<TaskletTrace> traces(2);
+        traces[0].wramAccess(OpClass::StoreWram, 1, 0x4000, 4);
+        traces[1].wramAccess(OpClass::StoreWram, 1, 0x4000, 4);
+        traces[1].mutexUnlock(2);
+        c2.analyzeDpu(dpu, traces, cfg);
+    }
+    EXPECT_EQ(c.reportJson(), c2.reportJson());
+}
+
+TEST_F(CheckerTest, InjectedFindingIsCountedAndDeduped)
+{
+    Finding f;
+    f.kind = FindingKind::DataRace;
+    f.dpu = 2;
+    f.tasklet = 1;
+    f.detail = "synthetic";
+    c.injectFinding(f);
+    c.injectFinding(f); // identical: counted, not re-retained
+    const auto rep = c.report();
+    EXPECT_EQ(rep.findings.size(), 1u);
+    EXPECT_EQ(countOf(rep, FindingKind::DataRace), 2u);
+    EXPECT_EQ(rep.findings[0].detail, "synthetic");
+}
+
 TEST_F(CheckerTest, ClearResetsAccumulation)
 {
     std::vector<TaskletTrace> traces(1);

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Explorer unit tests: exhaustive-schedule verification finds each
+ * seeded defect class with the exact expected kind, proves clean
+ * synchronization clean, and sleep-set reduction preserves verdicts
+ * while shrinking the explored state count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/modelcheck/explorer.hh"
+#include "analysis/modelcheck/skeleton.hh"
+#include "upmem/trace.hh"
+
+using namespace alphapim;
+using namespace alphapim::analysis;
+using namespace alphapim::analysis::modelcheck;
+using upmem::OpClass;
+using upmem::TaskletTrace;
+
+namespace
+{
+
+SyncEvent
+access(std::uint64_t addr, std::uint64_t len, bool write,
+       MemSpace space = MemSpace::Wram)
+{
+    SyncEvent e;
+    e.kind = EventKind::Access;
+    e.ranges.push_back({space, addr, addr + len, write});
+    return e;
+}
+
+SyncEvent
+sync(EventKind kind, std::uint32_t id)
+{
+    SyncEvent e;
+    e.kind = kind;
+    e.id = id;
+    return e;
+}
+
+SyncSkeleton
+skeletonOf(std::vector<std::vector<SyncEvent>> tasklets)
+{
+    SyncSkeleton s;
+    s.subject = "test";
+    for (unsigned t = 0; t < tasklets.size(); ++t) {
+        TaskletSkeleton ts;
+        ts.tasklet = t;
+        ts.events = std::move(tasklets[t]);
+        s.tasklets.push_back(std::move(ts));
+    }
+    return s;
+}
+
+::testing::AssertionResult
+onlyKind(const std::vector<Finding> &fs, FindingKind k)
+{
+    if (fs.empty())
+        return ::testing::AssertionFailure() << "no findings";
+    for (const Finding &f : fs) {
+        if (f.kind != k) {
+            return ::testing::AssertionFailure()
+                   << "unexpected kind " << findingKindName(f.kind)
+                   << ": " << f.detail;
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+} // namespace
+
+TEST(Explorer, UnsynchronizedConflictIsDataRace)
+{
+    const SyncSkeleton s = skeletonOf({
+        {access(0x100, 8, true)},
+        {access(0x100, 8, false)},
+    });
+    const ExploreResult r = explore(s);
+    EXPECT_TRUE(r.complete);
+    EXPECT_TRUE(onlyKind(r.findings, FindingKind::DataRace));
+}
+
+TEST(Explorer, DisjointAccessesAreClean)
+{
+    const SyncSkeleton s = skeletonOf({
+        {access(0x100, 8, true)},
+        {access(0x200, 8, true)},
+    });
+    const ExploreResult r = explore(s);
+    EXPECT_TRUE(r.complete);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Explorer, SameSpaceDistinctionMatters)
+{
+    // Identical addresses in different address spaces don't race.
+    const SyncSkeleton s = skeletonOf({
+        {access(0x100, 8, true, MemSpace::Wram)},
+        {access(0x100, 8, true, MemSpace::Mram)},
+    });
+    const ExploreResult r = explore(s);
+    EXPECT_TRUE(r.complete);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Explorer, MutexProtectionOrdersConflicts)
+{
+    const auto guarded = [](bool write) {
+        return std::vector<SyncEvent>{sync(EventKind::Acquire, 0),
+                                      access(0x100, 8, write),
+                                      sync(EventKind::Release, 0)};
+    };
+    const SyncSkeleton s = skeletonOf({guarded(true), guarded(false)});
+    const ExploreResult r = explore(s);
+    EXPECT_TRUE(r.complete);
+    EXPECT_TRUE(r.findings.empty()) << (r.findings.empty()
+                                            ? ""
+                                            : r.findings[0].detail);
+}
+
+TEST(Explorer, DifferentMutexesDoNotOrder)
+{
+    const SyncSkeleton s = skeletonOf({
+        {sync(EventKind::Acquire, 0), access(0x100, 8, true),
+         sync(EventKind::Release, 0)},
+        {sync(EventKind::Acquire, 1), access(0x100, 8, false),
+         sync(EventKind::Release, 1)},
+    });
+    const ExploreResult r = explore(s);
+    EXPECT_TRUE(r.complete);
+    EXPECT_TRUE(onlyKind(r.findings, FindingKind::DataRace));
+}
+
+TEST(Explorer, BarrierOrdersConflicts)
+{
+    const SyncSkeleton s = skeletonOf({
+        {access(0x100, 8, true), sync(EventKind::Barrier, 0)},
+        {sync(EventKind::Barrier, 0), access(0x100, 8, false)},
+    });
+    const ExploreResult r = explore(s);
+    EXPECT_TRUE(r.complete);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Explorer, SeededLockOrderCycleIsExactKind)
+{
+    // Classic ABBA deadlock; accesses disjoint so the only defect is
+    // the cycle itself.
+    const SyncSkeleton s = skeletonOf({
+        {sync(EventKind::Acquire, 0), sync(EventKind::Acquire, 1),
+         sync(EventKind::Release, 1), sync(EventKind::Release, 0)},
+        {sync(EventKind::Acquire, 1), sync(EventKind::Acquire, 0),
+         sync(EventKind::Release, 0), sync(EventKind::Release, 1)},
+    });
+    const ExploreResult r = explore(s);
+    EXPECT_TRUE(r.complete);
+    EXPECT_TRUE(onlyKind(r.findings, FindingKind::LockOrderCycle));
+    EXPECT_GT(r.stats.deadlockStates, 0u);
+}
+
+TEST(Explorer, SeededDroppedBarrierWaitIsExactKind)
+{
+    // Tasklet 1 exits without arriving; tasklet 0 waits forever.
+    const SyncSkeleton s = skeletonOf({
+        {access(0x100, 8, true), sync(EventKind::Barrier, 0)},
+        {access(0x200, 8, true)},
+    });
+    const ExploreResult r = explore(s);
+    EXPECT_TRUE(r.complete);
+    EXPECT_TRUE(
+        onlyKind(r.findings, FindingKind::BarrierDivergence));
+}
+
+TEST(Explorer, BarrierIdDisagreementIsDivergence)
+{
+    const SyncSkeleton s = skeletonOf({
+        {sync(EventKind::Barrier, 0)},
+        {sync(EventKind::Barrier, 1)},
+    });
+    const ExploreResult r = explore(s);
+    EXPECT_TRUE(r.complete);
+    EXPECT_TRUE(
+        onlyKind(r.findings, FindingKind::BarrierDivergence));
+}
+
+TEST(Explorer, SeededWramWriteOverlapFromTracesIsExactKind)
+{
+    // The full static path: defective traces -> skeleton -> explore.
+    // Two tasklets store to overlapping WRAM with no synchronization.
+    TaskletTrace t0;
+    t0.wramAccess(OpClass::StoreWram, 1, 0x4000, 16);
+    t0.barrier(0);
+    TaskletTrace t1;
+    t1.wramAccess(OpClass::StoreWram, 1, 0x4008, 16);
+    t1.barrier(0);
+    const upmem::DpuConfig cfg;
+    const SkeletonBuild b = buildSkeleton(0, {t0, t1}, cfg, "seeded");
+    EXPECT_TRUE(b.lintFindings.empty());
+    const ExploreResult r = explore(b.skeleton);
+    EXPECT_TRUE(r.complete);
+    ASSERT_TRUE(onlyKind(r.findings, FindingKind::DataRace));
+    // Attribution points at the overlap, in WRAM.
+    EXPECT_EQ(r.findings[0].space, MemSpace::Wram);
+}
+
+TEST(Explorer, CleanTracesThroughFullStaticPath)
+{
+    // The mutex-protected pattern the kernels use: every store to the
+    // shared accumulator under the output-group mutex.
+    std::vector<TaskletTrace> traces(3);
+    for (unsigned t = 0; t < traces.size(); ++t) {
+        traces[t].dmaRead(256, 0x10000 + t * 0x1000);
+        traces[t].mutexLock(5);
+        traces[t].wramAccess(OpClass::StoreWram, 4, 0x4000, 32);
+        traces[t].mutexUnlock(5);
+        traces[t].barrier(0);
+    }
+    const upmem::DpuConfig cfg;
+    const SkeletonBuild b = buildSkeleton(0, traces, cfg, "clean");
+    EXPECT_TRUE(b.lintFindings.empty());
+    const ExploreResult r = explore(b.skeleton);
+    EXPECT_TRUE(r.complete);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Explorer, SleepSetReductionPreservesVerdictAndShrinksStates)
+{
+    // Three tasklets, two independent segments each: heavily
+    // commuting, so DPOR should collapse most interleavings.
+    std::vector<std::vector<SyncEvent>> ts;
+    for (unsigned t = 0; t < 3; ++t) {
+        ts.push_back({access(0x1000 + t * 0x100, 8, true),
+                      access(0x2000 + t * 0x100, 8, true)});
+    }
+    const SyncSkeleton clean = skeletonOf(std::move(ts));
+
+    ExploreOptions reduced;
+    ExploreOptions naive;
+    naive.reduction = false;
+    const ExploreResult r1 = explore(clean, reduced);
+    const ExploreResult r2 = explore(clean, naive);
+    ASSERT_TRUE(r1.complete);
+    ASSERT_TRUE(r2.complete);
+    EXPECT_TRUE(r1.findings.empty());
+    EXPECT_TRUE(r2.findings.empty());
+    EXPECT_LT(r1.stats.states, r2.stats.states);
+    EXPECT_GT(r1.stats.sleepSkips, 0u);
+
+    // And reduction loses no races on a defective skeleton.
+    const SyncSkeleton racy = skeletonOf({
+        {access(0x100, 8, true), access(0x300, 8, false)},
+        {access(0x100, 8, false), access(0x200, 8, true)},
+        {access(0x200, 8, true)},
+    });
+    const ExploreResult d1 = explore(racy, reduced);
+    const ExploreResult d2 = explore(racy, naive);
+    ASSERT_TRUE(d1.complete);
+    ASSERT_TRUE(d2.complete);
+    ASSERT_EQ(d1.findings.size(), d2.findings.size());
+    for (std::size_t i = 0; i < d1.findings.size(); ++i)
+        EXPECT_TRUE(findingEquals(d1.findings[i], d2.findings[i]));
+    EXPECT_LE(d1.stats.states, d2.stats.states);
+}
+
+TEST(Explorer, StateBoundMarksResultIncomplete)
+{
+    std::vector<std::vector<SyncEvent>> ts;
+    for (unsigned t = 0; t < 4; ++t) {
+        std::vector<SyncEvent> ev;
+        for (unsigned i = 0; i < 6; ++i)
+            ev.push_back(access(0x1000 * (t + 1) + i * 8, 8, true));
+        ts.push_back(std::move(ev));
+    }
+    ExploreOptions opts;
+    opts.reduction = false;
+    opts.maxStates = 100;
+    const ExploreResult r = explore(skeletonOf(std::move(ts)), opts);
+    EXPECT_FALSE(r.complete);
+    EXPECT_LE(r.stats.states, 102u);
+}
+
+TEST(Explorer, FindingsAreDeterministicallyOrderedAndDeduped)
+{
+    const SyncSkeleton s = skeletonOf({
+        {access(0x100, 8, true), sync(EventKind::Barrier, 0),
+         access(0x100, 8, true)},
+        {access(0x100, 8, false), sync(EventKind::Barrier, 0)},
+    });
+    const ExploreResult a = explore(s);
+    const ExploreResult b = explore(s);
+    ASSERT_EQ(a.findings.size(), b.findings.size());
+    for (std::size_t i = 0; i < a.findings.size(); ++i)
+        EXPECT_TRUE(findingEquals(a.findings[i], b.findings[i]));
+    for (std::size_t i = 1; i < a.findings.size(); ++i) {
+        EXPECT_FALSE(
+            findingEquals(a.findings[i - 1], a.findings[i]));
+        EXPECT_FALSE(findingLess(a.findings[i], a.findings[i - 1]));
+    }
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Skeleton extraction unit tests: segment coalescing, sync-event
+ * streams, schedule-independent lint kinds, fingerprint stability,
+ * and empty-tasklet handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/modelcheck/skeleton.hh"
+#include "upmem/trace.hh"
+
+using namespace alphapim;
+using namespace alphapim::analysis;
+using namespace alphapim::analysis::modelcheck;
+using upmem::OpClass;
+using upmem::TaskletTrace;
+
+namespace
+{
+
+SkeletonBuild
+build(const std::vector<TaskletTrace> &traces)
+{
+    const upmem::DpuConfig cfg;
+    return buildSkeleton(0, traces, cfg, "test");
+}
+
+bool
+hasKind(const std::vector<Finding> &fs, FindingKind k)
+{
+    for (const Finding &f : fs)
+        if (f.kind == k)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(Skeleton, CoalescesOverlappingSameDirectionRanges)
+{
+    TaskletTrace t;
+    t.wramAccess(OpClass::LoadWram, 1, 0x100, 16);
+    t.wramAccess(OpClass::LoadWram, 1, 0x108, 16); // overlaps
+    t.wramAccess(OpClass::LoadWram, 1, 0x118, 8);  // adjacent
+    t.wramAccess(OpClass::StoreWram, 1, 0x100, 8); // other direction
+    const SkeletonBuild b = build({t});
+    ASSERT_EQ(b.skeleton.tasklets.size(), 1u);
+    ASSERT_EQ(b.skeleton.tasklets[0].events.size(), 1u);
+    const SyncEvent &e = b.skeleton.tasklets[0].events[0];
+    EXPECT_EQ(e.kind, EventKind::Access);
+    // One merged read range [0x100, 0x120) plus the write range.
+    ASSERT_EQ(e.ranges.size(), 2u);
+    EXPECT_EQ(e.ranges[0].addr, 0x100u);
+    EXPECT_EQ(e.ranges[0].end, 0x120u);
+    EXPECT_FALSE(e.ranges[0].write);
+    EXPECT_TRUE(e.ranges[1].write);
+    EXPECT_TRUE(b.lintFindings.empty());
+}
+
+TEST(Skeleton, SyncEventsSplitSegments)
+{
+    TaskletTrace t;
+    t.wramAccess(OpClass::LoadWram, 1, 0x100, 8);
+    t.mutexLock(3);
+    t.wramAccess(OpClass::StoreWram, 1, 0x200, 8);
+    t.mutexUnlock(3);
+    t.barrier(0);
+    t.dmaWrite(64, 0x1000);
+    const SkeletonBuild b = build({t});
+    ASSERT_EQ(b.skeleton.tasklets.size(), 1u);
+    const auto &ev = b.skeleton.tasklets[0].events;
+    ASSERT_EQ(ev.size(), 6u);
+    EXPECT_EQ(ev[0].kind, EventKind::Access);
+    EXPECT_EQ(ev[1].kind, EventKind::Acquire);
+    EXPECT_EQ(ev[1].id, 3u);
+    EXPECT_EQ(ev[2].kind, EventKind::Access);
+    EXPECT_EQ(ev[3].kind, EventKind::Release);
+    EXPECT_EQ(ev[4].kind, EventKind::Barrier);
+    EXPECT_EQ(ev[5].kind, EventKind::Access);
+    EXPECT_EQ(ev[5].ranges[0].space, MemSpace::Mram);
+    EXPECT_TRUE(ev[5].ranges[0].write);
+}
+
+TEST(Skeleton, DoubleLockLintDropsTheReacquire)
+{
+    TaskletTrace t;
+    t.mutexLock(1);
+    t.mutexLock(1); // defect: lint, event dropped to stay live
+    t.mutexUnlock(1);
+    const SkeletonBuild b = build({t});
+    EXPECT_TRUE(hasKind(b.lintFindings, FindingKind::DoubleLock));
+    const auto &ev = b.skeleton.tasklets[0].events;
+    ASSERT_EQ(ev.size(), 2u);
+    EXPECT_EQ(ev[0].kind, EventKind::Acquire);
+    EXPECT_EQ(ev[1].kind, EventKind::Release);
+}
+
+TEST(Skeleton, UnlockUnheldLint)
+{
+    TaskletTrace t;
+    t.mutexUnlock(7);
+    const SkeletonBuild b = build({t});
+    EXPECT_TRUE(hasKind(b.lintFindings, FindingKind::UnlockUnheld));
+    EXPECT_TRUE(b.skeleton.tasklets[0].events.empty());
+}
+
+TEST(Skeleton, LockHeldAtExitLint)
+{
+    TaskletTrace t;
+    t.mutexLock(2);
+    const SkeletonBuild b = build({t});
+    EXPECT_TRUE(hasKind(b.lintFindings, FindingKind::LockHeldAtExit));
+}
+
+TEST(Skeleton, IllegalDmaLint)
+{
+    TaskletTrace t;
+    t.dmaRead(12, 0x1000); // not 8-byte granular
+    const SkeletonBuild b = build({t});
+    EXPECT_TRUE(hasKind(b.lintFindings, FindingKind::IllegalDma));
+}
+
+TEST(Skeleton, FingerprintStableAndStructureSensitive)
+{
+    TaskletTrace t;
+    t.wramAccess(OpClass::StoreWram, 1, 0x100, 8);
+    t.barrier(0);
+    const SkeletonBuild a = build({t});
+    const SkeletonBuild same = build({t});
+    EXPECT_EQ(a.skeleton.fingerprint(), same.skeleton.fingerprint());
+
+    TaskletTrace t2 = t;
+    t2.wramAccess(OpClass::LoadWram, 1, 0x200, 8);
+    const SkeletonBuild other = build({t2});
+    EXPECT_NE(a.skeleton.fingerprint(), other.skeleton.fingerprint());
+}
+
+TEST(Skeleton, EmptyTaskletsDroppedButHwIdsKept)
+{
+    TaskletTrace empty;
+    TaskletTrace busy;
+    busy.wramAccess(OpClass::StoreWram, 1, 0x100, 8);
+    const SkeletonBuild b = build({empty, busy, empty});
+    ASSERT_EQ(b.skeleton.tasklets.size(), 1u);
+    EXPECT_EQ(b.skeleton.tasklets[0].tasklet, 1u);
+}
+
+TEST(Skeleton, UnaddressedRecordsContributeNoRanges)
+{
+    TaskletTrace t;
+    t.ops(OpClass::IntAdd, 100);
+    t.dmaRead(64); // unaddressed
+    t.barrier(0);
+    const SkeletonBuild b = build({t});
+    ASSERT_EQ(b.skeleton.tasklets.size(), 1u);
+    const auto &ev = b.skeleton.tasklets[0].events;
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_EQ(ev[0].kind, EventKind::Barrier);
+}

@@ -56,6 +56,7 @@ struct CliOptions
     std::string strategy = "adaptive";
     std::string checkList;
     std::string checkOut;
+    std::string checkInject;
     double scale = 0.25;
     double threshold = -1.0;
     unsigned dpus = 2048;
@@ -103,6 +104,10 @@ usage()
         "                              findings are reported\n"
         "  --check-out FILE            JSON findings report (implies\n"
         "                              --check)\n"
+        "  --check-inject KIND         fold one synthetic finding of\n"
+        "                              the given kind (data_race,...)\n"
+        "                              into the report; exercises the\n"
+        "                              exit-code contract in tests\n"
         "  --log-level LEVEL           silent|normal|verbose\n"
         "Every flag also accepts the --flag=value spelling.\n");
     std::exit(2);
@@ -170,6 +175,21 @@ parseCli(int argc, char **argv)
         } else if (arg == "--check-out") {
             opt.check = true;
             opt.checkOut = next();
+        } else if (arg == "--check-inject") {
+            opt.check = true;
+            opt.checkInject = next();
+            bool known = false;
+            for (unsigned k = 0; k < analysis::numFindingKinds; ++k)
+                known = known ||
+                        opt.checkInject ==
+                            analysis::findingKindName(
+                                static_cast<analysis::FindingKind>(k));
+            if (!known) {
+                std::fprintf(stderr,
+                             "--check-inject: unknown kind '%s'\n",
+                             opt.checkInject.c_str());
+                usage();
+            }
         } else if (arg == "--profile")
             opt.profile = true;
         else if (arg == "--compare-cpu")
@@ -397,6 +417,7 @@ main(int argc, char **argv)
                                   3)});
     phases.print();
 
+    bool validate_ok = true;
     if (opt.validate) {
         bool ok = true;
         if (opt.algo == "bfs") {
@@ -421,8 +442,9 @@ main(int argc, char **argv)
         }
         std::printf("validation vs host reference: %s\n",
                     ok ? "OK" : "MISMATCH");
-        if (!ok)
-            return 1;
+        // Don't exit yet: a requested --check report must still be
+        // finalized (and its exit status takes precedence).
+        validate_ok = ok;
     }
 
     if (opt.profile) {
@@ -475,28 +497,24 @@ main(int argc, char **argv)
         telemetry::writeMetricsFile(opt.metricsOut);
 
     if (opt.check) {
-        const auto report = analysis::checker().report();
-        std::printf("\npim-verify: %llu finding(s) across %llu DPU "
-                    "launches checked\n",
-                    static_cast<unsigned long long>(report.total()),
-                    static_cast<unsigned long long>(
-                        report.dpusChecked));
-        for (const auto &f : report.findings)
-            std::printf("  %s\n",
-                        analysis::describeFinding(f).c_str());
-        if (report.dropped > 0)
-            std::printf("  ... and %llu more (not retained)\n",
-                        static_cast<unsigned long long>(
-                            report.dropped));
-        if (!opt.checkOut.empty()) {
-            if (!analysis::checker().writeReport(opt.checkOut))
-                fatal("cannot write check report '%s'",
-                      opt.checkOut.c_str());
-            inform("wrote pim-verify report to %s",
-                   opt.checkOut.c_str());
+        if (!opt.checkInject.empty()) {
+            for (unsigned k = 0; k < analysis::numFindingKinds; ++k) {
+                const auto kind =
+                    static_cast<analysis::FindingKind>(k);
+                if (opt.checkInject ==
+                    analysis::findingKindName(kind)) {
+                    analysis::Finding f;
+                    f.kind = kind;
+                    f.detail = "synthetic finding injected by "
+                               "--check-inject";
+                    analysis::checker().injectFinding(std::move(f));
+                }
+            }
         }
-        if (report.total() > 0)
-            return 3;
+        const int status =
+            analysis::finalizeCheckReport(opt.checkOut);
+        if (status != 0)
+            return status;
     }
-    return 0;
+    return validate_ok ? 0 : 1;
 }
