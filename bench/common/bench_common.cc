@@ -7,6 +7,7 @@
 #include <map>
 
 #include "analysis/checker.hh"
+#include "analysis/imbalance.hh"
 #include "common/logging.hh"
 #include "perf/fingerprint.hh"
 #include "perf/manifest.hh"
@@ -150,8 +151,12 @@ parseOptions(int argc, char **argv)
             warn("cannot stream trace to '%s'; buffering instead",
                  opt.traceOut.c_str());
     }
-    if (!opt.metricsOut.empty() || !opt.jsonOut.empty())
+    if (!opt.metricsOut.empty() || !opt.jsonOut.empty()) {
         telemetry::metrics().setEnabled(true);
+        // Imbalance analytics ride on the same outputs: imbalance.*
+        // / roofline.* metrics and the v4 record block.
+        analysis::imbalance().setEnabled(true);
+    }
     if (opt.check) {
         analysis::CheckOptions sel;
         std::string error;
@@ -301,6 +306,7 @@ RunRecorder::begin()
     for (std::size_t i = 0; i < 6; ++i)
         xferStart_[i] =
             telemetry::metrics().counterValue(kXferCounters[i]);
+    analysis::imbalance().beginRun();
     if (ownsTracer_) {
         // Private tracer: restart per run, so every timeline begins
         // at model time zero and memory stays bounded.
@@ -345,9 +351,11 @@ RunRecorder::emit(const std::string &dataset,
 
     perf::XferCounts xfer;
     perf::TimelineSummary timeline;
+    perf::ImbalanceSummary imbalance;
     double wall = -1.0;
     const perf::XferCounts *xfer_ptr = nullptr;
     const perf::TimelineSummary *timeline_ptr = nullptr;
+    const perf::ImbalanceSummary *imbalance_ptr = nullptr;
     if (began_) {
         std::uint64_t now[6];
         for (std::size_t i = 0; i < 6; ++i)
@@ -374,6 +382,12 @@ RunRecorder::emit(const std::string &dataset,
                 timeline_ptr = &timeline;
             }
         }
+        const analysis::RunImbalance run_imbalance =
+            analysis::imbalance().collectRun();
+        if (run_imbalance.launches > 0) {
+            imbalance = perf::summarizeImbalance(run_imbalance);
+            imbalance_ptr = &imbalance;
+        }
         wall = std::chrono::duration<double>(
                    std::chrono::steady_clock::now()
                        .time_since_epoch())
@@ -388,7 +402,7 @@ RunRecorder::emit(const std::string &dataset,
         perf::encodeRunRecord(manifest, key,
                               static_cast<std::uint64_t>(iterations),
                               times, profile, xfer_ptr, wall,
-                              timeline_ptr));
+                              timeline_ptr, imbalance_ptr));
 }
 
 int

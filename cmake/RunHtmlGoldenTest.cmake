@@ -1,0 +1,55 @@
+# Gate: the alphapim_explain HTML report is deterministic. Rendering
+# the committed fixture trace twice must be byte-identical, and both
+# runs must match the committed golden file (stable element ordering
+# and ids; no timestamps, addresses or hash-ordered output).
+#
+# The fixture is copied into WORKDIR and rendered with a relative
+# path so the report's source label does not embed the checkout path.
+#
+# Arguments (all -D):
+#   EXPLAIN  path to the alphapim_explain binary
+#   FIXTURE  committed Chrome-trace fixture
+#   GOLDEN   committed golden HTML
+#   WORKDIR  scratch directory for the artifacts
+
+file(MAKE_DIRECTORY ${WORKDIR})
+get_filename_component(_fixture_name ${FIXTURE} NAME)
+configure_file(${FIXTURE} ${WORKDIR}/${_fixture_name} COPYONLY)
+
+foreach(_pass 1 2)
+    execute_process(
+        COMMAND ${EXPLAIN} --trace ${_fixture_name}
+                --html out${_pass}.html
+        WORKING_DIRECTORY ${WORKDIR}
+        RESULT_VARIABLE _result
+        OUTPUT_QUIET
+        ERROR_VARIABLE _err
+    )
+    if(NOT _result EQUAL 0)
+        message(FATAL_ERROR
+            "alphapim_explain pass ${_pass} failed (${_result}): ${_err}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORKDIR}/out1.html ${WORKDIR}/out2.html
+    RESULT_VARIABLE _stable
+)
+if(NOT _stable EQUAL 0)
+    message(FATAL_ERROR "HTML report is not byte-stable across runs")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORKDIR}/out1.html ${GOLDEN}
+    RESULT_VARIABLE _golden
+)
+if(NOT _golden EQUAL 0)
+    message(FATAL_ERROR
+        "HTML report differs from the committed golden file "
+        "${GOLDEN}; if the change is intentional, regenerate it with "
+        "alphapim_explain --trace tests/data/explain/fixture.trace.json "
+        "--html tests/data/explain/golden.html run from "
+        "tests/data/explain")
+endif()

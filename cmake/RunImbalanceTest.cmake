@@ -1,0 +1,52 @@
+# Gate: the load-imbalance observatory end to end. alphapim
+# --json-out on a skewed synthetic graph must produce a run record
+# whose imbalance block, printed by alphapim_explain --records
+# --imbalance, names the straggler DPU with a stall-reason and a
+# partition-share attribution plus the rebalance bound and the
+# roofline position.
+#
+# Arguments (all -D):
+#   CLI      path to the alphapim binary
+#   EXPLAIN  path to the alphapim_explain binary
+#   WORKDIR  scratch directory for the artifacts
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(_records ${WORKDIR}/imbalance.jsonl)
+file(REMOVE ${_records}) # --json-out appends; start clean
+
+execute_process(
+    COMMAND ${CLI} --algo bfs --dataset as00 --scale 0.3
+            --dpus 64 --json-out ${_records}
+    RESULT_VARIABLE _run_result
+    OUTPUT_QUIET
+)
+if(NOT _run_result EQUAL 0)
+    message(FATAL_ERROR "alphapim failed (${_run_result})")
+endif()
+
+execute_process(
+    COMMAND ${EXPLAIN} --records ${_records} --imbalance
+    RESULT_VARIABLE _explain_result
+    OUTPUT_VARIABLE _report
+    ERROR_VARIABLE _report_err
+)
+if(NOT _explain_result EQUAL 0)
+    message(FATAL_ERROR
+        "alphapim_explain failed (${_explain_result}): ${_report_err}")
+endif()
+
+if(NOT _report MATCHES "straggler factor [0-9.]+x")
+    message(FATAL_ERROR "no straggler factor in:\n${_report}")
+endif()
+if(NOT _report MATCHES
+   "straggler: DPU [0-9]+: [0-9.]+x mean cycles, [0-9]+% [a-z-]+-stall, holds [0-9.]+x mean nnz")
+    message(FATAL_ERROR
+        "straggler not attributed to a stall reason and a partition "
+        "share in:\n${_report}")
+endif()
+if(NOT _report MATCHES "rebalance bound: leveled kernel time")
+    message(FATAL_ERROR "no rebalance bound in:\n${_report}")
+endif()
+if(NOT _report MATCHES "roofline: [0-9.]+ instr/byte \\(ridge [0-9.]+\\)")
+    message(FATAL_ERROR "no roofline position in:\n${_report}")
+endif()

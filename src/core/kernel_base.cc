@@ -1,5 +1,25 @@
 #include "kernel_base.hh"
 
+namespace alphapim::core
+{
+
+std::vector<sparse::PartitionShare>
+partitionShares(const std::vector<DeviceBlock> &blocks)
+{
+    std::vector<sparse::PartitionShare> shares;
+    shares.reserve(blocks.size());
+    for (const DeviceBlock &b : blocks) {
+        sparse::PartitionShare s;
+        s.rows = b.rows;
+        s.nnz = b.nnz();
+        s.bytes = b.mramBytes();
+        shares.push_back(s);
+    }
+    return shares;
+}
+
+} // namespace alphapim::core
+
 namespace alphapim::core::detail
 {
 

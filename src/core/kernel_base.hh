@@ -14,13 +14,24 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "core/device_block.hh"
 #include "core/phase_times.hh"
 #include "core/semiring.hh"
+#include "sparse/partition_shares.hh"
 #include "sparse/sparse_vector.hh"
 #include "upmem/upmem_system.hh"
 
 namespace alphapim::core
 {
+
+/**
+ * Export the partitioner's per-DPU assignment in the kernel-agnostic
+ * form the imbalance observatory joins with per-DPU profiles. Kernels
+ * publish this via analysis::imbalance().setLaunchContext() right
+ * before each launch.
+ */
+std::vector<sparse::PartitionShare>
+partitionShares(const std::vector<DeviceBlock> &blocks);
 
 /** Which matrix-vector kernel family an implementation belongs to. */
 enum class KernelKind

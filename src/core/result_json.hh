@@ -46,6 +46,8 @@ writeLaunchProfile(telemetry::JsonWriter &w,
     w.key("active_dpus")
         .value(static_cast<std::uint64_t>(profile.activeDpus));
     w.key("avg_active_threads").value(agg.avgActiveThreads());
+    w.key("mram_read_bytes").value(agg.mramReadBytes);
+    w.key("mram_write_bytes").value(agg.mramWriteBytes);
     w.key("stall_fractions").beginObject();
     for (unsigned r = 0;
          r < static_cast<unsigned>(upmem::StallReason::NumReasons);

@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 
+#include "analysis/imbalance.hh"
 #include "common/logging.hh"
 #include "core/device_block.hh"
 #include "core/kernel_base.hh"
@@ -116,6 +117,10 @@ class CscSpmspv : public PimMxvKernel<S>
         std::uint64_t semiring_ops = 0;
         std::mutex merge_mutex;
 
+        if (analysis::imbalance().enabled()) {
+            analysis::imbalance().setLaunchContext(
+                this->name(), partitionShares(blocks_));
+        }
         const auto profile = sys_.launchKernel(
             static_cast<unsigned>(blocks_.size()),
             [&](unsigned dpu, std::vector<upmem::TaskletTrace> &tr) {
@@ -455,6 +460,10 @@ class RowMajorSpmspv : public PimMxvKernel<S>
         std::uint64_t semiring_ops = 0;
         std::mutex merge_mutex;
 
+        if (analysis::imbalance().enabled()) {
+            analysis::imbalance().setLaunchContext(
+                this->name(), partitionShares(blocks_));
+        }
         const auto profile = sys_.launchKernel(
             static_cast<unsigned>(blocks_.size()),
             [&](unsigned dpu, std::vector<upmem::TaskletTrace> &tr) {

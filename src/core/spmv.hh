@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "analysis/imbalance.hh"
 #include "common/logging.hh"
 #include "core/device_block.hh"
 #include "core/kernel_base.hh"
@@ -90,6 +91,10 @@ class SpmvKernel : public PimMxvKernel<S>
         std::uint64_t semiring_ops = 0;
         std::mutex merge_mutex;
 
+        if (analysis::imbalance().enabled()) {
+            analysis::imbalance().setLaunchContext(
+                this->name(), partitionShares(blocks_));
+        }
         const auto profile = sys_.launchKernel(
             static_cast<unsigned>(blocks_.size()),
             [&](unsigned dpu, std::vector<upmem::TaskletTrace> &tr) {
@@ -327,6 +332,10 @@ class SpmvRow1d : public PimMxvKernel<S>
         std::uint64_t semiring_ops = 0;
         std::mutex merge_mutex;
 
+        if (analysis::imbalance().enabled()) {
+            analysis::imbalance().setLaunchContext(
+                this->name(), partitionShares(blocks_));
+        }
         const auto profile = sys_.launchKernel(
             static_cast<unsigned>(blocks_.size()),
             [&](unsigned dpu, std::vector<upmem::TaskletTrace> &tr) {

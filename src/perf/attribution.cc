@@ -14,6 +14,8 @@ bottleneckName(Bottleneck kind)
     switch (kind) {
       case Bottleneck::TransferBound:
         return "transfer-bound";
+      case Bottleneck::ImbalanceBound:
+        return "imbalance-bound";
       case Bottleneck::MemoryBound:
         return "memory-bound";
       case Bottleneck::PipelineBound:
@@ -103,10 +105,23 @@ attributeRegression(const RunRecord &older, const RunRecord &newer)
         out.kind = Bottleneck::HostBound;
     } else if (kernel_delta > 0.0) {
         // Subdivide the kernel regression by what grew most in the
-        // cycle accounting: real work, MRAM stalls, or pipeline
-        // (revolver + register-file + sync) stalls.
+        // cycle accounting: per-DPU skew, real work, MRAM stalls, or
+        // pipeline (revolver + register-file + sync) stalls.
         out.kind = Bottleneck::ComputeBound;
-        if (older.hasProfile && newer.hasProfile) {
+        // Skew first, the most specific class: the straggler factor
+        // grew and the perfectly-leveled bound did not -- the fleet
+        // got slower because one DPU did, not because the work did.
+        if (older.hasImbalance && newer.hasImbalance &&
+            newer.imbalance.stragglerFactor >
+                older.imbalance.stragglerFactor * 1.05) {
+            const double d_leveled =
+                newer.imbalance.leveledKernelSeconds -
+                older.imbalance.leveledKernelSeconds;
+            if (d_leveled < 0.5 * kernel_delta)
+                out.kind = Bottleneck::ImbalanceBound;
+        }
+        if (out.kind == Bottleneck::ComputeBound &&
+            older.hasProfile && newer.hasProfile) {
             auto stall_cycles = [](const RunRecord &r,
                                    const char *reason) {
                 const auto it = r.stallFractions.find(reason);
@@ -203,6 +218,38 @@ attributeRegression(const RunRecord &older, const RunRecord &newer)
             newer.timeline.overlapFraction,
             newer.timeline.transferCriticalFraction * 100.0));
     }
+    std::string imbalance_detail;
+    if (older.hasImbalance && newer.hasImbalance) {
+        const auto &oi = older.imbalance;
+        const auto &ni = newer.imbalance;
+        if (ni.stragglerFactor != oi.stragglerFactor) {
+            imbalance_detail =
+                fmt("straggler factor %.2fx -> %.2fx",
+                    oi.stragglerFactor, ni.stragglerFactor);
+            std::string straggler = fmt(
+                "DPU %llu: %.1fx mean cycles",
+                static_cast<unsigned long long>(ni.stragglerDpu),
+                ni.stragglerCyclesOverMean);
+            if (!ni.stragglerStall.empty()) {
+                straggler +=
+                    fmt(", %.0f%% %s-stall",
+                        ni.stragglerStallFraction * 100.0,
+                        ni.stragglerStall.c_str());
+            }
+            if (ni.stragglerNnzOverMean > 0.0) {
+                straggler += fmt(", holds %.1fx mean nnz",
+                                 ni.stragglerNnzOverMean);
+            }
+            if (!ni.stragglerKernel.empty())
+                straggler += " (" + ni.stragglerKernel + ")";
+            out.evidence.push_back(straggler);
+            out.evidence.push_back(fmt(
+                "rebalance bound: leveled kernel time %.3gs vs "
+                "%.3gs actual (cycles gini %.2f -> %.2f)",
+                ni.leveledKernelSeconds, ni.kernelSeconds,
+                oi.cyclesGini, ni.cyclesGini));
+        }
+    }
     std::string stall_detail;
     if (older.hasProfile && newer.hasProfile) {
         for (const auto &[reason, new_frac] :
@@ -250,6 +297,9 @@ attributeRegression(const RunRecord &older, const RunRecord &newer)
     switch (out.kind) {
       case Bottleneck::TransferBound:
         detail = transfer_detail;
+        break;
+      case Bottleneck::ImbalanceBound:
+        detail = imbalance_detail;
         break;
       case Bottleneck::MemoryBound:
       case Bottleneck::PipelineBound:

@@ -22,12 +22,13 @@ namespace alphapim::perf
 /** Dominant cause of a regression. */
 enum class Bottleneck
 {
-    TransferBound, ///< load/retrieve phases: host<->DPU volume
-    MemoryBound,   ///< kernel phase, driven by MRAM stall cycles
-    PipelineBound, ///< kernel phase, revolver/rf-hazard/sync stalls
-    ComputeBound,  ///< kernel phase, more issued (real) work
-    HostBound,     ///< merge phase: host-side merging / convergence
-    Unknown,       ///< no phase grew (e.g. iteration-count change)
+    TransferBound,  ///< load/retrieve phases: host<->DPU volume
+    ImbalanceBound, ///< kernel phase, driven by grown per-DPU skew
+    MemoryBound,    ///< kernel phase, driven by MRAM stall cycles
+    PipelineBound,  ///< kernel phase, revolver/rf-hazard/sync stalls
+    ComputeBound,   ///< kernel phase, more issued (real) work
+    HostBound,      ///< merge phase: host-side merging / convergence
+    Unknown,        ///< no phase grew (e.g. iteration-count change)
 };
 
 /** Stable lowercase name ("transfer-bound", ...). */

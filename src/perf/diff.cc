@@ -142,6 +142,17 @@ compareDeterministic(const RunRecord &o, const RunRecord &n,
             o.timeline.transferCriticalFraction,
             n.timeline.transferCriticalFraction);
     }
+    if (o.hasImbalance && n.hasImbalance) {
+        add("imbalance.straggler_factor",
+            o.imbalance.stragglerFactor, n.imbalance.stragglerFactor);
+        add("imbalance.cycles_gini", o.imbalance.cyclesGini,
+            n.imbalance.cyclesGini);
+        add("imbalance.nnz_max_over_mean",
+            o.imbalance.nnzMaxOverMean, n.imbalance.nnzMaxOverMean);
+        add("roofline.op_intensity",
+            o.imbalance.rooflineOpIntensity,
+            n.imbalance.rooflineOpIntensity);
+    }
 }
 
 void
@@ -188,9 +199,11 @@ compareWallClock(const std::vector<const RunRecord *> &olds,
     pair.metrics.push_back(d);
 }
 
-/** Fold metric verdicts into the pair verdict. The gate is the
- * total model time; other deterministic drift demotes to Drifted.
- * Wall-clock only gates when opt.wallClockGate. */
+/** Fold metric verdicts into the pair verdict. The gates are the
+ * total model time and the straggler factor (a launch that got more
+ * skewed is a regression even before it dominates the total); other
+ * deterministic drift demotes to Drifted. Wall-clock only gates when
+ * opt.wallClockGate. */
 Verdict
 foldVerdict(const PairDiff &pair, const DiffOptions &opt)
 {
@@ -204,6 +217,9 @@ foldVerdict(const PairDiff &pair, const DiffOptions &opt)
             continue;
         }
         any_change = true;
+        if (m.metric == "imbalance.straggler_factor" &&
+            m.verdict == Verdict::Regressed)
+            return Verdict::Regressed;
         if (m.metric == "times.total" ||
             (m.noisy && opt.wallClockGate)) {
             if (m.verdict == Verdict::Regressed)

@@ -27,8 +27,10 @@ namespace alphapim::perf
  * predate manifests and carry no tag; the differ treats an absent
  * tag as "alpha-pim-run-v1" and warns. v3 adds the optional
  * "timeline" block (occupancy, overlap, critical-path and what-if
- * summary); v2 records still parse, just without it. */
-inline constexpr const char *kRunSchema = "alpha-pim-run-v3";
+ * summary); v4 adds the optional "imbalance" block (per-DPU skew,
+ * straggler attribution, rebalance bound, roofline). v2 and v3
+ * records still parse, just without the newer blocks. */
+inline constexpr const char *kRunSchema = "alpha-pim-run-v4";
 
 /** Provenance of one recorded run. */
 struct RunManifest

@@ -37,7 +37,8 @@ encodeRunRecord(const RunManifest &manifest, const RunKey &key,
                 const core::PhaseTimes &times,
                 const upmem::LaunchProfile *profile,
                 const XferCounts *xfer, double wallSeconds,
-                const TimelineSummary *timeline)
+                const TimelineSummary *timeline,
+                const ImbalanceSummary *imbalance)
 {
     telemetry::JsonWriter w;
     w.beginObject();
@@ -89,6 +90,41 @@ encodeRunRecord(const RunManifest &manifest, const RunKey &key,
             .value(timeline->whatifCombinedSpeedup);
         w.endObject();
     }
+    if (imbalance) {
+        w.key("imbalance").beginObject();
+        w.key("launches").value(imbalance->launches);
+        w.key("straggler_factor").value(imbalance->stragglerFactor);
+        w.key("cycles_gini").value(imbalance->cyclesGini);
+        w.key("cycles_cov").value(imbalance->cyclesCov);
+        w.key("cycles_p99_over_mean")
+            .value(imbalance->cyclesP99OverMean);
+        w.key("nnz_gini").value(imbalance->nnzGini);
+        w.key("nnz_max_over_mean").value(imbalance->nnzMaxOverMean);
+        w.key("straggler_kernel").value(imbalance->stragglerKernel);
+        w.key("straggler_dpu").value(imbalance->stragglerDpu);
+        w.key("straggler_cycles_over_mean")
+            .value(imbalance->stragglerCyclesOverMean);
+        w.key("straggler_stall").value(imbalance->stragglerStall);
+        w.key("straggler_stall_fraction")
+            .value(imbalance->stragglerStallFraction);
+        w.key("straggler_nnz_over_mean")
+            .value(imbalance->stragglerNnzOverMean);
+        w.key("kernel_seconds").value(imbalance->kernelSeconds);
+        w.key("leveled_kernel_seconds")
+            .value(imbalance->leveledKernelSeconds);
+        w.key("roofline").beginObject();
+        w.key("op_intensity").value(imbalance->rooflineOpIntensity);
+        w.key("achieved_ops_per_sec")
+            .value(imbalance->rooflineAchievedOpsPerSec);
+        w.key("pipeline_ceiling_ops_per_sec")
+            .value(imbalance->rooflinePipelineCeilingOpsPerSec);
+        w.key("ridge_intensity")
+            .value(imbalance->rooflineRidgeIntensity);
+        w.key("memory_bound_fraction")
+            .value(imbalance->rooflineMemoryBoundFraction);
+        w.endObject();
+        w.endObject();
+    }
     w.endObject();
     return w.str();
 }
@@ -108,6 +144,13 @@ std::uint64_t
 uintField(const telemetry::JsonValue &obj, const char *key)
 {
     return static_cast<std::uint64_t>(numberField(obj, key));
+}
+
+std::string
+stringField(const telemetry::JsonValue &obj, const char *key)
+{
+    const auto *v = obj.find(key);
+    return v && v->isString() ? v->asString() : std::string();
 }
 
 } // namespace
@@ -201,6 +244,43 @@ parseRunRecord(const std::string &line, RunRecord &out,
             numberField(*t, "whatif_combined_speedup", 1.0);
     }
 
+    if (const auto *i = doc.find("imbalance"); i && i->isObject()) {
+        out.hasImbalance = true;
+        auto &s = out.imbalance;
+        s.launches = uintField(*i, "launches");
+        s.stragglerFactor = numberField(*i, "straggler_factor", 1.0);
+        s.cyclesGini = numberField(*i, "cycles_gini");
+        s.cyclesCov = numberField(*i, "cycles_cov");
+        s.cyclesP99OverMean =
+            numberField(*i, "cycles_p99_over_mean", 1.0);
+        s.nnzGini = numberField(*i, "nnz_gini");
+        s.nnzMaxOverMean = numberField(*i, "nnz_max_over_mean", 1.0);
+        s.stragglerKernel = stringField(*i, "straggler_kernel");
+        s.stragglerDpu = uintField(*i, "straggler_dpu");
+        s.stragglerCyclesOverMean =
+            numberField(*i, "straggler_cycles_over_mean", 1.0);
+        s.stragglerStall = stringField(*i, "straggler_stall");
+        s.stragglerStallFraction =
+            numberField(*i, "straggler_stall_fraction");
+        s.stragglerNnzOverMean =
+            numberField(*i, "straggler_nnz_over_mean");
+        s.kernelSeconds = numberField(*i, "kernel_seconds");
+        s.leveledKernelSeconds =
+            numberField(*i, "leveled_kernel_seconds");
+        if (const auto *r = i->find("roofline");
+            r && r->isObject()) {
+            s.rooflineOpIntensity = numberField(*r, "op_intensity");
+            s.rooflineAchievedOpsPerSec =
+                numberField(*r, "achieved_ops_per_sec");
+            s.rooflinePipelineCeilingOpsPerSec =
+                numberField(*r, "pipeline_ceiling_ops_per_sec");
+            s.rooflineRidgeIntensity =
+                numberField(*r, "ridge_intensity");
+            s.rooflineMemoryBoundFraction =
+                numberField(*r, "memory_bound_fraction");
+        }
+    }
+
     if (const auto *x = doc.find("xfer"); x && x->isObject()) {
         out.hasXfer = true;
         out.xfer.scatters = uintField(*x, "scatters");
@@ -238,6 +318,34 @@ summarizeTimeline(const telemetry::Timeline &timeline,
     s.whatifRankOverlapSpeedup = whatif.rankOverlapSpeedup();
     s.whatifDoubleBufferSpeedup = whatif.doubleBufferSpeedup();
     s.whatifCombinedSpeedup = whatif.combinedSpeedup();
+    return s;
+}
+
+ImbalanceSummary
+summarizeImbalance(const analysis::RunImbalance &run)
+{
+    ImbalanceSummary s;
+    s.launches = static_cast<std::uint64_t>(run.launches);
+    s.stragglerFactor = run.stragglerFactor;
+    s.cyclesGini = run.cyclesGini;
+    s.cyclesCov = run.cyclesCov;
+    s.cyclesP99OverMean = run.cyclesP99OverMean;
+    s.nnzGini = run.nnzGini;
+    s.nnzMaxOverMean = run.nnzMaxOverMean;
+    s.stragglerKernel = run.stragglerKernel;
+    s.stragglerDpu = run.stragglerDpu;
+    s.stragglerCyclesOverMean = run.stragglerCyclesOverMean;
+    s.stragglerStall = run.stragglerStall;
+    s.stragglerStallFraction = run.stragglerStallFraction;
+    s.stragglerNnzOverMean = run.stragglerNnzOverMean;
+    s.kernelSeconds = run.kernelSeconds;
+    s.leveledKernelSeconds = run.leveledKernelSeconds;
+    s.rooflineOpIntensity = run.roofline.opIntensity;
+    s.rooflineAchievedOpsPerSec = run.roofline.achievedOpsPerSec;
+    s.rooflinePipelineCeilingOpsPerSec =
+        run.roofline.pipelineCeilingOpsPerSec;
+    s.rooflineRidgeIntensity = run.roofline.ridgeIntensity;
+    s.rooflineMemoryBoundFraction = run.roofline.memoryBoundFraction;
     return s;
 }
 

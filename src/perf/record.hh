@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/imbalance.hh"
 #include "core/phase_times.hh"
 #include "perf/manifest.hh"
 #include "telemetry/timeline.hh"
@@ -65,6 +66,43 @@ struct TimelineSummary
     double whatifCombinedSpeedup = 1.0;
 };
 
+/** Load-imbalance & roofline summary of one run (schema v4): fleet
+ * skew statistics over per-DPU cycles and partition shares, the
+ * worst launch's straggler attribution, the Amdahl-style rebalance
+ * bound, and the run's roofline position. */
+struct ImbalanceSummary
+{
+    std::uint64_t launches = 0;
+
+    /** Summed critical-DPU cycles over summed mean cycles. */
+    double stragglerFactor = 1.0;
+    double cyclesGini = 0.0;
+    double cyclesCov = 0.0;
+    double cyclesP99OverMean = 0.0;
+    double nnzGini = 0.0;
+    double nnzMaxOverMean = 0.0;
+
+    /** Worst launch's straggler: kernel, DPU, excess and its
+     * attribution to a stall reason and partition share. */
+    std::string stragglerKernel;
+    std::uint64_t stragglerDpu = 0;
+    double stragglerCyclesOverMean = 1.0;
+    std::string stragglerStall;
+    double stragglerStallFraction = 0.0;
+    double stragglerNnzOverMean = 0.0;
+
+    /** Modeled kernel wall time vs the perfectly-leveled bound. */
+    double kernelSeconds = 0.0;
+    double leveledKernelSeconds = 0.0;
+
+    /** Run roofline: intensity, achieved vs ceiling, classification. */
+    double rooflineOpIntensity = 0.0;
+    double rooflineAchievedOpsPerSec = 0.0;
+    double rooflinePipelineCeilingOpsPerSec = 0.0;
+    double rooflineRidgeIntensity = 0.0;
+    double rooflineMemoryBoundFraction = 0.0;
+};
+
 /** Per-run transfer-volume deltas (from the xfer.* counters). */
 struct XferCounts
 {
@@ -107,6 +145,12 @@ struct RunRecord
     // records only -- v2 and older parse with hasTimeline false) ----
     bool hasTimeline = false;
     TimelineSummary timeline;
+
+    // ---- load imbalance & roofline (absent unless hasImbalance;
+    // schema v4 records only -- older schemas parse with
+    // hasImbalance false) ----
+    bool hasImbalance = false;
+    ImbalanceSummary imbalance;
 };
 
 /**
@@ -121,6 +165,7 @@ struct RunRecord
  * @param xfer       per-run transfer deltas, or nullptr
  * @param wallSeconds host wall-clock duration; < 0 omits the field
  * @param timeline   execution-timeline summary, or nullptr
+ * @param imbalance  load-imbalance & roofline summary, or nullptr
  */
 std::string encodeRunRecord(const RunManifest &manifest,
                             const RunKey &key,
@@ -129,7 +174,8 @@ std::string encodeRunRecord(const RunManifest &manifest,
                             const upmem::LaunchProfile *profile,
                             const XferCounts *xfer,
                             double wallSeconds,
-                            const TimelineSummary *timeline = nullptr);
+                            const TimelineSummary *timeline = nullptr,
+                            const ImbalanceSummary *imbalance = nullptr);
 
 /** Parse one record line. Returns false (with *error set) on
  * malformed JSON or missing identity fields. */
@@ -141,6 +187,10 @@ bool parseRunRecord(const std::string &line, RunRecord &out,
  * transfer fraction and what-if speedup bounds. */
 TimelineSummary summarizeTimeline(const telemetry::Timeline &timeline,
                                   const telemetry::TimelineStats &stats);
+
+/** Condense the imbalance observer's run aggregate into the
+ * record-level summary. */
+ImbalanceSummary summarizeImbalance(const analysis::RunImbalance &run);
 
 /** A loaded record file. */
 struct RecordSet

@@ -1,0 +1,36 @@
+#include "partition_shares.hh"
+
+namespace alphapim::sparse
+{
+
+std::vector<double>
+shareNnz(const std::vector<PartitionShare> &shares)
+{
+    std::vector<double> out;
+    out.reserve(shares.size());
+    for (const auto &s : shares)
+        out.push_back(static_cast<double>(s.nnz));
+    return out;
+}
+
+std::vector<double>
+shareRows(const std::vector<PartitionShare> &shares)
+{
+    std::vector<double> out;
+    out.reserve(shares.size());
+    for (const auto &s : shares)
+        out.push_back(static_cast<double>(s.rows));
+    return out;
+}
+
+std::vector<double>
+shareBytes(const std::vector<PartitionShare> &shares)
+{
+    std::vector<double> out;
+    out.reserve(shares.size());
+    for (const auto &s : shares)
+        out.push_back(static_cast<double>(s.bytes));
+    return out;
+}
+
+} // namespace alphapim::sparse

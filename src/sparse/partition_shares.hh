@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Per-DPU partition shares: the row/nnz/byte assignment a partitioner
+ * handed each DPU, exported in a kernel-agnostic form so the analysis
+ * layer can join it with per-DPU execution profiles ("DPU 37 holds
+ * 3.1x the mean nnz") without depending on any kernel type.
+ */
+
+#ifndef ALPHA_PIM_SPARSE_PARTITION_SHARES_HH
+#define ALPHA_PIM_SPARSE_PARTITION_SHARES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace alphapim::sparse
+{
+
+/** One DPU's slice of the partitioned matrix. */
+struct PartitionShare
+{
+    /** Matrix rows assigned to this DPU. */
+    std::uint64_t rows = 0;
+
+    /** Stored nonzeros assigned to this DPU. */
+    std::uint64_t nnz = 0;
+
+    /** MRAM bytes the slice occupies on the DPU. */
+    Bytes bytes = 0;
+};
+
+/** The nnz column of a share vector, as doubles for the skew stats. */
+std::vector<double> shareNnz(const std::vector<PartitionShare> &shares);
+
+/** The row column of a share vector, as doubles. */
+std::vector<double> shareRows(const std::vector<PartitionShare> &shares);
+
+/** The byte column of a share vector, as doubles. */
+std::vector<double> shareBytes(const std::vector<PartitionShare> &shares);
+
+} // namespace alphapim::sparse
+
+#endif // ALPHA_PIM_SPARSE_PARTITION_SHARES_HH

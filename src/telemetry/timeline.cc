@@ -72,6 +72,13 @@ buildTimeline(const std::vector<TraceEvent> &events)
         s.duration = e.duration;
         s.bytes = argNumber(e.args, "bytes");
         s.cycles = argNumber(e.args, "cycles");
+        s.issued = argNumber(e.args, "issued");
+        s.stallMemory = argNumber(e.args, "stall_memory");
+        s.stallRevolver = argNumber(e.args, "stall_revolver");
+        s.stallRfHazard = argNumber(e.args, "stall_rf_hazard");
+        s.stallSync = argNumber(e.args, "stall_sync");
+        s.instr = argNumber(e.args, "instr");
+        s.mramBytes = argNumber(e.args, "mram_bytes");
         spans.push_back(std::move(s));
     }
     return buildTimeline(spans);

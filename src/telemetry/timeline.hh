@@ -45,6 +45,17 @@ struct TimelineSpan
     double bytes = 0.0;  ///< "bytes" arg; 0 when absent
     double cycles = 0.0; ///< "cycles" arg; 0 when absent
 
+    // Per-DPU kernel-span stall and traffic accounting (the args
+    // upmem::UpmemSystem::launchKernel attaches to DPU tracks). All 0
+    // when absent, e.g. for rank or engine spans and older traces.
+    double issued = 0.0;       ///< "issued" arg: issued cycles
+    double stallMemory = 0.0;  ///< "stall_memory" arg
+    double stallRevolver = 0.0; ///< "stall_revolver" arg
+    double stallRfHazard = 0.0; ///< "stall_rf_hazard" arg
+    double stallSync = 0.0;     ///< "stall_sync" arg
+    double instr = 0.0;         ///< "instr" arg: instructions retired
+    double mramBytes = 0.0;     ///< "mram_bytes" arg: MRAM traffic
+
     Seconds end() const { return start + duration; }
     Seconds mid() const { return start + duration / 2.0; }
 };

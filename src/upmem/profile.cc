@@ -30,6 +30,8 @@ DpuProfile::merge(const DpuProfile &other)
     for (std::size_t i = 0; i < instrByClass.size(); ++i)
         instrByClass[i] += other.instrByClass[i];
     activeThreadCycles += other.activeThreadCycles;
+    mramReadBytes += other.mramReadBytes;
+    mramWriteBytes += other.mramWriteBytes;
 }
 
 } // namespace alphapim::upmem

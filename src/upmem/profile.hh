@@ -51,6 +51,28 @@ struct DpuProfile
     /** Integral of active tasklets over time (for Figure 10). */
     double activeThreadCycles = 0.0;
 
+    /** MRAM -> WRAM DMA traffic in bytes (roofline numerator). */
+    Bytes mramReadBytes = 0;
+
+    /** WRAM -> MRAM DMA traffic in bytes. */
+    Bytes mramWriteBytes = 0;
+
+    /**
+     * Cycles accounted for: dispatch slots used plus idle slots
+     * attributed to a stall reason. The scheduler guarantees this
+     * never exceeds totalCycles (slots after the last dispatch of a
+     * fully drained DPU are unattributed); the skew statistics and
+     * stall fractions divide by totalCycles relying on it.
+     */
+    Cycles
+    activeCycles() const
+    {
+        Cycles n = issuedCycles;
+        for (auto c : stallCycles)
+            n += c;
+        return n;
+    }
+
     /** Issued fraction of all cycles. */
     double
     issuedFraction() const
@@ -125,6 +147,9 @@ struct LaunchProfile
     void
     add(const DpuProfile &dpu)
     {
+        ALPHA_ASSERT(dpu.activeCycles() <= dpu.totalCycles,
+                     "stall + issue cycles exceed total cycles: the "
+                     "scheduler double-attributed a dispatch slot");
         aggregate.merge(dpu);
         if (dpu.totalCycles > maxCycles)
             maxCycles = dpu.totalCycles;

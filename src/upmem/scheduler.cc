@@ -320,6 +320,10 @@ RevolverScheduler::run(const std::vector<TaskletTrace> &traces) const
           }
           case RecordKind::Dma: {
             count_instr(r.cls);
+            if (r.cls == OpClass::DmaRead)
+                profile.mramReadBytes += r.arg;
+            else
+                profile.mramWriteBytes += r.arg;
             const auto xfer = static_cast<Cycles>(std::ceil(
                 static_cast<double>(r.arg) / cfg_.dmaBytesPerCycle));
             const Cycles start =

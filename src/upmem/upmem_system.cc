@@ -5,6 +5,7 @@
 
 #include "analysis/capture.hh"
 #include "analysis/checker.hh"
+#include "analysis/imbalance.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "telemetry/metrics.hh"
@@ -123,6 +124,8 @@ UpmemSystem::launchKernel(
     for (const DpuProfile &profile : per_dpu_profiles)
         launch.add(profile);
 
+    if (analysis::imbalance().enabled())
+        analysis::imbalance().recordLaunch(per_dpu_profiles, cfg_.dpu);
     if (sampling)
         recordLaunchMetrics(launch, per_dpu_cycles);
     if (tracing) {
@@ -135,6 +138,10 @@ UpmemSystem::launchKernel(
                 continue;
             t.nameTrack(telemetry::dpuTrack(d),
                         "dpu " + std::to_string(d));
+            // Stall composition and DMA traffic ride on the span so
+            // alphapim_explain can draw the per-DPU heatmap lane and
+            // roofline chart from the trace alone.
+            const DpuProfile &p = per_dpu_profiles[d];
             t.completeEvent(
                 telemetry::dpuTrack(d), "kernel", "dpu", start,
                 static_cast<double>(per_dpu_cycles[d]) /
@@ -145,7 +152,27 @@ UpmemSystem::launchKernel(
                  telemetry::arg(
                      "rank",
                      static_cast<std::uint64_t>(
-                         d / cfg_.transfer.dpusPerRank))});
+                         d / cfg_.transfer.dpusPerRank)),
+                 telemetry::arg("issued", p.issuedCycles),
+                 telemetry::arg(
+                     "stall_memory",
+                     p.stallCycles[static_cast<std::size_t>(
+                         StallReason::Memory)]),
+                 telemetry::arg(
+                     "stall_revolver",
+                     p.stallCycles[static_cast<std::size_t>(
+                         StallReason::Revolver)]),
+                 telemetry::arg(
+                     "stall_rf_hazard",
+                     p.stallCycles[static_cast<std::size_t>(
+                         StallReason::RfHazard)]),
+                 telemetry::arg(
+                     "stall_sync",
+                     p.stallCycles[static_cast<std::size_t>(
+                         StallReason::Sync)]),
+                 telemetry::arg("instr", p.totalInstructions()),
+                 telemetry::arg("mram_bytes",
+                                p.mramReadBytes + p.mramWriteBytes)});
         }
         if (shown < num_dpus) {
             debugLog("telemetry",

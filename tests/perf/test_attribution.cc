@@ -163,6 +163,89 @@ TEST(Attribution, KernelRegressionFromRealWorkIsComputeBound)
     EXPECT_NE(a.headline.find("issued cycles"), std::string::npos);
 }
 
+namespace
+{
+
+/** Attach an imbalance block (schema v4) to a record. */
+void
+withImbalance(RunRecord &r, double straggler_factor,
+              double kernel_seconds, double leveled_seconds,
+              double gini)
+{
+    r.hasImbalance = true;
+    r.imbalance.launches = 12;
+    r.imbalance.stragglerFactor = straggler_factor;
+    r.imbalance.cyclesGini = gini;
+    r.imbalance.stragglerKernel = "CSC-2D";
+    r.imbalance.stragglerDpu = 37;
+    r.imbalance.stragglerCyclesOverMean = straggler_factor;
+    r.imbalance.stragglerStall = "memory";
+    r.imbalance.stragglerStallFraction = 0.71;
+    r.imbalance.stragglerNnzOverMean = 3.1;
+    r.imbalance.kernelSeconds = kernel_seconds;
+    r.imbalance.leveledKernelSeconds = leveled_seconds;
+}
+
+} // namespace
+
+TEST(Attribution, SkewGrowthWithFlatLeveledBoundIsImbalanceBound)
+{
+    // The kernel phase doubled, the straggler factor grew 1.10x ->
+    // 2.40x, and the perfectly-leveled kernel time barely moved: the
+    // fleet got slower because one DPU did, not because the work did.
+    RunRecord older = baselineRecord();
+    withImbalance(older, 1.10, 0.40, 0.36, 0.05);
+    RunRecord newer = older;
+    newer.times.kernel = 0.80;
+    withImbalance(newer, 2.40, 0.80, 0.37, 0.31);
+
+    const Attribution a = attributeRegression(older, newer);
+    EXPECT_EQ(a.kind, Bottleneck::ImbalanceBound);
+    EXPECT_NE(a.headline.find("imbalance-bound"), std::string::npos);
+    EXPECT_NE(
+        a.headline.find("straggler factor 1.10x -> 2.40x"),
+        std::string::npos);
+    // The straggler is named with its stall reason, partition share
+    // and kernel...
+    EXPECT_TRUE(anyEvidenceContains(
+        a, "DPU 37: 2.4x mean cycles, 71% memory-stall, "
+           "holds 3.1x mean nnz (CSC-2D)"));
+    // ...and the rebalance bound quantifies the leveling headroom.
+    EXPECT_TRUE(anyEvidenceContains(
+        a, "rebalance bound: leveled kernel time"));
+    EXPECT_TRUE(anyEvidenceContains(a, "cycles gini 0.05 -> 0.31"));
+}
+
+TEST(Attribution, SkewGrowthWithGrownLeveledBoundIsNotImbalance)
+{
+    // The straggler factor grew, but so did the leveled bound: the
+    // fleet has genuinely more work per DPU. Stay with the cycle-
+    // accounting classes.
+    RunRecord older = baselineRecord();
+    withImbalance(older, 1.10, 0.40, 0.36, 0.05);
+    RunRecord newer = older;
+    newer.times.kernel = 0.80;
+    withImbalance(newer, 1.30, 0.80, 0.76, 0.08);
+
+    const Attribution a = attributeRegression(older, newer);
+    EXPECT_EQ(a.kind, Bottleneck::ComputeBound);
+    // The skew context still appears as evidence.
+    EXPECT_TRUE(anyEvidenceContains(a, "rebalance bound"));
+}
+
+TEST(Attribution, SkewWithinThresholdIsNotImbalance)
+{
+    // A 2% straggler-factor wiggle is noise, not a regression class.
+    RunRecord older = baselineRecord();
+    withImbalance(older, 1.10, 0.40, 0.36, 0.05);
+    RunRecord newer = older;
+    newer.times.kernel = 0.80;
+    withImbalance(newer, 1.12, 0.80, 0.37, 0.06);
+
+    const Attribution a = attributeRegression(older, newer);
+    EXPECT_NE(a.kind, Bottleneck::ImbalanceBound);
+}
+
 TEST(Attribution, KernelRegressionWithoutProfilesIsComputeBound)
 {
     // No cycle accounting to subdivide: fall back to the phase.
@@ -202,6 +285,8 @@ TEST(Attribution, BottleneckNamesAreStable)
 {
     EXPECT_STREQ(bottleneckName(Bottleneck::TransferBound),
                  "transfer-bound");
+    EXPECT_STREQ(bottleneckName(Bottleneck::ImbalanceBound),
+                 "imbalance-bound");
     EXPECT_STREQ(bottleneckName(Bottleneck::MemoryBound),
                  "memory-bound");
     EXPECT_STREQ(bottleneckName(Bottleneck::PipelineBound),

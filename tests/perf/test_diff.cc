@@ -147,6 +147,42 @@ TEST(DiffVerdicts, TotalTimeRegressionGates)
     EXPECT_EQ(total->verdict, Verdict::Regressed);
 }
 
+TEST(DiffVerdicts, StragglerFactorRegressionGates)
+{
+    // A launch that got more skewed gates even when the total model
+    // time held (e.g. the extra straggler cycles hid under a
+    // shrunken transfer phase).
+    RunRecord o = makeRecord("A", 0.5);
+    o.hasImbalance = true;
+    o.imbalance.stragglerFactor = 1.10;
+    RunRecord n = o;
+    n.imbalance.stragglerFactor = 2.40;
+    const DiffReport report = diffRecordSets(
+        makeSet({o}), makeSet({n}), DiffOptions{});
+    const PairDiff *pair = findPair(report, "A");
+    ASSERT_NE(pair, nullptr);
+    EXPECT_EQ(pair->verdict, Verdict::Regressed);
+    EXPECT_TRUE(report.hasRegressions());
+    const MetricDelta *sf =
+        findMetric(*pair, "imbalance.straggler_factor");
+    ASSERT_NE(sf, nullptr);
+    EXPECT_EQ(sf->verdict, Verdict::Regressed);
+}
+
+TEST(DiffVerdicts, StragglerFactorDriftStaysAdvisory)
+{
+    // Sub-threshold straggler wiggle: Drifted, never a gate.
+    RunRecord o = makeRecord("A", 0.5);
+    o.hasImbalance = true;
+    o.imbalance.stragglerFactor = 1.10;
+    RunRecord n = o;
+    n.imbalance.stragglerFactor = 1.11;
+    const DiffReport report = diffRecordSets(
+        makeSet({o}), makeSet({n}), DiffOptions{});
+    EXPECT_EQ(findPair(report, "A")->verdict, Verdict::Drifted);
+    EXPECT_FALSE(report.hasRegressions());
+}
+
 TEST(DiffVerdicts, TotalTimeImprovementIsNotARegression)
 {
     const auto olds = makeSet({makeRecord("A", 0.6)});

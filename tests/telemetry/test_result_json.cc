@@ -47,6 +47,12 @@ sampleResult()
     upmem::DpuProfile dpu2 = dpu;
     dpu2.totalCycles = 500;
     dpu2.issuedCycles = 300;
+    // Shrink the stall slots with the total: stall + issue cycles
+    // may never exceed totalCycles (LaunchProfile::add asserts it).
+    dpu2.stallCycles[static_cast<std::size_t>(
+        upmem::StallReason::Memory)] = 150;
+    dpu2.stallCycles[static_cast<std::size_t>(
+        upmem::StallReason::Sync)] = 50;
     r.profile.add(dpu2);
     return r;
 }

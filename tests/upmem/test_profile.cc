@@ -59,6 +59,49 @@ TEST(DpuProfile, MergeAccumulatesEveryCounter)
     EXPECT_DOUBLE_EQ(a.activeThreadCycles, 5600.0);
 }
 
+TEST(DpuProfile, ActiveCyclesSumsIssuedAndStallSlots)
+{
+    // Fully attributed DPU: every cycle was a dispatch or a stall.
+    const DpuProfile full = busyDpu(1000, 700, 500);
+    EXPECT_EQ(full.activeCycles(), 1000u);
+
+    // A drained DPU leaves trailing slots unattributed: activeCycles
+    // stays below totalCycles.
+    DpuProfile drained;
+    drained.totalCycles = 100;
+    drained.issuedCycles = 60;
+    drained.stallCycles[static_cast<std::size_t>(
+        StallReason::Memory)] = 20;
+    drained.stallCycles[static_cast<std::size_t>(
+        StallReason::Sync)] = 10;
+    EXPECT_EQ(drained.activeCycles(), 90u);
+}
+
+TEST(DpuProfile, MergeAccumulatesMramTraffic)
+{
+    DpuProfile a;
+    a.mramReadBytes = 100;
+    a.mramWriteBytes = 40;
+    DpuProfile b;
+    b.mramReadBytes = 60;
+    b.mramWriteBytes = 8;
+    a.merge(b);
+    EXPECT_EQ(a.mramReadBytes, 160u);
+    EXPECT_EQ(a.mramWriteBytes, 48u);
+}
+
+TEST(LaunchProfileDeath, RejectsOverAttributedDispatchSlots)
+{
+    LaunchProfile launch;
+    DpuProfile bogus;
+    bogus.totalCycles = 100;
+    bogus.issuedCycles = 80;
+    bogus.stallCycles[static_cast<std::size_t>(
+        StallReason::Memory)] = 30; // 80 + 30 > 100
+    EXPECT_DEATH(launch.add(bogus),
+                 "stall \\+ issue cycles exceed total cycles");
+}
+
 TEST(LaunchProfile, AddDpuTracksMaxAndActive)
 {
     const LaunchProfile launch = launchOf(

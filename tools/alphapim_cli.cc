@@ -21,6 +21,7 @@
 #include <string>
 
 #include "analysis/checker.hh"
+#include "analysis/imbalance.hh"
 #include "apps/graph_apps.hh"
 #include "apps/reference_algorithms.hh"
 #include "baseline/cpu_engine.hh"
@@ -218,8 +219,12 @@ parseCli(int argc, char **argv)
         // trace file was requested.
         telemetry::tracer().setEnabled(true);
     }
-    if (!opt.metricsOut.empty() || !opt.jsonOut.empty())
+    if (!opt.metricsOut.empty() || !opt.jsonOut.empty()) {
         telemetry::metrics().setEnabled(true);
+        // Imbalance analytics ride on the same outputs: per-launch
+        // skew metrics and the run record's "imbalance" block.
+        analysis::imbalance().setEnabled(true);
+    }
     if (opt.check) {
         analysis::CheckOptions sel;
         std::string error;
@@ -330,6 +335,7 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < 6; ++i)
         xfer_start[i] =
             telemetry::metrics().counterValue(xfer_counters[i]);
+    analysis::imbalance().beginRun();
     const auto wall_start = std::chrono::steady_clock::now();
     apps::AppResult result;
     if (opt.algo == "bfs")
@@ -393,12 +399,21 @@ main(int argc, char **argv)
             timeline_ptr = &timeline;
         }
 
+        perf::ImbalanceSummary imbalance;
+        const perf::ImbalanceSummary *imbalance_ptr = nullptr;
+        const analysis::RunImbalance run_imbalance =
+            analysis::imbalance().collectRun();
+        if (run_imbalance.launches > 0) {
+            imbalance = perf::summarizeImbalance(run_imbalance);
+            imbalance_ptr = &imbalance;
+        }
+
         telemetry::appendJsonlRecord(
             opt.jsonOut,
             perf::encodeRunRecord(
                 manifest, key, result.iterations.size(),
                 result.total, &result.profile, &xfer,
-                wall_seconds, timeline_ptr));
+                wall_seconds, timeline_ptr, imbalance_ptr));
     }
 
     std::printf("\n%s from vertex %u: %zu iterations (%s), "

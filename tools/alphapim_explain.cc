@@ -15,6 +15,15 @@
  * timeline summary block of every run record that carries one
  * (schema v3).
  *
+ * --imbalance adds the load-imbalance section: per-DPU skew,
+ * straggler attribution and the rebalance bound, plus the modeled
+ * roofline position. In trace mode the analytics are recomputed from
+ * the per-DPU kernel spans (stall composition and MRAM traffic ride
+ * on the span args); in records mode the run record's "imbalance"
+ * block (schema v4) is printed. The HTML report always carries the
+ * per-DPU heatmap lane and the roofline chart when the trace has the
+ * per-DPU data.
+ *
  * Exit codes: 0 report produced, 1 artifact held no reconstructible
  * launches, 2 usage or I/O error.
  */
@@ -24,11 +33,13 @@
 #include <cstdarg>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/critical_path.hh"
+#include "analysis/imbalance.hh"
 #include "common/types.hh"
 #include "perf/record.hh"
 #include "telemetry/json.hh"
@@ -44,6 +55,7 @@ struct ExplainOptions
     std::string trace;
     std::string records;
     std::string html;
+    bool imbalance = false;
 };
 
 [[noreturn]] void
@@ -51,11 +63,14 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: alphapim_explain --trace FILE [--html FILE]\n"
-        "       alphapim_explain --records FILE\n"
+        "usage: alphapim_explain --trace FILE [--html FILE] "
+        "[--imbalance]\n"
+        "       alphapim_explain --records FILE [--imbalance]\n"
         "  --trace FILE    Chrome trace JSON (from --trace-out)\n"
         "  --records FILE  run-record JSONL (from --json-out)\n"
         "  --html FILE     write a self-contained HTML report\n"
+        "  --imbalance     add the per-DPU skew / straggler /\n"
+        "                  roofline section to the text report\n"
         "Every flag also accepts the --flag=value spelling.\n");
     std::exit(2);
 }
@@ -87,6 +102,8 @@ parseArgs(int argc, char **argv)
             opt.records = next();
         else if (arg == "--html")
             opt.html = next();
+        else if (arg == "--imbalance")
+            opt.imbalance = true;
         else
             usage();
     }
@@ -154,10 +171,100 @@ loadTraceSpans(const std::string &path,
             args && args->isObject()) {
             s.bytes = numberOf(*args, "bytes");
             s.cycles = numberOf(*args, "cycles");
+            s.issued = numberOf(*args, "issued");
+            s.stallMemory = numberOf(*args, "stall_memory");
+            s.stallRevolver = numberOf(*args, "stall_revolver");
+            s.stallRfHazard = numberOf(*args, "stall_rf_hazard");
+            s.stallSync = numberOf(*args, "stall_sync");
+            s.instr = numberOf(*args, "instr");
+            s.mramBytes = numberOf(*args, "mram_bytes");
         }
         out.push_back(std::move(s));
     }
     return true;
+}
+
+/**
+ * Per-launch imbalance recomputed from the trace's per-DPU kernel
+ * spans: spans sharing a start time belong to one launch (the
+ * launcher emits the fleet's spans from a common origin), and the
+ * kernel name comes from the launch window containing that start.
+ * Two trace-side caveats vs the in-process observer: idle DPUs are
+ * not traced, so the skew is over active DPUs only, and the roofline
+ * ceilings use the default DpuConfig because the machine shape is
+ * not recorded in the trace.
+ */
+struct TraceImbalance
+{
+    std::vector<analysis::LaunchImbalance> launches;
+    double stragglerFactor = 1.0; ///< summed max / summed mean cycles
+    double leveledSeconds = 0.0;  ///< summed mean cycles / clock
+    double actualSeconds = 0.0;   ///< summed max cycles / clock
+};
+
+TraceImbalance
+computeTraceImbalance(const telemetry::Timeline &tl)
+{
+    std::map<Seconds,
+             std::vector<std::pair<unsigned,
+                                   const telemetry::TimelineSpan *>>>
+        groups;
+    for (const auto &[dpu, spans] : tl.dpuSpans)
+        for (const telemetry::TimelineSpan &s : spans)
+            groups[s.start].emplace_back(dpu, &s);
+
+    TraceImbalance out;
+    const upmem::DpuConfig cfg;
+    double sum_max = 0.0;
+    double sum_mean = 0.0;
+    for (const auto &[start, members] : groups) {
+        std::vector<upmem::DpuProfile> profiles;
+        std::vector<unsigned> track_of;
+        profiles.reserve(members.size());
+        for (const auto &[dpu, s] : members) {
+            upmem::DpuProfile p;
+            p.totalCycles = static_cast<Cycles>(s->cycles);
+            p.issuedCycles = static_cast<Cycles>(s->issued);
+            p.stallCycles[static_cast<std::size_t>(
+                upmem::StallReason::Memory)] =
+                static_cast<Cycles>(s->stallMemory);
+            p.stallCycles[static_cast<std::size_t>(
+                upmem::StallReason::Revolver)] =
+                static_cast<Cycles>(s->stallRevolver);
+            p.stallCycles[static_cast<std::size_t>(
+                upmem::StallReason::RfHazard)] =
+                static_cast<Cycles>(s->stallRfHazard);
+            p.stallCycles[static_cast<std::size_t>(
+                upmem::StallReason::Sync)] =
+                static_cast<Cycles>(s->stallSync);
+            // The trace keeps only the instruction total; the class
+            // split matters to neither the skew nor the roofline.
+            p.instrByClass[0] =
+                static_cast<std::uint64_t>(s->instr);
+            p.mramReadBytes = static_cast<Bytes>(s->mramBytes);
+            profiles.push_back(p);
+            track_of.push_back(dpu);
+        }
+        std::string kernel;
+        for (const telemetry::LaunchWindow &l : tl.launches) {
+            if (l.start <= start && start <= l.end())
+                kernel = l.kernel;
+        }
+        analysis::LaunchImbalance li =
+            analysis::computeLaunchImbalance(kernel, profiles, {},
+                                             cfg);
+        // Remap the straggler from profile index to DPU track id.
+        if (li.stragglerDpu < track_of.size())
+            li.stragglerDpu = track_of[li.stragglerDpu];
+        sum_max += li.cycles.max;
+        sum_mean += li.cycles.mean;
+        out.launches.push_back(std::move(li));
+    }
+    if (sum_mean > 0.0)
+        out.stragglerFactor = sum_max / sum_mean;
+    out.leveledSeconds = sum_mean / cfg.clockHz;
+    out.actualSeconds = sum_max / cfg.clockHz;
+    return out;
 }
 
 /** Everything the reports are rendered from. */
@@ -167,6 +274,7 @@ struct Analysis
     telemetry::TimelineStats stats;
     analysis::CriticalPath path;
     analysis::WhatIf whatif;
+    TraceImbalance imbalance;
     double accounted = 0.0;
     double attributionError = 0.0; ///< |path - accounted| / accounted
 };
@@ -181,6 +289,7 @@ analyze(std::vector<telemetry::TimelineSpan> spans)
         analysis::buildLaunchDag(a.timeline));
     a.whatif = analysis::estimateOverlap(
         analysis::launchPhases(a.timeline));
+    a.imbalance = computeTraceImbalance(a.timeline);
     a.accounted = a.timeline.accountedSeconds();
     a.attributionError = a.accounted > 0.0
         ? std::abs(a.path.length - a.accounted) / a.accounted
@@ -249,6 +358,68 @@ textReport(const std::string &source, const Analysis &a)
     return out;
 }
 
+/** --imbalance text section of the trace report: run aggregate, the
+ * worst launch's straggler attribution, and the roofline position. */
+std::string
+imbalanceReport(const Analysis &a)
+{
+    const TraceImbalance &ti = a.imbalance;
+    std::string out;
+    if (ti.launches.empty()) {
+        out += "imbalance: no per-DPU kernel spans in the trace "
+               "(recorded before the heatmap args existed?)\n";
+        return out;
+    }
+    const analysis::LaunchImbalance *worst = &ti.launches.front();
+    for (const analysis::LaunchImbalance &li : ti.launches) {
+        if (li.stragglerCyclesOverMean >
+            worst->stragglerCyclesOverMean)
+            worst = &li;
+    }
+    out += fmt(
+        "imbalance: %zu launches, run straggler factor %.2fx\n",
+        ti.launches.size(), ti.stragglerFactor);
+    out += fmt(
+        "  worst launch%s%s: cycles gini %.2f, cov %.2f, p99/mean "
+        "%.2fx over %u DPUs\n",
+        worst->kernel.empty() ? "" : " ",
+        worst->kernel.c_str(), worst->cycles.gini,
+        worst->cycles.cov, worst->cycles.p99OverMean(),
+        worst->dpus);
+    std::string straggler = fmt(
+        "  straggler: DPU %u: %.1fx mean cycles",
+        worst->stragglerDpu, worst->stragglerCyclesOverMean);
+    if (!worst->stragglerStall.empty()) {
+        straggler += fmt(", %.0f%% %s-stall",
+                         worst->stragglerStallFraction * 100.0,
+                         worst->stragglerStall.c_str());
+    }
+    if (worst->stragglerNnzOverMean > 0.0) {
+        straggler += fmt(", holds %.1fx mean nnz",
+                         worst->stragglerNnzOverMean);
+    }
+    out += straggler + "\n";
+    out += fmt(
+        "  rebalance bound: leveled kernel time %.3f ms vs %.3f ms "
+        "actual (%.2fx available)\n",
+        toMillis(ti.leveledSeconds), toMillis(ti.actualSeconds),
+        ti.leveledSeconds > 0.0
+            ? ti.actualSeconds / ti.leveledSeconds
+            : 1.0);
+    const analysis::RooflinePoint &rp = worst->roofline;
+    out += fmt(
+        "  roofline (worst launch): %.2f instr/byte (ridge %.2f) "
+        "-- %s-bound; %.3g ops/s achieved vs %.3g pipeline "
+        "ceiling\n",
+        rp.opIntensity, rp.ridgeIntensity,
+        rp.memoryBound ? "memory" : "compute",
+        rp.achievedOpsPerSec, rp.pipelineCeilingOpsPerSec);
+    out += "  note: trace-side skew covers traced (active) DPUs "
+           "only; roofline ceilings assume the default machine "
+           "config\n";
+    return out;
+}
+
 const char *
 phaseColor(const std::string &name)
 {
@@ -281,6 +452,183 @@ htmlEscape(const std::string &s)
         }
     }
     return out;
+}
+
+/**
+ * Per-DPU heatmap lane: one bar per traced DPU, length proportional
+ * to its total kernel cycles across the run, segmented by where the
+ * dispatch slots went (issued work + the four stall reasons); the
+ * unattributed remainder stays background-grey. Empty string when
+ * the trace carries no per-DPU cycle args (older traces).
+ */
+std::string
+heatmapSvg(const telemetry::Timeline &tl)
+{
+    struct DpuAgg
+    {
+        double cycles = 0.0;
+        double issued = 0.0;
+        double stalls[4] = {};
+    };
+    std::vector<std::pair<unsigned, DpuAgg>> lanes;
+    double max_cycles = 0.0;
+    for (const auto &[dpu, spans] : tl.dpuSpans) {
+        DpuAgg agg;
+        for (const telemetry::TimelineSpan &s : spans) {
+            agg.cycles += s.cycles;
+            agg.issued += s.issued;
+            agg.stalls[0] += s.stallMemory;
+            agg.stalls[1] += s.stallRevolver;
+            agg.stalls[2] += s.stallRfHazard;
+            agg.stalls[3] += s.stallSync;
+        }
+        max_cycles = std::max(max_cycles, agg.cycles);
+        lanes.emplace_back(dpu, agg);
+    }
+    if (max_cycles <= 0.0)
+        return "";
+
+    constexpr double width = 1000.0;
+    constexpr double labelW = 90.0;
+    constexpr double rowH = 12.0;
+    const double chartW = width - labelW - 10.0;
+    const double height =
+        static_cast<double>(lanes.size()) * rowH + 8.0;
+    const struct
+    {
+        const char *name;
+        const char *color;
+    } segments[5] = {
+        {"issued", "#16a34a"},    {"memory", "#dc2626"},
+        {"revolver", "#f59e0b"},  {"rf-hazard", "#6366f1"},
+        {"sync", "#8b5cf6"},
+    };
+
+    std::string svg;
+    svg += fmt("<svg id=\"heatmap\" viewBox=\"0 0 %.0f %.0f\" "
+               "xmlns=\"http://www.w3.org/2000/svg\" "
+               "font-family=\"monospace\" font-size=\"10\">\n",
+               width, height);
+    for (std::size_t r = 0; r < lanes.size(); ++r) {
+        const auto &[dpu, agg] = lanes[r];
+        const double y = 4.0 + static_cast<double>(r) * rowH;
+        svg += fmt("<text x=\"4\" y=\"%.1f\">dpu %u</text>\n",
+                   y + rowH - 3.0, dpu);
+        const double bar = agg.cycles / max_cycles * chartW;
+        svg += fmt("<rect id=\"heat-%u-total\" x=\"%.1f\" "
+                   "y=\"%.1f\" width=\"%.2f\" height=\"%.0f\" "
+                   "fill=\"#e5e7eb\"><title>dpu %u: %.0f "
+                   "cycles</title></rect>\n",
+                   dpu, labelW, y, std::max(0.5, bar), rowH - 3.0,
+                   dpu, agg.cycles);
+        double x = labelW;
+        const double parts[5] = {agg.issued, agg.stalls[0],
+                                 agg.stalls[1], agg.stalls[2],
+                                 agg.stalls[3]};
+        for (int p = 0; p < 5; ++p) {
+            if (parts[p] <= 0.0 || agg.cycles <= 0.0)
+                continue;
+            const double w = parts[p] / agg.cycles * bar;
+            svg += fmt("<rect id=\"heat-%u-%s\" x=\"%.2f\" "
+                       "y=\"%.1f\" width=\"%.2f\" height=\"%.0f\" "
+                       "fill=\"%s\"><title>dpu %u %s: %.0f%% of "
+                       "cycles</title></rect>\n",
+                       dpu, segments[p].name, x, y,
+                       std::max(0.25, w), rowH - 3.0,
+                       segments[p].color, dpu, segments[p].name,
+                       parts[p] / agg.cycles * 100.0);
+            x += w;
+        }
+    }
+    svg += "</svg>\n";
+    return svg;
+}
+
+/**
+ * Log-log roofline chart: the pipeline and MRAM-bandwidth ceilings
+ * of the default machine config with one point per launch (green =
+ * compute-bound, red = memory-bound). Empty when no launch carries
+ * MRAM traffic (operational intensity undefined).
+ */
+std::string
+rooflineSvg(const TraceImbalance &ti)
+{
+    double pipe = 0.0;
+    double ridge = 0.0;
+    for (const analysis::LaunchImbalance &li : ti.launches) {
+        pipe = std::max(pipe, li.roofline.pipelineCeilingOpsPerSec);
+        ridge = li.roofline.ridgeIntensity;
+    }
+    bool any_point = false;
+    for (const analysis::LaunchImbalance &li : ti.launches)
+        any_point = any_point || li.roofline.opIntensity > 0.0;
+    if (!any_point || pipe <= 0.0 || ridge <= 0.0)
+        return "";
+
+    constexpr double width = 520.0;
+    constexpr double height = 300.0;
+    constexpr double left = 70.0;
+    constexpr double top = 20.0;
+    constexpr double plotW = 430.0;
+    constexpr double plotH = 250.0;
+    // Fixed log-log window: 4 intensity decades around the ridge
+    // region, 5 throughput decades below 10x the pipeline ceiling.
+    const double y_top = pipe * 10.0;
+    auto lx = [&](double v) {
+        const double l =
+            std::log10(std::max(1e-2, std::min(1e2, v)));
+        return left + (l + 2.0) / 4.0 * plotW;
+    };
+    auto ly = [&](double v) {
+        const double l = std::log10(
+            std::max(y_top * 1e-5, std::min(y_top, v)));
+        return top + (std::log10(y_top) - l) / 5.0 * plotH;
+    };
+
+    std::string svg;
+    svg += fmt("<svg id=\"roofline\" viewBox=\"0 0 %.0f %.0f\" "
+               "xmlns=\"http://www.w3.org/2000/svg\" "
+               "font-family=\"monospace\" font-size=\"10\">\n",
+               width, height);
+    svg += fmt("<rect x=\"%.0f\" y=\"%.0f\" width=\"%.0f\" "
+               "height=\"%.0f\" fill=\"none\" "
+               "stroke=\"#9ca3af\"/>\n",
+               left, top, plotW, plotH);
+    // Bandwidth ceiling: the diagonal through (ridge, pipe).
+    const double bw = pipe / ridge; // fleet bytes/s x 1 instr/byte
+    svg += fmt("<polyline id=\"roof-ceiling\" points=\"%.1f,%.1f "
+               "%.1f,%.1f %.1f,%.1f\" fill=\"none\" "
+               "stroke=\"#111827\" stroke-width=\"1.5\"/>\n",
+               lx(1e-2), ly(1e-2 * bw), lx(ridge), ly(pipe),
+               lx(1e2), ly(pipe));
+    svg += fmt("<text x=\"%.1f\" y=\"%.1f\">ridge %.2f "
+               "instr/byte</text>\n",
+               lx(ridge) + 4.0, ly(pipe) - 6.0, ridge);
+    svg += fmt("<text x=\"%.0f\" y=\"%.0f\">instructions per MRAM "
+               "byte (log)</text>\n",
+               left + 110.0, top + plotH + 16.0);
+    svg += fmt("<text x=\"8\" y=\"%.0f\" "
+               "transform=\"rotate(-90 8 %.0f)\">ops/s "
+               "(log)</text>\n",
+               top + plotH - 60.0, top + plotH - 60.0);
+    for (std::size_t k = 0; k < ti.launches.size(); ++k) {
+        const analysis::RooflinePoint &rp =
+            ti.launches[k].roofline;
+        if (rp.opIntensity <= 0.0)
+            continue;
+        svg += fmt(
+            "<circle id=\"roof-%zu\" cx=\"%.1f\" cy=\"%.1f\" "
+            "r=\"3.5\" fill=\"%s\" fill-opacity=\"0.7\"><title>%s: "
+            "%.2f instr/byte, %.3g ops/s (%s-bound)</title>"
+            "</circle>\n",
+            k, lx(rp.opIntensity), ly(rp.achievedOpsPerSec),
+            rp.memoryBound ? "#dc2626" : "#16a34a",
+            htmlEscape(ti.launches[k].kernel).c_str(),
+            rp.opIntensity, rp.achievedOpsPerSec,
+            rp.memoryBound ? "memory" : "compute");
+    }
+    svg += "</svg>\n";
+    return svg;
 }
 
 /** Self-contained HTML page: summary <pre> + inline SVG Gantt of the
@@ -326,20 +674,27 @@ htmlReport(const std::string &source, const Analysis &a)
                width, height);
 
     // Launch spine: one bar per launch, phase-colored segments.
+    // Element ids are stable across runs (index-derived, emitted in
+    // deterministic map order) so the report diffs byte-for-byte.
     svg += fmt("<text x=\"4\" y=\"%.1f\">launches</text>\n",
                launch_row_y + rowH - 5.0);
     const char *spine_colors[4] = {"#3b82f6", "#16a34a", "#8b5cf6",
                                    "#f59e0b"};
-    for (const telemetry::LaunchWindow &l : tl.launches) {
+    for (std::size_t k = 0; k < tl.launches.size(); ++k) {
+        const telemetry::LaunchWindow &l = tl.launches[k];
         double t = l.start;
         const double parts[4] = {l.load, l.kernel_time, l.retrieve,
                                  l.merge};
         for (int p = 0; p < 4; ++p) {
             if (parts[p] <= 0.0)
                 continue;
-            svg += fmt("<rect x=\"%.2f\" y=\"%.1f\" width=\"%.2f\" "
+            svg += fmt("<rect id=\"spine-%zu-%s\" x=\"%.2f\" "
+                       "y=\"%.1f\" width=\"%.2f\" "
                        "height=\"%.0f\" fill=\"%s\"><title>%s "
                        "%s %.3f ms</title></rect>\n",
+                       k,
+                       analysis::pathPhaseName(
+                           static_cast<analysis::PathPhase>(p)),
                        x_of(t), launch_row_y,
                        std::max(0.5, x_of(t + parts[p]) - x_of(t)),
                        rowH - 4.0, spine_colors[p],
@@ -357,12 +712,14 @@ htmlReport(const std::string &source, const Analysis &a)
         svg += fmt("<text x=\"4\" y=\"%.1f\">%s</text>\n",
                    y + rowH - 5.0,
                    htmlEscape(rows[r].label).c_str());
-        for (const telemetry::TimelineSpan &s : *rows[r].spans) {
+        for (std::size_t i = 0; i < rows[r].spans->size(); ++i) {
+            const telemetry::TimelineSpan &s = (*rows[r].spans)[i];
             svg += fmt(
-                "<rect x=\"%.2f\" y=\"%.1f\" width=\"%.2f\" "
+                "<rect id=\"track-%zu-%zu\" x=\"%.2f\" y=\"%.1f\" "
+                "width=\"%.2f\" "
                 "height=\"%.0f\" fill=\"%s\"><title>%s %.3f "
                 "ms</title></rect>\n",
-                x_of(s.start), y,
+                r, i, x_of(s.start), y,
                 std::max(0.5, x_of(s.end()) - x_of(s.start)),
                 rowH - 4.0, phaseColor(s.name),
                 htmlEscape(s.name).c_str(), toMillis(s.duration));
@@ -389,8 +746,36 @@ htmlReport(const std::string &source, const Analysis &a)
             "<span style=\"background:#f59e0b;color:#fff\">merge"
             "</span></div>\n";
     html += svg;
+    const std::string heat = heatmapSvg(tl);
+    if (!heat.empty()) {
+        html += "<h2>Per-DPU load heatmap</h2>\n"
+                "<div class=\"legend\">"
+                "<span style=\"background:#16a34a;color:#fff\">"
+                "issued</span>"
+                "<span style=\"background:#dc2626;color:#fff\">"
+                "memory stall</span>"
+                "<span style=\"background:#f59e0b;color:#fff\">"
+                "revolver stall</span>"
+                "<span style=\"background:#6366f1;color:#fff\">"
+                "rf-hazard stall</span>"
+                "<span style=\"background:#8b5cf6;color:#fff\">"
+                "sync stall</span></div>\n";
+        html += heat;
+    }
+    const std::string roof = rooflineSvg(a.imbalance);
+    if (!roof.empty()) {
+        html += "<h2>Modeled roofline</h2>\n";
+        html += roof;
+        html += "<p>Ceilings assume the default machine config; "
+                "the trace does not record clock or DMA width."
+                "</p>\n";
+    }
     html += "<h2>Report</h2>\n<pre>" +
             htmlEscape(textReport(source, a)) + "</pre>\n";
+    if (!a.imbalance.launches.empty()) {
+        html += "<h2>Imbalance</h2>\n<pre>" +
+                htmlEscape(imbalanceReport(a)) + "</pre>\n";
+    }
     html += "</body></html>\n";
     return html;
 }
@@ -415,6 +800,8 @@ runTraceMode(const ExplainOptions &opt)
         return 1;
     }
     std::fputs(textReport(opt.trace, a).c_str(), stdout);
+    if (opt.imbalance)
+        std::fputs(imbalanceReport(a).c_str(), stdout);
     if (!opt.html.empty()) {
         std::ofstream out(opt.html);
         if (!out) {
@@ -442,24 +829,76 @@ runRecordsMode(const ExplainOptions &opt)
     std::printf("alphapim-explain: %s -- %zu records\n",
                 opt.records.c_str(), set.records.size());
     std::size_t with_timeline = 0;
+    std::size_t with_imbalance = 0;
     for (const perf::RunRecord &r : set.records) {
-        if (!r.hasTimeline)
+        if (r.hasTimeline) {
+            ++with_timeline;
+            const perf::TimelineSummary &t = r.timeline;
+            std::printf(
+                "  %s: window %.3f ms, %llu launches, overlap "
+                "%.2f, rank occupancy mean %.1f%%, transfers "
+                "%.0f%% of the critical path; what-if rank overlap "
+                "%.2fx, double buffer %.2fx, combined %.2fx\n",
+                r.key.str().c_str(), toMillis(t.windowSeconds),
+                static_cast<unsigned long long>(t.launches),
+                t.overlapFraction, t.rankOccupancyMean * 100.0,
+                t.transferCriticalFraction * 100.0,
+                t.whatifRankOverlapSpeedup,
+                t.whatifDoubleBufferSpeedup,
+                t.whatifCombinedSpeedup);
+        }
+        if (!opt.imbalance || !r.hasImbalance)
             continue;
-        ++with_timeline;
-        const perf::TimelineSummary &t = r.timeline;
+        ++with_imbalance;
+        const perf::ImbalanceSummary &m = r.imbalance;
         std::printf(
-            "  %s: window %.3f ms, %llu launches, overlap %.2f, "
-            "rank occupancy mean %.1f%%, transfers %.0f%% of the "
-            "critical path; what-if rank overlap %.2fx, double "
-            "buffer %.2fx, combined %.2fx\n",
-            r.key.str().c_str(), toMillis(t.windowSeconds),
-            static_cast<unsigned long long>(t.launches),
-            t.overlapFraction, t.rankOccupancyMean * 100.0,
-            t.transferCriticalFraction * 100.0,
-            t.whatifRankOverlapSpeedup, t.whatifDoubleBufferSpeedup,
-            t.whatifCombinedSpeedup);
+            "  imbalance %s: %llu launches, straggler factor "
+            "%.2fx, cycles gini %.2f (cov %.2f, p99/mean %.2fx), "
+            "nnz gini %.2f\n",
+            r.key.str().c_str(),
+            static_cast<unsigned long long>(m.launches),
+            m.stragglerFactor, m.cyclesGini, m.cyclesCov,
+            m.cyclesP99OverMean, m.nnzGini);
+        std::string straggler = fmt(
+            "    straggler: DPU %llu: %.1fx mean cycles",
+            static_cast<unsigned long long>(m.stragglerDpu),
+            m.stragglerCyclesOverMean);
+        if (!m.stragglerStall.empty()) {
+            straggler += fmt(", %.0f%% %s-stall",
+                             m.stragglerStallFraction * 100.0,
+                             m.stragglerStall.c_str());
+        }
+        if (m.stragglerNnzOverMean > 0.0) {
+            straggler += fmt(", holds %.1fx mean nnz",
+                             m.stragglerNnzOverMean);
+        }
+        if (!m.stragglerKernel.empty())
+            straggler += " (" + m.stragglerKernel + ")";
+        std::printf("%s\n", straggler.c_str());
+        std::printf(
+            "    rebalance bound: leveled kernel time %.3g s vs "
+            "%.3g s actual (%.2fx available)\n",
+            m.leveledKernelSeconds, m.kernelSeconds,
+            m.leveledKernelSeconds > 0.0
+                ? m.kernelSeconds / m.leveledKernelSeconds
+                : 1.0);
+        std::printf(
+            "    roofline: %.2f instr/byte (ridge %.2f), %.3g "
+            "ops/s achieved vs %.3g pipeline ceiling; "
+            "memory-bound %.0f%% of launches\n",
+            m.rooflineOpIntensity, m.rooflineRidgeIntensity,
+            m.rooflineAchievedOpsPerSec,
+            m.rooflinePipelineCeilingOpsPerSec,
+            m.rooflineMemoryBoundFraction * 100.0);
     }
-    if (with_timeline == 0) {
+    if (opt.imbalance && with_imbalance == 0) {
+        std::fprintf(stderr,
+                     "alphapim-explain: no record carries an "
+                     "imbalance block (records predate schema "
+                     "alpha-pim-run-v4?)\n");
+        return 1;
+    }
+    if (with_timeline == 0 && with_imbalance == 0) {
         std::fprintf(stderr,
                      "alphapim-explain: no record carries a "
                      "timeline block (records predate schema "
