@@ -12,6 +12,7 @@
 #include "perf/fingerprint.hh"
 #include "perf/manifest.hh"
 #include "perf/record.hh"
+#include "telemetry/host_prof.hh"
 #include "telemetry/telemetry.hh"
 #include "telemetry/timeline.hh"
 
@@ -49,7 +50,7 @@ usage(const char *prog)
         "          [--trace-out FILE] [--metrics-out FILE]\n"
         "          [--json-out FILE] [--check[=FAMILIES]]\n"
         "          [--check-out FILE] [--check-inject KIND]\n"
-        "          [--log-level LEVEL]\n",
+        "          [--host-prof[=on|off]] [--log-level LEVEL]\n",
         prog);
     std::exit(2);
 }
@@ -124,6 +125,19 @@ parseOptions(int argc, char **argv)
                              opt.checkInject.c_str());
                 usage(argv[0]);
             }
+        } else if (arg == "--host-prof") {
+            // Bare --host-prof means on; value form takes on|off.
+            if (!has_inline || inline_value == "on") {
+                opt.hostProf = true;
+            } else if (inline_value == "off") {
+                opt.hostProf = false;
+            } else {
+                std::fprintf(stderr,
+                             "--host-prof: expected on or off, got "
+                             "'%s'\n",
+                             inline_value.c_str());
+                usage(argv[0]);
+            }
         } else if (arg == "--log-level") {
             opt.logLevel = next();
         } else {
@@ -156,6 +170,16 @@ parseOptions(int argc, char **argv)
         // Imbalance analytics ride on the same outputs: imbalance.*
         // / roofline.* metrics and the v4 record block.
         analysis::imbalance().setEnabled(true);
+    }
+    if (opt.hostProf &&
+        (!opt.traceOut.empty() || !opt.metricsOut.empty() ||
+         !opt.jsonOut.empty())) {
+        // Host observatory rides on any telemetry output: host.*
+        // metrics, the v5 record block, and the "host_profile"
+        // instant trace event. Pure observation -- model metrics
+        // are byte-identical with --host-prof=off.
+        telemetry::hostProfiler().reset();
+        telemetry::hostProfiler().setEnabled(true);
     }
     if (opt.check) {
         analysis::CheckOptions sel;
@@ -307,6 +331,9 @@ RunRecorder::begin()
         xferStart_[i] =
             telemetry::metrics().counterValue(kXferCounters[i]);
     analysis::imbalance().beginRun();
+    // Per-run host window: each record's host block covers exactly
+    // one begin()..emit() span.
+    telemetry::hostProfiler().reset();
     if (ownsTracer_) {
         // Private tracer: restart per run, so every timeline begins
         // at model time zero and memory stays bounded.
@@ -352,10 +379,12 @@ RunRecorder::emit(const std::string &dataset,
     perf::XferCounts xfer;
     perf::TimelineSummary timeline;
     perf::ImbalanceSummary imbalance;
+    perf::HostSummary host;
     double wall = -1.0;
     const perf::XferCounts *xfer_ptr = nullptr;
     const perf::TimelineSummary *timeline_ptr = nullptr;
     const perf::ImbalanceSummary *imbalance_ptr = nullptr;
+    const perf::HostSummary *host_ptr = nullptr;
     if (began_) {
         std::uint64_t now[6];
         for (std::size_t i = 0; i < 6; ++i)
@@ -393,6 +422,14 @@ RunRecorder::emit(const std::string &dataset,
                        .time_since_epoch())
                    .count() -
                wallStart_;
+        if (telemetry::hostProfiler().enabled()) {
+            // Publishes host.* metrics and the "host_profile" trace
+            // event as a side effect, so --metrics-out/--trace-out
+            // carry the same observatory data as the record.
+            host = perf::summarizeHost(
+                telemetry::publishHostProfile(times.total()));
+            host_ptr = &host;
+        }
         began_ = false;
         recording_.reset();
     }
@@ -402,12 +439,19 @@ RunRecorder::emit(const std::string &dataset,
         perf::encodeRunRecord(manifest, key,
                               static_cast<std::uint64_t>(iterations),
                               times, profile, xfer_ptr, wall,
-                              timeline_ptr, imbalance_ptr));
+                              timeline_ptr, imbalance_ptr, host_ptr));
 }
 
 int
 writeTelemetryOutputs(const BenchOptions &opt)
 {
+    if (telemetry::hostProfiler().enabled() && opt.jsonOut.empty()) {
+        // Trace/metrics-only runs never pass through RunRecorder's
+        // per-run publish; emit one whole-process profile so the
+        // outputs still carry the observatory (model seconds unknown
+        // here, so the slowdown factor reads 0 = n/a).
+        telemetry::publishHostProfile(0.0);
+    }
     if (!opt.traceOut.empty())
         telemetry::finishTraceOutput(opt.traceOut);
     if (!opt.metricsOut.empty())

@@ -19,6 +19,11 @@
  *   --check-out FILE  JSON findings report (implies --check)
  *   --check-inject KIND  fold one synthetic finding into the report
  *                     (exit-code regression tests)
+ *   --host-prof[=on|off]  host-performance observatory (wall-clock
+ *                     phase profiler + memory footprint); on by
+ *                     default whenever telemetry output is requested,
+ *                     =off disables it (model metrics are identical
+ *                     either way -- the profiler only observes)
  *   --log-level L     silent|normal|verbose
  * (every flag also accepts the --flag=value spelling) plus
  * environment variables ALPHAPIM_SCALE / ALPHAPIM_EDGE_TARGET.
@@ -66,6 +71,10 @@ struct BenchOptions
     std::string checkInject; ///< synthetic finding kind ("" = off)
     std::string logLevel;   ///< "" = leave the level alone
     bool check = false;     ///< run the pim-verify analyzer
+
+    /** Host-performance observatory; --host-prof=off clears it. Only
+     * takes effect when some telemetry output is requested. */
+    bool hostProf = true;
 };
 
 /** Parse argv; prints usage and exits on --help or bad flags.

@@ -1,0 +1,112 @@
+# Gate: the host-performance observatory end to end.
+#
+#  1. A run with telemetry outputs profiles itself by default: the
+#     run record carries a schema-v5 host block, the trace carries a
+#     host_profile instant event, and `alphapim_explain --host`
+#     renders the per-phase host/model breakdown from BOTH inputs.
+#  2. `--host-prof=off` disables the observatory completely: no
+#     host.* metrics, and the remaining model metrics are
+#     byte-identical to the profiled run's -- instrumentation must
+#     never perturb the model.
+#
+# Arguments (all -D):
+#   CLI      path to the alphapim binary
+#   EXPLAIN  path to the alphapim_explain binary
+#   WORKDIR  scratch directory for the artifacts
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(_base --algo bfs --dataset as00 --scale 0.2 --dpus 64)
+
+execute_process(
+    COMMAND ${CLI} ${_base}
+            --json-out ${WORKDIR}/on.run.jsonl
+            --trace-out ${WORKDIR}/on.trace.json
+            --metrics-out ${WORKDIR}/on.metrics.jsonl
+    RESULT_VARIABLE _run_result
+    OUTPUT_QUIET
+)
+if(NOT _run_result EQUAL 0)
+    message(FATAL_ERROR "profiled alphapim run failed (${_run_result})")
+endif()
+
+# ---- explain --host on the run record ----
+execute_process(
+    COMMAND ${EXPLAIN} --records ${WORKDIR}/on.run.jsonl --host
+    RESULT_VARIABLE _rec_result
+    OUTPUT_VARIABLE _rec_out
+    ERROR_VARIABLE _rec_err
+)
+if(NOT _rec_result EQUAL 0)
+    message(FATAL_ERROR
+        "explain --records --host failed (${_rec_result}): ${_rec_err}")
+endif()
+if(NOT _rec_out MATCHES "host .*: [0-9.e+-]+ s host wall, slowdown [0-9.]+x; dominant phase [a-z_]+")
+    message(FATAL_ERROR "no host block summary in:\n${_rec_out}")
+endif()
+if(NOT _rec_out MATCHES "throughput: .*replayed slots/s")
+    message(FATAL_ERROR "no host throughput line in:\n${_rec_out}")
+endif()
+
+# ---- explain --host on the trace ----
+execute_process(
+    COMMAND ${EXPLAIN} --trace ${WORKDIR}/on.trace.json --host
+    RESULT_VARIABLE _trace_result
+    OUTPUT_VARIABLE _trace_out
+    ERROR_VARIABLE _trace_err
+)
+if(NOT _trace_result EQUAL 0)
+    message(FATAL_ERROR
+        "explain --trace --host failed (${_trace_result}): ${_trace_err}")
+endif()
+if(NOT _trace_out MATCHES "host profile: [0-9.e+-]+ s simulator wall vs [0-9.e+-]+ s model time -- slowdown [0-9.]+x")
+    message(FATAL_ERROR "no host profile section in:\n${_trace_out}")
+endif()
+foreach(_phase partition_build trace_record replay profile_fold
+        transfer_model host_merge analysis)
+    if(NOT _trace_out MATCHES "${_phase} +[0-9.]+ ms")
+        message(FATAL_ERROR
+            "host phase ${_phase} missing from:\n${_trace_out}")
+    endif()
+endforeach()
+
+# ---- --host-prof=off: no host metrics, model metrics byte-equal ----
+execute_process(
+    COMMAND ${CLI} ${_base} --host-prof=off
+            --json-out ${WORKDIR}/off.run.jsonl
+            --trace-out ${WORKDIR}/off.trace.json
+            --metrics-out ${WORKDIR}/off.metrics.jsonl
+    RESULT_VARIABLE _off_result
+    OUTPUT_QUIET
+)
+if(NOT _off_result EQUAL 0)
+    message(FATAL_ERROR "--host-prof=off run failed (${_off_result})")
+endif()
+
+file(READ ${WORKDIR}/on.run.jsonl _on_record)
+file(READ ${WORKDIR}/off.run.jsonl _off_record)
+if(NOT _on_record MATCHES "\"host\":")
+    message(FATAL_ERROR "profiled run record carries no host block")
+endif()
+if(_off_record MATCHES "\"host\":")
+    message(FATAL_ERROR
+        "--host-prof=off run record still carries a host block")
+endif()
+
+file(READ ${WORKDIR}/on.metrics.jsonl _on_metrics)
+file(READ ${WORKDIR}/off.metrics.jsonl _off_metrics)
+if(_off_metrics MATCHES "\"host\\.")
+    message(FATAL_ERROR
+        "--host-prof=off still published host.* metrics")
+endif()
+if(NOT _on_metrics MATCHES "\"host\\.")
+    message(FATAL_ERROR
+        "profiled run published no host.* metrics")
+endif()
+# Strip the host.* observatory lines from the profiled run; what
+# remains is the model's own telemetry and must match byte for byte.
+string(REGEX REPLACE "[^\n]*\"host\\.[^\n]*\n" "" _on_model "${_on_metrics}")
+if(NOT _on_model STREQUAL _off_metrics)
+    message(FATAL_ERROR
+        "model metrics differ between profiled and --host-prof=off "
+        "runs: the observatory perturbed the model")
+endif()

@@ -4,6 +4,12 @@
  * concurrently. Work items must be mutually independent; results must
  * be written to per-item slots so the outcome is deterministic
  * regardless of thread count.
+ *
+ * The worker count defaults to the machine's hardware concurrency and
+ * can be capped with the ALPHA_PIM_THREADS environment variable
+ * (ALPHA_PIM_THREADS=1 forces serial execution -- useful for
+ * profiling, debugging under a sanitizer, or pinning CI noise). The
+ * variable is read once per process.
  */
 
 #ifndef ALPHA_PIM_COMMON_PARALLEL_HH
@@ -11,6 +17,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -18,16 +25,50 @@ namespace alphapim
 {
 
 /**
- * Run fn(i) for every i in [0, count) across the machine's hardware
- * threads. Falls back to serial execution for small counts.
+ * Combine the hardware thread count with an ALPHA_PIM_THREADS-style
+ * override. `env` is the raw variable value (nullptr when unset);
+ * only a positive decimal integer lowers the limit -- empty strings,
+ * garbage, zero, and values above `hw` are ignored. Pure so tests can
+ * exercise the parse without mutating the process environment.
+ */
+inline unsigned
+parallelThreadLimit(const char *env, unsigned hw)
+{
+    unsigned limit = hw ? hw : 1;
+    if (env) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end && end != env && *end == '\0' && v > 0 && v < limit)
+            limit = static_cast<unsigned>(v);
+    }
+    return limit;
+}
+
+/**
+ * Maximum worker threads parallelFor may use: the smaller of
+ * hardware concurrency and ALPHA_PIM_THREADS (when set to a positive
+ * integer; other values are ignored). Read once and cached.
+ */
+inline unsigned
+parallelMaxThreads()
+{
+    static const unsigned cached =
+        parallelThreadLimit(std::getenv("ALPHA_PIM_THREADS"),
+                            std::thread::hardware_concurrency());
+    return cached;
+}
+
+/**
+ * Run fn(i) for every i in [0, count) across up to
+ * parallelMaxThreads() workers. Falls back to serial execution for
+ * small counts or when ALPHA_PIM_THREADS=1.
  */
 template <typename Fn>
 void
 parallelFor(std::size_t count, Fn &&fn)
 {
-    const unsigned hw = std::thread::hardware_concurrency();
-    const unsigned workers =
-        static_cast<unsigned>(std::min<std::size_t>(hw ? hw : 1, count));
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(parallelMaxThreads(), count));
     if (workers <= 1 || count < 4) {
         for (std::size_t i = 0; i < count; ++i)
             fn(i);

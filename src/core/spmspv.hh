@@ -22,6 +22,7 @@
 #include "core/device_block.hh"
 #include "core/kernel_base.hh"
 #include "core/partition.hh"
+#include "telemetry/host_prof.hh"
 #include "upmem/tasklet_ctx.hh"
 
 namespace alphapim::core
@@ -60,6 +61,8 @@ class CscSpmspv : public PimMxvKernel<S>
     {
         ALPHA_ASSERT(a.numRows() == a.numCols(),
                      "adjacency matrix must be square");
+        telemetry::HostPhaseTimer host_timer(
+            telemetry::HostPhase::PartitionBuild);
         switch (mode_) {
           case CscMode::RowWise:
             blocks_ = buildRowBlocks(a, makeRowPartition(a, dpus_),
@@ -390,6 +393,8 @@ class CscSpmspv : public PimMxvKernel<S>
 
         // Fold the partial into the shared output.
         {
+            telemetry::HostPhaseTimer host_timer(
+                telemetry::HostPhase::HostMerge);
             std::lock_guard<std::mutex> lock(merge_mutex);
             for (NodeId r = 0; r < block.rows; ++r) {
                 if (!S::isZero(partial[r])) {
@@ -437,6 +442,8 @@ class RowMajorSpmspv : public PimMxvKernel<S>
     {
         ALPHA_ASSERT(a.numRows() == a.numCols(),
                      "adjacency matrix must be square");
+        telemetry::HostPhaseTimer host_timer(
+            telemetry::HostPhase::PartitionBuild);
         blocks_ = buildRowBlocks(a, makeRowPartition(a, dpus_),
                                  BlockOrder::RowMajor);
     }
@@ -567,6 +574,8 @@ class RowMajorSpmspv : public PimMxvKernel<S>
         }
 
         {
+            telemetry::HostPhaseTimer host_timer(
+                telemetry::HostPhase::HostMerge);
             std::lock_guard<std::mutex> lock(merge_mutex);
             for (NodeId r = 0; r < block.rows; ++r) {
                 if (!S::isZero(partial[r]))

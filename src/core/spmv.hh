@@ -23,6 +23,7 @@
 #include "core/device_block.hh"
 #include "core/kernel_base.hh"
 #include "core/partition.hh"
+#include "telemetry/host_prof.hh"
 #include "upmem/tasklet_ctx.hh"
 
 namespace alphapim::core
@@ -52,6 +53,8 @@ class SpmvKernel : public PimMxvKernel<S>
     {
         ALPHA_ASSERT(a.numRows() == a.numCols(),
                      "adjacency matrix must be square");
+        telemetry::HostPhaseTimer host_timer(
+            telemetry::HostPhase::PartitionBuild);
         if (mode_ == SpmvMode::Coo1d) {
             blocks_ = buildNnzSlices(a, dpus_);
         } else {
@@ -265,6 +268,8 @@ class SpmvKernel : public PimMxvKernel<S>
         }
 
         {
+            telemetry::HostPhaseTimer host_timer(
+                telemetry::HostPhase::HostMerge);
             std::lock_guard<std::mutex> lock(merge_mutex);
             for (NodeId r = 0; r < block.rows; ++r) {
                 if (!S::isZero(partial[r])) {
@@ -311,6 +316,8 @@ class SpmvRow1d : public PimMxvKernel<S>
     {
         ALPHA_ASSERT(a.numRows() == a.numCols(),
                      "adjacency matrix must be square");
+        telemetry::HostPhaseTimer host_timer(
+            telemetry::HostPhase::PartitionBuild);
         blocks_ = buildRowBlocks(a, uniformPartition(n_, dpus_),
                                  BlockOrder::RowMajor);
     }
@@ -470,6 +477,8 @@ class SpmvRow1d : public PimMxvKernel<S>
         }
 
         {
+            telemetry::HostPhaseTimer host_timer(
+                telemetry::HostPhase::HostMerge);
             std::lock_guard<std::mutex> lock(merge_mutex);
             for (NodeId r = 0; r < block.rows; ++r) {
                 if (!S::isZero(partial[r]))

@@ -250,6 +250,72 @@ attributeRegression(const RunRecord &older, const RunRecord &newer)
                 oi.cyclesGini, ni.cyclesGini));
         }
     }
+    // Host-observatory context: which simulator host phase dominates
+    // the new run's wall time, and how the replay throughput moved.
+    // This names the *host* phase ("replay 68% of wall") rather than
+    // the model phase -- phase.merge_seconds says the model charged
+    // merge time; the host block says where the simulator itself
+    // actually spent its wall clock.
+    std::string host_detail;
+    if (older.hasHost && newer.hasHost &&
+        newer.host.totalSeconds > 0.0) {
+        const struct
+        {
+            const char *label;
+            double oldv, newv;
+        } host_phases[] = {
+            {"partition-build", older.host.partitionBuildSeconds,
+             newer.host.partitionBuildSeconds},
+            {"trace-record", older.host.traceRecordSeconds,
+             newer.host.traceRecordSeconds},
+            {"replay", older.host.replaySeconds,
+             newer.host.replaySeconds},
+            {"profile-fold", older.host.profileFoldSeconds,
+             newer.host.profileFoldSeconds},
+            {"transfer-model", older.host.transferModelSeconds,
+             newer.host.transferModelSeconds},
+            {"host-merge", older.host.hostMergeSeconds,
+             newer.host.hostMergeSeconds},
+            {"analysis", older.host.analysisSeconds,
+             newer.host.analysisSeconds},
+        };
+        const auto *dominant = &host_phases[0];
+        for (const auto &hp : host_phases)
+            if (hp.newv > dominant->newv)
+                dominant = &hp;
+        host_detail = fmt(
+            "%s %.0f%% of wall", dominant->label,
+            dominant->newv / newer.host.totalSeconds * 100.0);
+        if (older.host.replaySlotsPerSec > 0.0 &&
+            newer.host.replaySlotsPerSec > 0.0) {
+            host_detail +=
+                fmt(", throughput %.2fx",
+                    newer.host.replaySlotsPerSec /
+                        older.host.replaySlotsPerSec);
+        }
+        if (newer.host.totalSeconds > older.host.totalSeconds) {
+            out.evidence.push_back(fmt(
+                "host.total_seconds %s (%.3gs -> %.3gs), dominant "
+                "host phase %s (%.3gs -> %.3gs)",
+                pctChange(older.host.totalSeconds,
+                          newer.host.totalSeconds)
+                    .c_str(),
+                older.host.totalSeconds, newer.host.totalSeconds,
+                dominant->label, dominant->oldv, dominant->newv));
+        }
+        if (older.host.slowdownFactor > 0.0 &&
+            newer.host.slowdownFactor > 0.0 &&
+            newer.host.slowdownFactor !=
+                older.host.slowdownFactor) {
+            out.evidence.push_back(
+                fmt("host.slowdown_factor %s (%.3g -> %.3g)",
+                    pctChange(older.host.slowdownFactor,
+                              newer.host.slowdownFactor)
+                        .c_str(),
+                    older.host.slowdownFactor,
+                    newer.host.slowdownFactor));
+        }
+    }
     std::string stall_detail;
     if (older.hasProfile && newer.hasProfile) {
         for (const auto &[reason, new_frac] :
@@ -312,6 +378,9 @@ attributeRegression(const RunRecord &older, const RunRecord &newer)
                          static_cast<double>(older.issuedCycles),
                          static_cast<double>(newer.issuedCycles));
         }
+        break;
+      case Bottleneck::HostBound:
+        detail = host_detail;
         break;
       default:
         break;

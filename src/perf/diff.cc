@@ -199,11 +199,111 @@ compareWallClock(const std::vector<const RunRecord *> &olds,
     pair.metrics.push_back(d);
 }
 
+/**
+ * Compare one noisy (wall-clock-derived) metric via a seeded
+ * bootstrap CI on the mean difference. `higherIsBetter` inverts the
+ * regression direction for throughput metrics (fewer replayed slots
+ * per second is the regression). Degenerate samples (one per side)
+ * report the values with no statistical claim.
+ */
+void
+addNoisyMetric(const std::string &metric,
+               const std::vector<double> &old_xs,
+               const std::vector<double> &new_xs,
+               bool higherIsBetter, const DiffOptions &opt,
+               PairDiff &pair)
+{
+    if (old_xs.empty() || new_xs.empty())
+        return;
+    MetricDelta d;
+    d.metric = metric;
+    d.noisy = true;
+    d.oldValue = mean(old_xs);
+    d.newValue = mean(new_xs);
+    d.relChange = d.oldValue == 0.0
+        ? 0.0
+        : (d.newValue - d.oldValue) / d.oldValue;
+    bootstrapMeanDiffCI(old_xs, new_xs, opt.confidence,
+                        opt.resamples, opt.bootstrapSeed, d.ciLow,
+                        d.ciHigh);
+    if (old_xs.size() < 2 || new_xs.size() < 2) {
+        d.verdict = Verdict::Equal;
+        pair.metrics.push_back(d);
+        return;
+    }
+    const double worse =
+        higherIsBetter ? -d.relChange : d.relChange;
+    const bool ci_above = d.ciLow > 0.0;
+    const bool ci_below = d.ciHigh < 0.0;
+    const bool ci_worse = higherIsBetter ? ci_below : ci_above;
+    const bool ci_better = higherIsBetter ? ci_above : ci_below;
+    if (ci_worse && worse > opt.threshold)
+        d.verdict = Verdict::Regressed;
+    else if (ci_better && worse < -opt.threshold)
+        d.verdict = Verdict::Improved;
+    else if (ci_above || ci_below)
+        d.verdict = Verdict::Drifted;
+    else
+        d.verdict = Verdict::Equal;
+    pair.metrics.push_back(d);
+}
+
+/** Compare the host-observatory block: per-phase host seconds,
+ * throughput, slowdown. Pools records sharing the run key like
+ * wall-clock does; every metric is noisy. */
+void
+compareHost(const std::vector<const RunRecord *> &olds,
+            const std::vector<const RunRecord *> &news,
+            const DiffOptions &opt, PairDiff &pair)
+{
+    struct HostMetric
+    {
+        const char *name;
+        double HostSummary::*field;
+        bool higherIsBetter;
+    };
+    static const HostMetric kHostMetrics[] = {
+        {"host.total_seconds", &HostSummary::totalSeconds, false},
+        {"host.partition_build_seconds",
+         &HostSummary::partitionBuildSeconds, false},
+        {"host.trace_record_seconds",
+         &HostSummary::traceRecordSeconds, false},
+        {"host.replay_seconds", &HostSummary::replaySeconds, false},
+        {"host.profile_fold_seconds",
+         &HostSummary::profileFoldSeconds, false},
+        {"host.transfer_model_seconds",
+         &HostSummary::transferModelSeconds, false},
+        {"host.host_merge_seconds", &HostSummary::hostMergeSeconds,
+         false},
+        {"host.analysis_seconds", &HostSummary::analysisSeconds,
+         false},
+        {"host.replay_slots_per_sec",
+         &HostSummary::replaySlotsPerSec, true},
+        {"host.trace_records_per_sec",
+         &HostSummary::traceRecordsPerSec, true},
+        {"host.slowdown_factor", &HostSummary::slowdownFactor,
+         false},
+    };
+    auto samples = [](const std::vector<const RunRecord *> &rs,
+                      double HostSummary::*field) {
+        std::vector<double> xs;
+        for (const RunRecord *r : rs)
+            if (r->hasHost)
+                xs.push_back(r->host.*field);
+        return xs;
+    };
+    for (const HostMetric &hm : kHostMetrics) {
+        addNoisyMetric(hm.name, samples(olds, hm.field),
+                       samples(news, hm.field), hm.higherIsBetter,
+                       opt, pair);
+    }
+}
+
 /** Fold metric verdicts into the pair verdict. The gates are the
  * total model time and the straggler factor (a launch that got more
  * skewed is a regression even before it dominates the total); other
  * deterministic drift demotes to Drifted. Wall-clock only gates when
- * opt.wallClockGate. */
+ * opt.wallClockGate; host.* metrics only when opt.hostGate. */
 Verdict
 foldVerdict(const PairDiff &pair, const DiffOptions &opt)
 {
@@ -212,16 +312,18 @@ foldVerdict(const PairDiff &pair, const DiffOptions &opt)
     for (const MetricDelta &m : pair.metrics) {
         if (m.verdict == Verdict::Equal)
             continue;
-        if (m.noisy && !opt.wallClockGate) {
-            // advisory wall-clock: report, never gate
+        const bool is_host = m.metric.rfind("host.", 0) == 0;
+        const bool noisy_gated =
+            is_host ? opt.hostGate : opt.wallClockGate;
+        if (m.noisy && !noisy_gated) {
+            // advisory noisy metric: report, never gate
             continue;
         }
         any_change = true;
         if (m.metric == "imbalance.straggler_factor" &&
             m.verdict == Verdict::Regressed)
             return Verdict::Regressed;
-        if (m.metric == "times.total" ||
-            (m.noisy && opt.wallClockGate)) {
+        if (m.metric == "times.total" || (m.noisy && noisy_gated)) {
             if (m.verdict == Verdict::Regressed)
                 return Verdict::Regressed;
             if (m.verdict == Verdict::Improved)
@@ -351,6 +453,7 @@ diffRecordSets(const RecordSet &olds, const RecordSet &news,
         const RunRecord &n = *it->second.front();
         compareDeterministic(o, n, opt, pair);
         compareWallClock(old_list, it->second, opt, pair);
+        compareHost(old_list, it->second, opt, pair);
         pair.verdict = foldVerdict(pair, opt);
         if (pair.verdict == Verdict::Regressed)
             pair.attribution = attributeRegression(o, n);
@@ -514,17 +617,20 @@ pairLabel(const PairDiff &pair)
 }
 
 std::string
-formatDelta(const MetricDelta &m)
+formatDelta(const MetricDelta &m, const DiffOptions &opt)
 {
     char buf[192];
     if (m.noisy) {
+        const bool gated = m.metric.rfind("host.", 0) == 0
+                               ? opt.hostGate
+                               : opt.wallClockGate;
         std::snprintf(buf, sizeof(buf),
                       "    %-22s %.4g -> %.4g (%+.1f%%, CI of "
                       "mean diff [%+.3g, %+.3g]) %s%s",
                       m.metric.c_str(), m.oldValue, m.newValue,
                       m.relChange * 100.0, m.ciLow, m.ciHigh,
                       verdictName(m.verdict),
-                      " [advisory]");
+                      gated ? "" : " [advisory]");
     } else {
         std::snprintf(buf, sizeof(buf),
                       "    %-22s %.6g -> %.6g (%+.2f%%) %s",
@@ -554,8 +660,22 @@ renderReport(const DiffReport &report, const DiffOptions &opt)
     for (const std::string &w : report.warnings)
         out += "warning: " + w + "\n";
     for (const PairDiff &pair : report.pairs) {
-        if (pair.verdict == Verdict::Equal)
+        if (pair.verdict == Verdict::Equal) {
+            // Advisory noisy metrics never fold into the pair
+            // verdict, but "advisory" means reported, not silent:
+            // surface their movement under an [ok] header.
+            std::string advisory;
+            for (const MetricDelta &m : pair.metrics) {
+                if (m.noisy && m.verdict != Verdict::Equal)
+                    advisory += formatDelta(m, opt) + "\n";
+            }
+            if (!advisory.empty())
+                out += "  [ok] " + pairLabel(pair) +
+                       ": model metrics equal; host-side movement "
+                       "(advisory):\n" +
+                       advisory;
             continue;
+        }
         out += "  [";
         out += verdictName(pair.verdict);
         out += "] " + pairLabel(pair);
@@ -566,7 +686,7 @@ renderReport(const DiffReport &report, const DiffOptions &opt)
             out += "      - " + e + "\n";
         for (const MetricDelta &m : pair.metrics) {
             if (m.verdict != Verdict::Equal)
-                out += formatDelta(m) + "\n";
+                out += formatDelta(m, opt) + "\n";
         }
     }
     out += report.hasRegressions() ? "verdict: REGRESSED\n"

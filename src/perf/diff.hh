@@ -91,6 +91,12 @@ struct DiffOptions
      * gates the diff; by default wall-clock is advisory (baselines
      * usually come from a different machine). */
     bool wallClockGate = false;
+
+    /** When true, host-observatory regressions (per-phase host
+     * seconds, replay/trace throughput, slowdown factor) whose CI
+     * excludes zero gate the diff; advisory by default for the same
+     * cross-machine reason as wall-clock. */
+    bool hostGate = false;
 };
 
 /** Full diff of two record sets. */

@@ -28,9 +28,11 @@ namespace alphapim::perf
  * tag as "alpha-pim-run-v1" and warns. v3 adds the optional
  * "timeline" block (occupancy, overlap, critical-path and what-if
  * summary); v4 adds the optional "imbalance" block (per-DPU skew,
- * straggler attribution, rebalance bound, roofline). v2 and v3
- * records still parse, just without the newer blocks. */
-inline constexpr const char *kRunSchema = "alpha-pim-run-v4";
+ * straggler attribution, rebalance bound, roofline); v5 adds the
+ * optional "host" block (per-phase simulator host seconds, memory
+ * footprint, throughput and the simulation slowdown factor). v2
+ * through v4 records still parse, just without the newer blocks. */
+inline constexpr const char *kRunSchema = "alpha-pim-run-v5";
 
 /** Provenance of one recorded run. */
 struct RunManifest

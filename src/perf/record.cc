@@ -38,7 +38,8 @@ encodeRunRecord(const RunManifest &manifest, const RunKey &key,
                 const upmem::LaunchProfile *profile,
                 const XferCounts *xfer, double wallSeconds,
                 const TimelineSummary *timeline,
-                const ImbalanceSummary *imbalance)
+                const ImbalanceSummary *imbalance,
+                const HostSummary *host)
 {
     telemetry::JsonWriter w;
     w.beginObject();
@@ -123,6 +124,34 @@ encodeRunRecord(const RunManifest &manifest, const RunKey &key,
         w.key("memory_bound_fraction")
             .value(imbalance->rooflineMemoryBoundFraction);
         w.endObject();
+        w.endObject();
+    }
+    if (host) {
+        w.key("host").beginObject();
+        w.key("total_seconds").value(host->totalSeconds);
+        w.key("partition_build_seconds")
+            .value(host->partitionBuildSeconds);
+        w.key("trace_record_seconds")
+            .value(host->traceRecordSeconds);
+        w.key("replay_seconds").value(host->replaySeconds);
+        w.key("profile_fold_seconds")
+            .value(host->profileFoldSeconds);
+        w.key("transfer_model_seconds")
+            .value(host->transferModelSeconds);
+        w.key("host_merge_seconds").value(host->hostMergeSeconds);
+        w.key("analysis_seconds").value(host->analysisSeconds);
+        w.key("replay_slots_per_sec")
+            .value(host->replaySlotsPerSec);
+        w.key("trace_records_per_sec")
+            .value(host->traceRecordsPerSec);
+        w.key("replay_slots").value(host->replaySlots);
+        w.key("trace_records").value(host->traceRecords);
+        w.key("slowdown_factor").value(host->slowdownFactor);
+        w.key("peak_rss_bytes").value(host->peakRssBytes);
+        w.key("tasklet_trace_bytes_peak")
+            .value(host->taskletTraceBytesPeak);
+        w.key("tracer_bytes").value(host->tracerBytes);
+        w.key("metrics_bytes").value(host->metricsBytes);
         w.endObject();
     }
     w.endObject();
@@ -281,6 +310,35 @@ parseRunRecord(const std::string &line, RunRecord &out,
         }
     }
 
+    if (const auto *h = doc.find("host"); h && h->isObject()) {
+        out.hasHost = true;
+        auto &s = out.host;
+        s.totalSeconds = numberField(*h, "total_seconds");
+        s.partitionBuildSeconds =
+            numberField(*h, "partition_build_seconds");
+        s.traceRecordSeconds =
+            numberField(*h, "trace_record_seconds");
+        s.replaySeconds = numberField(*h, "replay_seconds");
+        s.profileFoldSeconds =
+            numberField(*h, "profile_fold_seconds");
+        s.transferModelSeconds =
+            numberField(*h, "transfer_model_seconds");
+        s.hostMergeSeconds = numberField(*h, "host_merge_seconds");
+        s.analysisSeconds = numberField(*h, "analysis_seconds");
+        s.replaySlotsPerSec =
+            numberField(*h, "replay_slots_per_sec");
+        s.traceRecordsPerSec =
+            numberField(*h, "trace_records_per_sec");
+        s.replaySlots = uintField(*h, "replay_slots");
+        s.traceRecords = uintField(*h, "trace_records");
+        s.slowdownFactor = numberField(*h, "slowdown_factor");
+        s.peakRssBytes = uintField(*h, "peak_rss_bytes");
+        s.taskletTraceBytesPeak =
+            uintField(*h, "tasklet_trace_bytes_peak");
+        s.tracerBytes = uintField(*h, "tracer_bytes");
+        s.metricsBytes = uintField(*h, "metrics_bytes");
+    }
+
     if (const auto *x = doc.find("xfer"); x && x->isObject()) {
         out.hasXfer = true;
         out.xfer.scatters = uintField(*x, "scatters");
@@ -346,6 +404,34 @@ summarizeImbalance(const analysis::RunImbalance &run)
         run.roofline.pipelineCeilingOpsPerSec;
     s.rooflineRidgeIntensity = run.roofline.ridgeIntensity;
     s.rooflineMemoryBoundFraction = run.roofline.memoryBoundFraction;
+    return s;
+}
+
+HostSummary
+summarizeHost(const telemetry::HostProfile &profile)
+{
+    using telemetry::HostPhase;
+    const auto phase = [&](HostPhase p) {
+        return profile.phaseSeconds[static_cast<unsigned>(p)];
+    };
+    HostSummary s;
+    s.totalSeconds = profile.totalSeconds;
+    s.partitionBuildSeconds = phase(HostPhase::PartitionBuild);
+    s.traceRecordSeconds = phase(HostPhase::TraceRecord);
+    s.replaySeconds = phase(HostPhase::Replay);
+    s.profileFoldSeconds = phase(HostPhase::ProfileFold);
+    s.transferModelSeconds = phase(HostPhase::TransferModel);
+    s.hostMergeSeconds = phase(HostPhase::HostMerge);
+    s.analysisSeconds = phase(HostPhase::Analysis);
+    s.replaySlotsPerSec = profile.replaySlotsPerSec;
+    s.traceRecordsPerSec = profile.traceRecordsPerSec;
+    s.replaySlots = profile.replaySlots;
+    s.traceRecords = profile.traceRecords;
+    s.slowdownFactor = profile.slowdownFactor;
+    s.peakRssBytes = profile.peakRssBytes;
+    s.taskletTraceBytesPeak = profile.taskletTraceBytesPeak;
+    s.tracerBytes = profile.tracerBytes;
+    s.metricsBytes = profile.metricsBytes;
     return s;
 }
 

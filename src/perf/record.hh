@@ -20,6 +20,7 @@
 #include "analysis/imbalance.hh"
 #include "core/phase_times.hh"
 #include "perf/manifest.hh"
+#include "telemetry/host_prof.hh"
 #include "telemetry/timeline.hh"
 #include "upmem/profile.hh"
 
@@ -103,6 +104,43 @@ struct ImbalanceSummary
     double rooflineMemoryBoundFraction = 0.0;
 };
 
+/** Host-performance summary of one run (schema v5): where the
+ * simulator's own wall seconds and bytes went. Every field is
+ * wall-clock derived and therefore noisy -- the differ never
+ * exact-compares this block; it uses bootstrap CIs like
+ * wall_seconds. */
+struct HostSummary
+{
+    /** Sum of the per-phase self seconds below. */
+    double totalSeconds = 0.0;
+
+    // Per-phase self wall seconds (see telemetry::HostPhase).
+    double partitionBuildSeconds = 0.0;
+    double traceRecordSeconds = 0.0;
+    double replaySeconds = 0.0;
+    double profileFoldSeconds = 0.0;
+    double transferModelSeconds = 0.0;
+    double hostMergeSeconds = 0.0;
+    double analysisSeconds = 0.0;
+
+    /** Throughput: replayed instruction slots per replay second and
+     * generated trace records per trace-record second. */
+    double replaySlotsPerSec = 0.0;
+    double traceRecordsPerSec = 0.0;
+    std::uint64_t replaySlots = 0;
+    std::uint64_t traceRecords = 0;
+
+    /** Host seconds per modeled second (the simulation slowdown). */
+    double slowdownFactor = 0.0;
+
+    /** Memory footprint: peak RSS, live TaskletTrace high-water,
+     * tracer and metrics buffer bytes at record time. */
+    std::uint64_t peakRssBytes = 0;
+    std::uint64_t taskletTraceBytesPeak = 0;
+    std::uint64_t tracerBytes = 0;
+    std::uint64_t metricsBytes = 0;
+};
+
 /** Per-run transfer-volume deltas (from the xfer.* counters). */
 struct XferCounts
 {
@@ -151,6 +189,11 @@ struct RunRecord
     // hasImbalance false) ----
     bool hasImbalance = false;
     ImbalanceSummary imbalance;
+
+    // ---- host-performance profile (absent unless hasHost; schema
+    // v5 records only -- older schemas parse with hasHost false) ----
+    bool hasHost = false;
+    HostSummary host;
 };
 
 /**
@@ -166,6 +209,7 @@ struct RunRecord
  * @param wallSeconds host wall-clock duration; < 0 omits the field
  * @param timeline   execution-timeline summary, or nullptr
  * @param imbalance  load-imbalance & roofline summary, or nullptr
+ * @param host       host-performance profile summary, or nullptr
  */
 std::string encodeRunRecord(const RunManifest &manifest,
                             const RunKey &key,
@@ -175,7 +219,8 @@ std::string encodeRunRecord(const RunManifest &manifest,
                             const XferCounts *xfer,
                             double wallSeconds,
                             const TimelineSummary *timeline = nullptr,
-                            const ImbalanceSummary *imbalance = nullptr);
+                            const ImbalanceSummary *imbalance = nullptr,
+                            const HostSummary *host = nullptr);
 
 /** Parse one record line. Returns false (with *error set) on
  * malformed JSON or missing identity fields. */
@@ -191,6 +236,9 @@ TimelineSummary summarizeTimeline(const telemetry::Timeline &timeline,
 /** Condense the imbalance observer's run aggregate into the
  * record-level summary. */
 ImbalanceSummary summarizeImbalance(const analysis::RunImbalance &run);
+
+/** Condense a host-profiler snapshot into the record-level summary. */
+HostSummary summarizeHost(const telemetry::HostProfile &profile);
 
 /** A loaded record file. */
 struct RecordSet

@@ -122,6 +122,16 @@ MetricsRegistry::samplesDropped(std::string_view name) const
 }
 
 std::uint64_t
+MetricsRegistry::totalSamplesDropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &[name, entry] : distributions_)
+        total += entry.dropped;
+    return total;
+}
+
+std::uint64_t
 MetricsRegistry::counterValue(std::string_view name) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -161,6 +171,26 @@ MetricsRegistry::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return counters_.size() + scalars_.size() + distributions_.size();
+}
+
+std::uint64_t
+MetricsRegistry::approxBytes() const
+{
+    // Map nodes cost roughly their payload plus three pointers and a
+    // color bit; the estimate only needs to track growth, not match
+    // the allocator byte for byte.
+    constexpr std::uint64_t kNodeOverhead = 4 * sizeof(void *);
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t bytes = 0;
+    for (const auto &[name, value] : counters_)
+        bytes += name.capacity() + sizeof(value) + kNodeOverhead;
+    for (const auto &[name, value] : scalars_)
+        bytes += name.capacity() + sizeof(value) + kNodeOverhead;
+    for (const auto &[name, entry] : distributions_) {
+        bytes += name.capacity() + sizeof(DistEntry) + kNodeOverhead;
+        bytes += entry.samples.capacity() * sizeof(double);
+    }
+    return bytes;
 }
 
 void

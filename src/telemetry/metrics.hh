@@ -71,6 +71,11 @@ class MetricsRegistry
      * or never capped). */
     std::uint64_t samplesDropped(std::string_view name) const;
 
+    /** Sum of samplesDropped over every distribution -- telemetry
+     * health, surfaced so reports can warn about degraded
+     * percentiles. */
+    std::uint64_t totalSamplesDropped() const;
+
     /** Counter value; 0 when the counter does not exist. */
     std::uint64_t counterValue(std::string_view name) const;
 
@@ -89,6 +94,11 @@ class MetricsRegistry
 
     /** Number of registered metrics of all kinds. */
     std::size_t size() const;
+
+    /** Approximate heap bytes held by the registry (names, map
+     * nodes, retained samples). Memory-footprint accounting for the
+     * host observatory. */
+    std::uint64_t approxBytes() const;
 
     /** Drop every metric (the enabled flag is unchanged). */
     void clear();

@@ -305,7 +305,10 @@ Tracer::closeStream()
         *sink_ << '\n' << meta;
         sinkHasEvents_ = true;
     }
-    *sink_ << "\n]}\n";
+    // Top-level telemetry-health field: lets readers (explain) warn
+    // when the buffered tracer overflowed and the timeline is
+    // incomplete. Chrome/Perfetto ignore unknown top-level keys.
+    *sink_ << "\n],\"droppedSpans\":" << dropped_ << "}\n";
     sink_.reset();
     sinkHasEvents_ = false;
 }
@@ -331,6 +334,22 @@ Tracer::droppedEvents() const
     return dropped_;
 }
 
+std::uint64_t
+Tracer::approxBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t bytes = events_.capacity() * sizeof(TraceEvent);
+    for (const TraceEvent &e : events_) {
+        bytes += e.name.capacity() + e.category.capacity();
+        bytes += e.args.capacity() * sizeof(TraceArg);
+        for (const TraceArg &a : e.args)
+            bytes += a.key.capacity() + a.json.capacity();
+    }
+    for (const auto &[key, name] : trackNames_)
+        bytes += sizeof(key) + name.capacity();
+    return bytes;
+}
+
 void
 Tracer::setDpuTrackLimit(unsigned limit)
 {
@@ -343,11 +362,13 @@ Tracer::chromeTraceJson() const
     std::vector<TraceEvent> events;
     std::map<std::uint64_t, std::string> names;
     std::set<std::uint32_t> pids;
+    std::uint64_t dropped = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         events = events_;
         names = trackNames_;
         pids = pidsSeen_;
+        dropped = dropped_;
     }
     // Viewers stack complete events by containment; sorting outer
     // spans first keeps nesting deterministic.
@@ -356,6 +377,7 @@ Tracer::chromeTraceJson() const
     JsonWriter w;
     w.beginObject();
     w.key("displayTimeUnit").value("ms");
+    w.key("droppedSpans").value(dropped);
     w.key("traceEvents").beginArray();
     writeMetadataJson(w, pids, names);
     for (const auto &e : events)

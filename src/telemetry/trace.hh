@@ -200,6 +200,11 @@ class Tracer
     /** Events dropped at the buffer cap since the last clear(). */
     std::uint64_t droppedEvents() const;
 
+    /** Approximate heap bytes held by the buffered events (event
+     * structs, names, encoded args). Memory-footprint accounting for
+     * the host observatory; O(buffered events). */
+    std::uint64_t approxBytes() const;
+
     /**
      * Per-DPU kernel tracks are capped at this many DPUs to bound
      * trace size on large fleets (default 128); DPUs past the limit

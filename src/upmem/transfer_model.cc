@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/host_prof.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/trace.hh"
 
@@ -54,6 +55,8 @@ Seconds
 TransferModel::scatterGather(const std::vector<Bytes> &per_dpu_bytes,
                              TransferDirection dir) const
 {
+    telemetry::HostPhaseTimer host_timer(
+        telemetry::HostPhase::TransferModel);
     const bool tracing = tracingTransfer();
     const bool counting = countingTransfer();
     const char *op_name = dir == TransferDirection::HostToDpu
@@ -155,6 +158,8 @@ TransferModel::broadcast(Bytes bytes, unsigned num_dpus) const
 {
     if (bytes == 0 || num_dpus == 0)
         return 0.0;
+    telemetry::HostPhaseTimer host_timer(
+        telemetry::HostPhase::TransferModel);
     const bool tracing = tracingTransfer();
     if (countingTransfer()) {
         auto &m = telemetry::metrics();

@@ -8,6 +8,7 @@
 #include "analysis/imbalance.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "telemetry/host_prof.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/trace.hh"
 
@@ -105,25 +106,58 @@ UpmemSystem::launchKernel(
     if (tracing || sampling)
         per_dpu_cycles.assign(num_dpus, 0);
 
+    const bool host_prof = telemetry::hostProfiler().enabled();
+
     parallelFor(num_dpus, [&](std::size_t dpu) {
         std::vector<TaskletTrace> traces(cfg_.dpu.tasklets);
-        generate(static_cast<unsigned>(dpu), traces);
+        {
+            telemetry::HostPhaseTimer timer(
+                telemetry::HostPhase::TraceRecord);
+            generate(static_cast<unsigned>(dpu), traces);
+        }
+        if (host_prof) {
+            std::uint64_t records = 0, bytes = 0;
+            for (const TaskletTrace &trace : traces) {
+                records += trace.records().size();
+                bytes += trace.records().capacity() *
+                         sizeof(TraceRecord);
+            }
+            telemetry::hostProfiler().addTraceRecords(records);
+            telemetry::hostProfiler().noteTaskletTraceBytes(bytes);
+        }
         if (checking) {
+            telemetry::HostPhaseTimer timer(
+                telemetry::HostPhase::Analysis);
             analysis::checker().analyzeDpu(
                 static_cast<unsigned>(dpu), traces, cfg_.dpu);
         }
         if (capturing) {
+            telemetry::HostPhaseTimer timer(
+                telemetry::HostPhase::Analysis);
             analysis::capture().captureDpu(static_cast<unsigned>(dpu),
                                            traces);
         }
-        if (replaying)
+        if (replaying) {
+            telemetry::HostPhaseTimer timer(
+                telemetry::HostPhase::Replay);
             per_dpu_profiles[dpu] = scheduler.run(traces);
+        }
+        if (host_prof) {
+            telemetry::hostProfiler().addReplaySlots(
+                per_dpu_profiles[dpu].totalCycles);
+        }
         if (!per_dpu_cycles.empty())
             per_dpu_cycles[dpu] = per_dpu_profiles[dpu].totalCycles;
     });
-    for (const DpuProfile &profile : per_dpu_profiles)
-        launch.add(profile);
+    {
+        telemetry::HostPhaseTimer timer(
+            telemetry::HostPhase::ProfileFold);
+        for (const DpuProfile &profile : per_dpu_profiles)
+            launch.add(profile);
+    }
 
+    telemetry::HostPhaseTimer analysis_timer(
+        telemetry::HostPhase::Analysis);
     if (analysis::imbalance().enabled())
         analysis::imbalance().recordLaunch(per_dpu_profiles, cfg_.dpu);
     if (sampling)

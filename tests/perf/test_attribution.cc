@@ -108,6 +108,37 @@ TEST(Attribution, GrownMergePhaseIsHostBound)
               std::string::npos);
 }
 
+TEST(Attribution, HostBoundNamesTheDominantHostPhase)
+{
+    // Schema-v5 host blocks upgrade the host-bound headline: it
+    // names where the *simulator* spent its wall clock and how the
+    // replay throughput moved, not just the model phase.
+    RunRecord older = baselineRecord();
+    older.hasHost = true;
+    older.host.totalSeconds = 1.0;
+    older.host.replaySeconds = 0.60;
+    older.host.traceRecordSeconds = 0.40;
+    older.host.replaySlotsPerSec = 2.0e6;
+    older.host.slowdownFactor = 50000.0;
+    RunRecord newer = older;
+    newer.times.merge += 0.10;
+    newer.host.totalSeconds = 2.0;
+    newer.host.replaySeconds = 1.36; // 68% of the new wall
+    newer.host.traceRecordSeconds = 0.64;
+    newer.host.replaySlotsPerSec = 1.62e6; // 0.81x of the old rate
+    newer.host.slowdownFactor = 100000.0;
+
+    const Attribution a = attributeRegression(older, newer);
+    EXPECT_EQ(a.kind, Bottleneck::HostBound);
+    EXPECT_NE(a.headline.find("host-bound"), std::string::npos);
+    EXPECT_NE(a.headline.find("replay 68% of wall"),
+              std::string::npos);
+    EXPECT_NE(a.headline.find("throughput 0.81x"),
+              std::string::npos);
+    EXPECT_TRUE(anyEvidenceContains(a, "host.total_seconds"));
+    EXPECT_TRUE(anyEvidenceContains(a, "host.slowdown_factor"));
+}
+
 TEST(Attribution, KernelRegressionFromMramStallsIsMemoryBound)
 {
     const RunRecord older = baselineRecord();

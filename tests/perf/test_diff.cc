@@ -246,6 +246,138 @@ TEST(DiffWallClock, WallGateOptionPromotesTheRegression)
     EXPECT_TRUE(report.hasRegressions());
 }
 
+namespace
+{
+
+/** Attach a host block with one replay-dominated shape. */
+RunRecord
+withHost(RunRecord r, double total_s, double replay_s,
+         double slots_per_sec)
+{
+    r.hasHost = true;
+    r.host.totalSeconds = total_s;
+    r.host.replaySeconds = replay_s;
+    r.host.traceRecordSeconds = total_s - replay_s;
+    r.host.replaySlotsPerSec = slots_per_sec;
+    r.host.traceRecordsPerSec = 1e6;
+    r.host.replaySlots = 1000000;
+    r.host.traceRecords = 200000;
+    r.host.slowdownFactor = total_s / 0.001;
+    return r;
+}
+
+} // namespace
+
+TEST(DiffHost, SingleSampleMakesNoStatisticalClaim)
+{
+    const auto olds =
+        makeSet({withHost(makeRecord("A", 0.5), 1.0, 0.7, 2e6)});
+    const auto news =
+        makeSet({withHost(makeRecord("A", 0.5), 9.0, 8.0, 2e5)});
+    const DiffReport report =
+        diffRecordSets(olds, news, DiffOptions{});
+    const PairDiff *pair = findPair(report, "A");
+    ASSERT_NE(pair, nullptr);
+    const MetricDelta *total =
+        findMetric(*pair, "host.total_seconds");
+    ASSERT_NE(total, nullptr);
+    EXPECT_TRUE(total->noisy);
+    EXPECT_EQ(total->verdict, Verdict::Equal);
+    EXPECT_EQ(pair->verdict, Verdict::Equal);
+}
+
+TEST(DiffHost, ClearShiftIsDetectedButAdvisoryByDefault)
+{
+    std::vector<RunRecord> olds, news;
+    for (double t : {1.00, 1.01, 0.99})
+        olds.push_back(
+            withHost(makeRecord("A", 0.5), t, 0.7 * t, 2e6));
+    for (double t : {2.00, 2.02, 1.98})
+        news.push_back(
+            withHost(makeRecord("A", 0.5), t, 0.7 * t, 1e6));
+    const DiffReport report = diffRecordSets(
+        makeSet(std::move(olds)), makeSet(std::move(news)),
+        DiffOptions{});
+    const PairDiff *pair = findPair(report, "A");
+    ASSERT_NE(pair, nullptr);
+    const MetricDelta *total =
+        findMetric(*pair, "host.total_seconds");
+    ASSERT_NE(total, nullptr);
+    EXPECT_EQ(total->verdict, Verdict::Regressed);
+    // ...but host metrics are advisory unless --host-gate:
+    EXPECT_EQ(pair->verdict, Verdict::Equal);
+    EXPECT_FALSE(report.hasRegressions());
+}
+
+TEST(DiffHost, HostGateOptionPromotesTheRegression)
+{
+    std::vector<RunRecord> olds, news;
+    for (double t : {1.00, 1.01, 0.99})
+        olds.push_back(
+            withHost(makeRecord("A", 0.5), t, 0.7 * t, 2e6));
+    for (double t : {2.00, 2.02, 1.98})
+        news.push_back(
+            withHost(makeRecord("A", 0.5), t, 0.7 * t, 1e6));
+    DiffOptions opt;
+    opt.hostGate = true;
+    const DiffReport report = diffRecordSets(
+        makeSet(std::move(olds)), makeSet(std::move(news)), opt);
+    EXPECT_EQ(findPair(report, "A")->verdict, Verdict::Regressed);
+    EXPECT_TRUE(report.hasRegressions());
+}
+
+TEST(DiffHost, ThroughputDropIsTheRegressionDirection)
+{
+    // Replay throughput is higher-is-better: a clear DROP must be a
+    // regression, and a clear RISE an improvement -- the opposite
+    // polarity of the seconds metrics.
+    std::vector<RunRecord> olds, news;
+    for (double j : {0.99, 1.0, 1.01}) {
+        olds.push_back(
+            withHost(makeRecord("A", 0.5), 1.0, 0.7, 2e6 * j));
+        news.push_back(
+            withHost(makeRecord("A", 0.5), 1.0, 0.7, 1e6 * j));
+    }
+    const DiffReport report = diffRecordSets(
+        makeSet(std::move(olds)), makeSet(std::move(news)),
+        DiffOptions{});
+    const PairDiff *pair = findPair(report, "A");
+    ASSERT_NE(pair, nullptr);
+    const MetricDelta *tput =
+        findMetric(*pair, "host.replay_slots_per_sec");
+    ASSERT_NE(tput, nullptr);
+    EXPECT_EQ(tput->verdict, Verdict::Regressed);
+
+    // And the reverse shift reads as Improved, not Regressed.
+    std::vector<RunRecord> olds2, news2;
+    for (double j : {0.99, 1.0, 1.01}) {
+        olds2.push_back(
+            withHost(makeRecord("A", 0.5), 1.0, 0.7, 1e6 * j));
+        news2.push_back(
+            withHost(makeRecord("A", 0.5), 1.0, 0.7, 2e6 * j));
+    }
+    const DiffReport report2 = diffRecordSets(
+        makeSet(std::move(olds2)), makeSet(std::move(news2)),
+        DiffOptions{});
+    const MetricDelta *tput2 = findMetric(
+        *findPair(report2, "A"), "host.replay_slots_per_sec");
+    ASSERT_NE(tput2, nullptr);
+    EXPECT_EQ(tput2->verdict, Verdict::Improved);
+}
+
+TEST(DiffHost, RecordsWithoutHostBlocksCompareClean)
+{
+    const auto olds = makeSet({makeRecord("A", 0.5)});
+    const auto news = makeSet({makeRecord("A", 0.5)});
+    DiffOptions opt;
+    opt.hostGate = true;
+    const DiffReport report = diffRecordSets(olds, news, opt);
+    const PairDiff *pair = findPair(report, "A");
+    ASSERT_NE(pair, nullptr);
+    EXPECT_EQ(findMetric(*pair, "host.total_seconds"), nullptr);
+    EXPECT_EQ(pair->verdict, Verdict::Equal);
+}
+
 TEST(DiffBootstrap, DeterministicAndSane)
 {
     const std::vector<double> olds = {1.0, 1.1, 0.9, 1.05, 0.95};

@@ -96,8 +96,122 @@ TEST(JsonWriter, NonFiniteDoublesBecomeNull)
     w.beginArray();
     w.value(std::numeric_limits<double>::quiet_NaN());
     w.value(std::numeric_limits<double>::infinity());
+    w.value(-std::numeric_limits<double>::infinity());
     w.endArray();
-    EXPECT_EQ(w.str(), "[null,null]");
+    EXPECT_EQ(w.str(), "[null,null,null]");
+}
+
+TEST(JsonWriter, NonFinitePolicyAppliesToStaticNumber)
+{
+    // arg(key, double) routes through JsonWriter::number, so trace
+    // args inherit the same NaN/Inf -> null policy.
+    EXPECT_EQ(JsonWriter::number(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "null");
+    EXPECT_EQ(JsonWriter::number(
+                  std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(JsonWriter::number(
+                  -std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(JsonWriter::number(2.5), "2.5");
+}
+
+TEST(JsonWriter, NonFiniteObjectValueParsesBackAsNull)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("slowdown_factor")
+        .value(std::numeric_limits<double>::quiet_NaN());
+    w.endObject();
+    JsonValue root;
+    ASSERT_TRUE(JsonValue::parse(w.str(), root, nullptr));
+    const JsonValue *v = root.find("slowdown_factor");
+    ASSERT_NE(v, nullptr);
+    EXPECT_TRUE(v->isNull());
+}
+
+TEST(JsonWriter, DeeplyNestedArraysRoundTrip)
+{
+    constexpr int kDepth = 200;
+    JsonWriter w;
+    for (int i = 0; i < kDepth; ++i)
+        w.beginArray();
+    w.value(std::uint64_t{7});
+    for (int i = 0; i < kDepth; ++i)
+        w.endArray();
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(w.str(), root, &error)) << error;
+    const JsonValue *v = &root;
+    for (int i = 0; i < kDepth - 1; ++i) {
+        ASSERT_TRUE(v->isArray());
+        ASSERT_EQ(v->items().size(), 1u);
+        v = &v->items()[0];
+    }
+    ASSERT_EQ(v->items().size(), 1u);
+    EXPECT_DOUBLE_EQ(v->items()[0].asNumber(), 7.0);
+}
+
+TEST(JsonWriter, DeeplyNestedObjectsRoundTrip)
+{
+    constexpr int kDepth = 100;
+    JsonWriter w;
+    for (int i = 0; i < kDepth; ++i) {
+        w.beginObject();
+        w.key("child");
+    }
+    w.beginObject();
+    w.key("leaf").value(true);
+    w.endObject();
+    for (int i = 0; i < kDepth; ++i)
+        w.endObject();
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(w.str(), root, &error)) << error;
+    const JsonValue *v = &root;
+    for (int i = 0; i < kDepth; ++i) {
+        v = v->find("child");
+        ASSERT_NE(v, nullptr) << "depth " << i;
+    }
+    const JsonValue *leaf = v->find("leaf");
+    ASSERT_NE(leaf, nullptr);
+    EXPECT_TRUE(leaf->asBool());
+}
+
+TEST(JsonWriter, HostBlockShapedDocumentRoundTrips)
+{
+    // Mirror of the "host" block run records carry since schema v5:
+    // mixed integer counts and fractional seconds inside a nested
+    // object must survive the writer -> parser path bit-exactly.
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("alpha-pim-run-v5");
+    w.key("host").beginObject();
+    w.key("total_seconds").value(1.8125);
+    w.key("replay_seconds").value(0.71875);
+    w.key("replay_slots").value(std::uint64_t{123456789012345ULL});
+    w.key("replay_slots_per_sec").value(1.7e8);
+    w.key("slowdown_factor").value(54321.125);
+    w.key("peak_rss_bytes").value(std::uint64_t{268435456});
+    w.endObject();
+    w.endObject();
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(w.str(), root, &error)) << error;
+    const JsonValue *host = root.find("host");
+    ASSERT_NE(host, nullptr);
+    ASSERT_TRUE(host->isObject());
+    EXPECT_EQ(host->find("total_seconds")->asNumber(), 1.8125);
+    EXPECT_EQ(host->find("replay_seconds")->asNumber(), 0.71875);
+    EXPECT_EQ(host->find("replay_slots")->asNumber(),
+              123456789012345.0);
+    EXPECT_EQ(host->find("replay_slots_per_sec")->asNumber(), 1.7e8);
+    EXPECT_EQ(host->find("slowdown_factor")->asNumber(), 54321.125);
+    EXPECT_EQ(host->find("peak_rss_bytes")->asNumber(), 268435456.0);
 }
 
 TEST(JsonWriter, RawValueSplicesFragment)

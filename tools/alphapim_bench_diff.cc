@@ -26,12 +26,23 @@
 #include <fstream>
 #include <string>
 
+#include "perf/build_info.hh"
 #include "perf/diff.hh"
 
 using namespace alphapim;
 
 namespace
 {
+
+[[noreturn]] void
+printVersion()
+{
+    std::printf("alphapim_bench_diff %s (%s%s%s)\n", perf::gitSha(),
+                perf::buildType(),
+                perf::buildFlags()[0] ? ", " : "",
+                perf::buildFlags());
+    std::exit(0);
+}
 
 [[noreturn]] void
 usage()
@@ -49,6 +60,12 @@ usage()
         "                      regression fail the diff (default:\n"
         "                      advisory -- baselines usually come\n"
         "                      from another machine)\n"
+        "  --host-gate         let a significant host-observatory\n"
+        "                      regression (per-phase host seconds,\n"
+        "                      replay/trace throughput, slowdown\n"
+        "                      factor) fail the diff (default:\n"
+        "                      advisory, like wall-clock)\n"
+        "  --version           print git SHA + build type and exit\n"
         "  --json-report FILE  also write a JSON report\n"
         "  --metrics           force metrics-file mode (default:\n"
         "                      auto-detect from the first record)\n"
@@ -95,6 +112,10 @@ main(int argc, char **argv)
             opt.bootstrapSeed = std::strtoull(next(), nullptr, 10);
         else if (arg == "--wall-gate")
             opt.wallClockGate = true;
+        else if (arg == "--host-gate")
+            opt.hostGate = true;
+        else if (arg == "--version")
+            printVersion();
         else if (arg == "--json-report")
             json_report = next();
         else if (arg == "--metrics")

@@ -28,6 +28,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/table.hh"
+#include "perf/build_info.hh"
 #include "perf/fingerprint.hh"
 #include "perf/manifest.hh"
 #include "perf/record.hh"
@@ -35,6 +36,7 @@
 #include "sparse/generators.hh"
 #include "sparse/graph_stats.hh"
 #include "sparse/mmio.hh"
+#include "telemetry/host_prof.hh"
 #include "telemetry/telemetry.hh"
 #include "telemetry/timeline.hh"
 #include "upmem/report.hh"
@@ -69,6 +71,7 @@ struct CliOptions
     bool compareCpu = false;
     bool validate = false;
     bool check = false;
+    bool hostProf = true;
 };
 
 [[noreturn]] void
@@ -109,6 +112,12 @@ usage()
         "                              the given kind (data_race,...)\n"
         "                              into the report; exercises the\n"
         "                              exit-code contract in tests\n"
+        "  --host-prof[=on|off]        host-performance observatory\n"
+        "                              (phase profiler + memory\n"
+        "                              footprint); on by default when\n"
+        "                              telemetry output is requested,\n"
+        "                              =off disables it\n"
+        "  --version                   print git SHA + build type\n"
         "  --log-level LEVEL           silent|normal|verbose\n"
         "Every flag also accepts the --flag=value spelling.\n");
     std::exit(2);
@@ -191,6 +200,20 @@ parseCli(int argc, char **argv)
                              opt.checkInject.c_str());
                 usage();
             }
+        } else if (arg == "--host-prof") {
+            if (!has_inline || inline_value == "on")
+                opt.hostProf = true;
+            else if (inline_value == "off")
+                opt.hostProf = false;
+            else
+                fatal("--host-prof: expected on or off, got '%s'",
+                      inline_value.c_str());
+        } else if (arg == "--version") {
+            std::printf("alphapim %s (%s%s%s)\n", perf::gitSha(),
+                        perf::buildType(),
+                        perf::buildFlags()[0] ? ", " : "",
+                        perf::buildFlags());
+            std::exit(0);
         } else if (arg == "--profile")
             opt.profile = true;
         else if (arg == "--compare-cpu")
@@ -224,6 +247,15 @@ parseCli(int argc, char **argv)
         // Imbalance analytics ride on the same outputs: per-launch
         // skew metrics and the run record's "imbalance" block.
         analysis::imbalance().setEnabled(true);
+    }
+    if (opt.hostProf &&
+        (!opt.traceOut.empty() || !opt.metricsOut.empty() ||
+         !opt.jsonOut.empty())) {
+        // Host observatory: host.* metrics, the v5 "host" record
+        // block and the "host_profile" trace event. Observation
+        // only -- model metrics are identical with =off.
+        telemetry::hostProfiler().reset();
+        telemetry::hostProfiler().setEnabled(true);
     }
     if (opt.check) {
         analysis::CheckOptions sel;
@@ -408,12 +440,21 @@ main(int argc, char **argv)
             imbalance_ptr = &imbalance;
         }
 
+        perf::HostSummary host;
+        const perf::HostSummary *host_ptr = nullptr;
+        if (telemetry::hostProfiler().enabled()) {
+            host = perf::summarizeHost(telemetry::publishHostProfile(
+                result.total.total()));
+            host_ptr = &host;
+        }
+
         telemetry::appendJsonlRecord(
             opt.jsonOut,
             perf::encodeRunRecord(
                 manifest, key, result.iterations.size(),
                 result.total, &result.profile, &xfer,
-                wall_seconds, timeline_ptr, imbalance_ptr));
+                wall_seconds, timeline_ptr, imbalance_ptr,
+                host_ptr));
     }
 
     std::printf("\n%s from vertex %u: %zu iterations (%s), "
@@ -505,6 +546,11 @@ main(int argc, char **argv)
         }
         m.setScalar("dpu.avg_active_threads",
                     agg.avgActiveThreads());
+    }
+    if (telemetry::hostProfiler().enabled() && opt.jsonOut.empty()) {
+        // Trace/metrics-only runs: publish the whole-process host
+        // profile so those outputs still carry the observatory.
+        telemetry::publishHostProfile(result.total.total());
     }
     if (!opt.traceOut.empty())
         telemetry::finishTraceOutput(opt.traceOut);

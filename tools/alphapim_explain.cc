@@ -24,6 +24,18 @@
  * per-DPU heatmap lane and the roofline chart when the trace has the
  * per-DPU data.
  *
+ * --host adds the host-observatory section: where the simulator's
+ * own wall seconds went (per-phase profiler), the memory footprint,
+ * the replay/trace throughput, and the simulation slowdown factor.
+ * In trace mode the data comes from the "host_profile" instant
+ * events; in records mode from the run record's "host" block (schema
+ * v5). The HTML report gains a host-phase lane whenever the trace
+ * carries the event.
+ *
+ * Both modes warn loudly -- on stderr and in the report header --
+ * when the artifact records dropped trace spans or dropped
+ * distribution samples: the data below is then incomplete.
+ *
  * Exit codes: 0 report produced, 1 artifact held no reconstructible
  * launches, 2 usage or I/O error.
  */
@@ -41,7 +53,9 @@
 #include "analysis/critical_path.hh"
 #include "analysis/imbalance.hh"
 #include "common/types.hh"
+#include "perf/build_info.hh"
 #include "perf/record.hh"
+#include "telemetry/host_prof.hh"
 #include "telemetry/json.hh"
 #include "telemetry/timeline.hh"
 
@@ -56,6 +70,7 @@ struct ExplainOptions
     std::string records;
     std::string html;
     bool imbalance = false;
+    bool host = false;
 };
 
 [[noreturn]] void
@@ -64,13 +79,18 @@ usage()
     std::fprintf(
         stderr,
         "usage: alphapim_explain --trace FILE [--html FILE] "
-        "[--imbalance]\n"
-        "       alphapim_explain --records FILE [--imbalance]\n"
+        "[--imbalance] [--host]\n"
+        "       alphapim_explain --records FILE [--imbalance] "
+        "[--host]\n"
         "  --trace FILE    Chrome trace JSON (from --trace-out)\n"
         "  --records FILE  run-record JSONL (from --json-out)\n"
         "  --html FILE     write a self-contained HTML report\n"
         "  --imbalance     add the per-DPU skew / straggler /\n"
         "                  roofline section to the text report\n"
+        "  --host          add the host-observatory section: per-\n"
+        "                  phase simulator host seconds, memory\n"
+        "                  footprint, throughput, slowdown factor\n"
+        "  --version       print git SHA + build type and exit\n"
         "Every flag also accepts the --flag=value spelling.\n");
     std::exit(2);
 }
@@ -104,7 +124,15 @@ parseArgs(int argc, char **argv)
             opt.html = next();
         else if (arg == "--imbalance")
             opt.imbalance = true;
-        else
+        else if (arg == "--host")
+            opt.host = true;
+        else if (arg == "--version") {
+            std::printf("alphapim_explain %s (%s%s%s)\n",
+                        perf::gitSha(), perf::buildType(),
+                        perf::buildFlags()[0] ? ", " : "",
+                        perf::buildFlags());
+            std::exit(0);
+        } else
             usage();
     }
     if (opt.trace.empty() == opt.records.empty())
@@ -131,12 +159,63 @@ numberOf(const telemetry::JsonValue &obj, const char *key,
     return v && v->isNumber() ? v->asNumber() : fallback;
 }
 
-/** Load a Chrome trace file back into timeline spans. */
+/** Host-observatory data aggregated from the trace's "host_profile"
+ * instant events. Per-run publishes are summed (seconds, slots,
+ * records, model seconds); memory peaks take the max, so the numbers
+ * read as one whole-artifact profile. */
+struct TraceHost
+{
+    bool present = false;
+    std::size_t events = 0;
+    double phaseSeconds[telemetry::kHostPhaseCount] = {};
+    double totalSeconds = 0.0;
+    double modelSeconds = 0.0;
+    double replaySlots = 0.0;
+    double traceRecords = 0.0;
+    double taskletTraceBytesPeak = 0.0;
+    double peakRssBytes = 0.0;
+    double traceDroppedSpans = 0.0;
+    double metricsSamplesDropped = 0.0;
+
+    double
+    slowdownFactor() const
+    {
+        return modelSeconds > 0.0 ? totalSeconds / modelSeconds
+                                  : 0.0;
+    }
+
+    double
+    replaySlotsPerSec() const
+    {
+        const double sec = phaseSeconds[static_cast<unsigned>(
+            telemetry::HostPhase::Replay)];
+        return sec > 0.0 ? replaySlots / sec : 0.0;
+    }
+
+    double
+    traceRecordsPerSec() const
+    {
+        const double sec = phaseSeconds[static_cast<unsigned>(
+            telemetry::HostPhase::TraceRecord)];
+        return sec > 0.0 ? traceRecords / sec : 0.0;
+    }
+};
+
+/** Everything read back out of one Chrome trace file. */
+struct LoadedTrace
+{
+    std::vector<telemetry::TimelineSpan> spans;
+    TraceHost host;
+    double droppedSpans = 0.0; ///< top-level tracer overflow count
+};
+
+/** Load a Chrome trace file back into timeline spans plus the
+ * host-observatory events and the telemetry-health fields. */
 bool
-loadTraceSpans(const std::string &path,
-               std::vector<telemetry::TimelineSpan> &out,
+loadTraceSpans(const std::string &path, LoadedTrace &lt,
                std::string *error)
 {
+    std::vector<telemetry::TimelineSpan> &out = lt.spans;
     std::ifstream in(path);
     if (!in) {
         *error = "cannot open '" + path + "'";
@@ -152,11 +231,49 @@ loadTraceSpans(const std::string &path,
         *error = "no traceEvents array -- not a Chrome trace";
         return false;
     }
+    lt.droppedSpans = numberOf(doc, "droppedSpans");
     for (const auto &e : events->items()) {
         if (!e.isObject())
             continue;
         const auto *ph = e.find("ph");
-        if (!ph || !ph->isString() || ph->asString() != "X")
+        if (!ph || !ph->isString())
+            continue;
+        if (ph->asString() == "i") {
+            const auto *name = e.find("name");
+            const auto *args = e.find("args");
+            if (!name || !name->isString() ||
+                name->asString() != "host_profile" || !args ||
+                !args->isObject())
+                continue;
+            TraceHost &h = lt.host;
+            h.present = true;
+            ++h.events;
+            for (unsigned p = 0; p < telemetry::kHostPhaseCount;
+                 ++p) {
+                const std::string key =
+                    std::string(telemetry::hostPhaseName(
+                        static_cast<telemetry::HostPhase>(p))) +
+                    "_seconds";
+                h.phaseSeconds[p] += numberOf(*args, key.c_str());
+            }
+            h.totalSeconds += numberOf(*args, "total_seconds");
+            h.modelSeconds += numberOf(*args, "model_seconds");
+            h.replaySlots += numberOf(*args, "replay_slots");
+            h.traceRecords += numberOf(*args, "trace_records");
+            h.taskletTraceBytesPeak =
+                std::max(h.taskletTraceBytesPeak,
+                         numberOf(*args, "tasklet_trace_bytes_peak"));
+            h.peakRssBytes = std::max(
+                h.peakRssBytes, numberOf(*args, "peak_rss_bytes"));
+            h.traceDroppedSpans =
+                std::max(h.traceDroppedSpans,
+                         numberOf(*args, "trace_dropped_spans"));
+            h.metricsSamplesDropped = std::max(
+                h.metricsSamplesDropped,
+                numberOf(*args, "metrics_samples_dropped"));
+            continue;
+        }
+        if (ph->asString() != "X")
             continue;
         telemetry::TimelineSpan s;
         if (const auto *v = e.find("name"); v && v->isString())
@@ -275,14 +392,37 @@ struct Analysis
     analysis::CriticalPath path;
     analysis::WhatIf whatif;
     TraceImbalance imbalance;
+    TraceHost host;
     double accounted = 0.0;
     double attributionError = 0.0; ///< |path - accounted| / accounted
+
+    /** Telemetry-health warnings; rendered in the report header and
+     * echoed to stderr (dropped spans / dropped samples). */
+    std::vector<std::string> warnings;
 };
 
 Analysis
-analyze(std::vector<telemetry::TimelineSpan> spans)
+analyze(LoadedTrace lt)
 {
     Analysis a;
+    a.host = lt.host;
+    const double dropped_spans =
+        std::max(lt.droppedSpans, lt.host.traceDroppedSpans);
+    if (dropped_spans > 0.0) {
+        a.warnings.push_back(fmt(
+            "WARNING: the tracer dropped %.0f spans (buffer "
+            "overflow) -- the timeline below is incomplete",
+            dropped_spans));
+    }
+    if (lt.host.metricsSamplesDropped > 0.0) {
+        a.warnings.push_back(fmt(
+            "WARNING: %.0f distribution samples were dropped past "
+            "the reservoir cap -- percentile metrics are "
+            "approximate",
+            lt.host.metricsSamplesDropped));
+    }
+    std::vector<telemetry::TimelineSpan> spans =
+        std::move(lt.spans);
     a.timeline = telemetry::buildTimeline(spans);
     a.stats = telemetry::computeStats(a.timeline);
     a.path = analysis::computeCriticalPath(
@@ -303,6 +443,8 @@ textReport(const std::string &source, const Analysis &a)
     const auto &s = a.stats;
     std::string out;
     out += fmt("alphapim-explain: %s\n", source.c_str());
+    for (const std::string &w : a.warnings)
+        out += w + "\n";
     out += fmt(
         "window: %.3f ms model time -- %zu launches, %zu rank "
         "tracks, %zu DPU tracks\n",
@@ -418,6 +560,97 @@ imbalanceReport(const Analysis &a)
            "only; roofline ceilings assume the default machine "
            "config\n";
     return out;
+}
+
+/** --host text section: per-phase host/model breakdown, throughput,
+ * memory footprint and the simulation slowdown factor. */
+std::string
+hostReport(const TraceHost &h)
+{
+    std::string out;
+    if (!h.present) {
+        out += "host profile: no host_profile events in the trace "
+               "(recorded with --host-prof=off or by an older "
+               "build?)\n";
+        return out;
+    }
+    out += fmt(
+        "host profile: %.3f s simulator wall vs %.3g s model time",
+        h.totalSeconds, h.modelSeconds);
+    if (h.slowdownFactor() > 0.0)
+        out += fmt(" -- slowdown %.1fx", h.slowdownFactor());
+    out += fmt(" (%zu profile events)\n", h.events);
+    for (unsigned p = 0; p < telemetry::kHostPhaseCount; ++p) {
+        out += fmt("  %-15s %9.3f ms  (%5.1f%% of host wall)\n",
+                   telemetry::hostPhaseName(
+                       static_cast<telemetry::HostPhase>(p)),
+                   toMillis(h.phaseSeconds[p]),
+                   h.totalSeconds > 0.0
+                       ? h.phaseSeconds[p] / h.totalSeconds * 100.0
+                       : 0.0);
+    }
+    out += fmt(
+        "  throughput: %.3g replayed slots/s (%.3g slots), %.3g "
+        "trace records/s (%.3g records)\n",
+        h.replaySlotsPerSec(), h.replaySlots,
+        h.traceRecordsPerSec(), h.traceRecords);
+    out += fmt(
+        "  memory: peak RSS %.1f MB, tasklet-trace high water "
+        "%.2f MB\n",
+        h.peakRssBytes / 1e6, h.taskletTraceBytesPeak / 1e6);
+    return out;
+}
+
+/** Host-phase colors, indexed by telemetry::HostPhase. */
+constexpr const char *kHostPhaseColors
+    [telemetry::kHostPhaseCount] = {
+        "#0ea5e9", // partition_build: sky
+        "#f59e0b", // trace_record: amber
+        "#16a34a", // replay: green
+        "#a3e635", // profile_fold: lime
+        "#3b82f6", // transfer_model: blue
+        "#8b5cf6", // host_merge: violet
+        "#dc2626", // analysis: red
+};
+
+/** Host-phase lane: one proportional stacked bar of where the
+ * simulator's own wall time went. Empty when the trace carries no
+ * host_profile events. */
+std::string
+hostLaneSvg(const TraceHost &h)
+{
+    if (!h.present || h.totalSeconds <= 0.0)
+        return "";
+    constexpr double width = 1000.0;
+    constexpr double labelW = 90.0;
+    constexpr double rowH = 18.0;
+    const double chartW = width - labelW - 10.0;
+    std::string svg;
+    svg += fmt("<svg id=\"hostlane\" viewBox=\"0 0 %.0f %.0f\" "
+               "xmlns=\"http://www.w3.org/2000/svg\" "
+               "font-family=\"monospace\" font-size=\"11\">\n",
+               width, rowH + 8.0);
+    svg += fmt("<text x=\"4\" y=\"%.1f\">host</text>\n",
+               4.0 + rowH - 5.0);
+    double x = labelW;
+    for (unsigned p = 0; p < telemetry::kHostPhaseCount; ++p) {
+        const double frac = h.phaseSeconds[p] / h.totalSeconds;
+        if (frac <= 0.0)
+            continue;
+        const double w = frac * chartW;
+        const char *name = telemetry::hostPhaseName(
+            static_cast<telemetry::HostPhase>(p));
+        svg += fmt("<rect id=\"host-%s\" x=\"%.2f\" y=\"4\" "
+                   "width=\"%.2f\" height=\"%.0f\" fill=\"%s\">"
+                   "<title>%s: %.3f ms (%.1f%% of host "
+                   "wall)</title></rect>\n",
+                   name, x, std::max(0.5, w), rowH - 4.0,
+                   kHostPhaseColors[p], name,
+                   toMillis(h.phaseSeconds[p]), frac * 100.0);
+        x += w;
+    }
+    svg += "</svg>\n";
+    return svg;
 }
 
 const char *
@@ -746,6 +979,20 @@ htmlReport(const std::string &source, const Analysis &a)
             "<span style=\"background:#f59e0b;color:#fff\">merge"
             "</span></div>\n";
     html += svg;
+    const std::string host_lane = hostLaneSvg(a.host);
+    if (!host_lane.empty()) {
+        html += "<h2>Host phases (simulator wall time)</h2>\n"
+                "<div class=\"legend\">";
+        for (unsigned p = 0; p < telemetry::kHostPhaseCount; ++p) {
+            html += fmt("<span style=\"background:%s;color:#fff\">"
+                        "%s</span>",
+                        kHostPhaseColors[p],
+                        telemetry::hostPhaseName(
+                            static_cast<telemetry::HostPhase>(p)));
+        }
+        html += "</div>\n";
+        html += host_lane;
+    }
     const std::string heat = heatmapSvg(tl);
     if (!heat.empty()) {
         html += "<h2>Per-DPU load heatmap</h2>\n"
@@ -776,6 +1023,10 @@ htmlReport(const std::string &source, const Analysis &a)
         html += "<h2>Imbalance</h2>\n<pre>" +
                 htmlEscape(imbalanceReport(a)) + "</pre>\n";
     }
+    if (a.host.present) {
+        html += "<h2>Host profile</h2>\n<pre>" +
+                htmlEscape(hostReport(a.host)) + "</pre>\n";
+    }
     html += "</body></html>\n";
     return html;
 }
@@ -783,14 +1034,16 @@ htmlReport(const std::string &source, const Analysis &a)
 int
 runTraceMode(const ExplainOptions &opt)
 {
-    std::vector<telemetry::TimelineSpan> spans;
+    LoadedTrace lt;
     std::string error;
-    if (!loadTraceSpans(opt.trace, spans, &error)) {
+    if (!loadTraceSpans(opt.trace, lt, &error)) {
         std::fprintf(stderr, "alphapim-explain: %s\n",
                      error.c_str());
         return 2;
     }
-    const Analysis a = analyze(std::move(spans));
+    const Analysis a = analyze(std::move(lt));
+    for (const std::string &w : a.warnings)
+        std::fprintf(stderr, "alphapim-explain: %s\n", w.c_str());
     if (a.timeline.launches.empty()) {
         std::fprintf(stderr,
                      "alphapim-explain: no launches found in '%s' "
@@ -802,6 +1055,8 @@ runTraceMode(const ExplainOptions &opt)
     std::fputs(textReport(opt.trace, a).c_str(), stdout);
     if (opt.imbalance)
         std::fputs(imbalanceReport(a).c_str(), stdout);
+    if (opt.host)
+        std::fputs(hostReport(a.host).c_str(), stdout);
     if (!opt.html.empty()) {
         std::ofstream out(opt.html);
         if (!out) {
@@ -830,7 +1085,56 @@ runRecordsMode(const ExplainOptions &opt)
                 opt.records.c_str(), set.records.size());
     std::size_t with_timeline = 0;
     std::size_t with_imbalance = 0;
+    std::size_t with_host = 0;
     for (const perf::RunRecord &r : set.records) {
+        if (opt.host && r.hasHost) {
+            ++with_host;
+            const perf::HostSummary &h = r.host;
+            const struct
+            {
+                const char *name;
+                double seconds;
+            } host_phases[] = {
+                {"partition_build", h.partitionBuildSeconds},
+                {"trace_record", h.traceRecordSeconds},
+                {"replay", h.replaySeconds},
+                {"profile_fold", h.profileFoldSeconds},
+                {"transfer_model", h.transferModelSeconds},
+                {"host_merge", h.hostMergeSeconds},
+                {"analysis", h.analysisSeconds},
+            };
+            const auto *dominant = &host_phases[0];
+            for (const auto &hp : host_phases)
+                if (hp.seconds > dominant->seconds)
+                    dominant = &hp;
+            std::printf(
+                "  host %s: %.3g s host wall, slowdown %.1fx; "
+                "dominant phase %s (%.0f%% of wall)\n",
+                r.key.str().c_str(), h.totalSeconds,
+                h.slowdownFactor, dominant->name,
+                h.totalSeconds > 0.0
+                    ? dominant->seconds / h.totalSeconds * 100.0
+                    : 0.0);
+            std::string phases = "    phases:";
+            for (const auto &hp : host_phases)
+                phases +=
+                    fmt(" %s %.3g s", hp.name, hp.seconds);
+            std::printf("%s\n", phases.c_str());
+            std::printf(
+                "    throughput: %.3g replayed slots/s (%llu "
+                "slots), %.3g trace records/s (%llu records)\n",
+                h.replaySlotsPerSec,
+                static_cast<unsigned long long>(h.replaySlots),
+                h.traceRecordsPerSec,
+                static_cast<unsigned long long>(h.traceRecords));
+            std::printf(
+                "    memory: peak RSS %.1f MB, tasklet-trace high "
+                "water %.2f MB, tracer %.2f MB, metrics %.2f MB\n",
+                static_cast<double>(h.peakRssBytes) / 1e6,
+                static_cast<double>(h.taskletTraceBytesPeak) / 1e6,
+                static_cast<double>(h.tracerBytes) / 1e6,
+                static_cast<double>(h.metricsBytes) / 1e6);
+        }
         if (r.hasTimeline) {
             ++with_timeline;
             const perf::TimelineSummary &t = r.timeline;
@@ -898,7 +1202,16 @@ runRecordsMode(const ExplainOptions &opt)
                      "alpha-pim-run-v4?)\n");
         return 1;
     }
-    if (with_timeline == 0 && with_imbalance == 0) {
+    if (opt.host && with_host == 0) {
+        std::fprintf(stderr,
+                     "alphapim-explain: no record carries a host "
+                     "block (records predate schema "
+                     "alpha-pim-run-v5, or were produced with "
+                     "--host-prof=off?)\n");
+        return 1;
+    }
+    if (with_timeline == 0 && with_imbalance == 0 &&
+        with_host == 0) {
         std::fprintf(stderr,
                      "alphapim-explain: no record carries a "
                      "timeline block (records predate schema "

@@ -29,6 +29,7 @@
 #include "analysis/modelcheck/extract.hh"
 #include "analysis/modelcheck/protocol.hh"
 #include "common/logging.hh"
+#include "perf/build_info.hh"
 #include "telemetry/json.hh"
 
 using namespace alphapim;
@@ -114,6 +115,7 @@ usage()
         "  --quick            CI bounds (max-states 200000)\n"
         "output:\n"
         "  --json-out PATH    write a JSON report\n"
+        "  --version          print git SHA + build type and exit\n"
         "Every flag also accepts the --flag=value spelling.\n"
         "exit: 0 proved clean, 2 usage/I/O, 3 findings,\n"
         "      4 clean but state bound hit (unproved)\n");
@@ -308,6 +310,12 @@ parseArgs(int argc, char **argv)
             opt.maxStates = 200000;
         } else if (arg == "--json-out") {
             opt.jsonOut = next();
+        } else if (arg == "--version") {
+            std::printf("alphapim_modelcheck %s (%s%s%s)\n",
+                        perf::gitSha(), perf::buildType(),
+                        perf::buildFlags()[0] ? ", " : "",
+                        perf::buildFlags());
+            std::exit(0);
         } else if (arg == "--help" || arg == "-h") {
             usage();
         } else {

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+#
+# Gate: host-performance profiling must stay cheap. Runs a quick
+# bench with the observatory on (the default once telemetry outputs
+# are requested) and with --host-prof=off, and requires the profiled
+# configuration's wall time to stay within 5% of the unprofiled one
+# (plus a small absolute slack so sub-second runs don't gate on
+# scheduler noise).
+#
+# Wall time is read from the run records' own wall_seconds field --
+# the same measured window the differ gates on -- and each
+# configuration takes the minimum over three repetitions to shed
+# one-off machine hiccups.
+#
+# Usage: tools/host_overhead_gate.sh BENCH_BINARY [WORKDIR]
+
+set -euo pipefail
+
+BENCH="$1"
+WORK="${2:-$(mktemp -d)}"
+mkdir -p "$WORK"
+
+REPS=3
+SLACK_FRACTION=1.05 # the <5% overhead budget
+SLACK_SECONDS=0.05  # absolute noise floor for sub-second runs
+
+sum_wall() {
+    # Sum every wall_seconds in a record file.
+    awk 'BEGIN { RS="," ; total = 0 }
+         /"wall_seconds":/ { sub(/.*"wall_seconds":/, ""); total += $0 }
+         END { printf "%.9f", total }' "$1"
+}
+
+min_of() {
+    printf '%s\n' "$@" | sort -g | head -n1
+}
+
+on_times=()
+off_times=()
+for rep in $(seq 1 "$REPS"); do
+    : > "$WORK/on.$rep.jsonl"
+    : > "$WORK/off.$rep.jsonl"
+    "$BENCH" --quick --json-out "$WORK/on.$rep.jsonl" > /dev/null
+    "$BENCH" --quick --host-prof=off --json-out "$WORK/off.$rep.jsonl" \
+        > /dev/null
+    on_times+=("$(sum_wall "$WORK/on.$rep.jsonl")")
+    off_times+=("$(sum_wall "$WORK/off.$rep.jsonl")")
+done
+
+on_min="$(min_of "${on_times[@]}")"
+off_min="$(min_of "${off_times[@]}")"
+
+awk -v on="$on_min" -v off="$off_min" \
+    -v frac="$SLACK_FRACTION" -v slack="$SLACK_SECONDS" '
+    BEGIN {
+        budget = off * frac + slack
+        printf "host-prof on: %.3fs  off: %.3fs  budget: %.3fs\n",
+               on, off, budget
+        if (on > budget) {
+            printf "FAIL: profiling overhead exceeds the budget\n"
+            exit 1
+        }
+        printf "OK: profiling overhead within budget\n"
+    }'
