@@ -8,6 +8,7 @@
 
 #include "analysis/checker.hh"
 #include "analysis/imbalance.hh"
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "perf/fingerprint.hh"
 #include "perf/manifest.hh"
@@ -67,24 +68,12 @@ parseOptions(int argc, char **argv)
     if (const char *env = std::getenv("ALPHAPIM_EDGE_TARGET"))
         opt.edgeTarget = std::strtoull(env, nullptr, 10);
 
-    for (int i = 1; i < argc; ++i) {
-        // Accept both "--flag value" and "--flag=value".
-        std::string arg = argv[i];
-        std::string inline_value;
-        bool has_inline = false;
-        if (const std::size_t eq = arg.find('=');
-            eq != std::string::npos && arg.rfind("--", 0) == 0) {
-            inline_value = arg.substr(eq + 1);
-            arg.resize(eq);
-            has_inline = true;
-        }
-        auto next = [&]() -> const char * {
-            if (has_inline)
-                return inline_value.c_str();
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            return argv[++i];
-        };
+    // Accept both "--flag value" and "--flag=value".
+    CliArgs args(argc, argv,
+                 [argv](const std::string &) { usage(argv[0]); });
+    while (args.next()) {
+        const std::string &arg = args.arg();
+        auto next = [&]() -> const char * { return args.value(); };
         if (arg == "--dpus") {
             opt.dpus = static_cast<unsigned>(std::atoi(next()));
         } else if (arg == "--scale") {
@@ -105,8 +94,8 @@ parseOptions(int argc, char **argv)
             opt.jsonOut = next();
         } else if (arg == "--check") {
             opt.check = true;
-            if (has_inline)
-                check_list = inline_value;
+            if (args.hasInlineValue())
+                check_list = args.inlineValue();
         } else if (arg == "--check-out") {
             opt.check = true;
             opt.checkOut = next();
@@ -127,15 +116,16 @@ parseOptions(int argc, char **argv)
             }
         } else if (arg == "--host-prof") {
             // Bare --host-prof means on; value form takes on|off.
-            if (!has_inline || inline_value == "on") {
+            if (!args.hasInlineValue() ||
+                args.inlineValue() == "on") {
                 opt.hostProf = true;
-            } else if (inline_value == "off") {
+            } else if (args.inlineValue() == "off") {
                 opt.hostProf = false;
             } else {
                 std::fprintf(stderr,
                              "--host-prof: expected on or off, got "
                              "'%s'\n",
-                             inline_value.c_str());
+                             args.inlineValue().c_str());
                 usage(argv[0]);
             }
         } else if (arg == "--log-level") {
@@ -353,7 +343,8 @@ RunRecorder::emit(const std::string &dataset,
                   const std::string &variant,
                   const core::PhaseTimes &times,
                   const upmem::LaunchProfile *profile,
-                  std::size_t iterations, unsigned dpusOverride)
+                  std::size_t iterations, unsigned dpusOverride,
+                  const perf::ServeSummary *serve)
 {
     if (opt_.jsonOut.empty())
         return;
@@ -439,7 +430,8 @@ RunRecorder::emit(const std::string &dataset,
         perf::encodeRunRecord(manifest, key,
                               static_cast<std::uint64_t>(iterations),
                               times, profile, xfer_ptr, wall,
-                              timeline_ptr, imbalance_ptr, host_ptr));
+                              timeline_ptr, imbalance_ptr, host_ptr,
+                              serve));
 }
 
 int

@@ -51,6 +51,11 @@ namespace alphapim::telemetry
 class RecordingScope;
 }
 
+namespace alphapim::perf
+{
+struct ServeSummary;
+}
+
 namespace alphapim::bench
 {
 
@@ -174,11 +179,14 @@ class RunRecorder
      * @param iterations iteration count of the run (0 if n/a)
      * @param dpusOverride DPU count of this run when it differs
      *                     from opt.dpus (0 = use opt.dpus)
+     * @param serve      serving summary (the record's "serve"
+     *                   block), or nullptr for non-serving runs
      */
     void emit(const std::string &dataset, const std::string &variant,
               const core::PhaseTimes &times,
               const upmem::LaunchProfile *profile,
-              std::size_t iterations, unsigned dpusOverride = 0);
+              std::size_t iterations, unsigned dpusOverride = 0,
+              const perf::ServeSummary *serve = nullptr);
 
   private:
     const BenchOptions &opt_;

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Internal helpers shared by the graph-application drivers: config
+ * resolution and per-iteration telemetry emission. Not part of the
+ * public apps API.
+ */
+
+#ifndef ALPHA_PIM_APPS_APP_TRACE_HH
+#define ALPHA_PIM_APPS_APP_TRACE_HH
+
+#include <string>
+
+#include "apps/app_result.hh"
+#include "apps/graph_apps.hh"
+#include "telemetry/telemetry.hh"
+
+namespace alphapim::apps::detail
+{
+
+/** Resolve the DPU count: 0 means "all the system has". */
+inline unsigned
+resolveDpus(const upmem::UpmemSystem &sys, const AppConfig &cfg)
+{
+    return cfg.dpus == 0 ? sys.numDpus() : cfg.dpus;
+}
+
+/** Iteration cap: explicit, or the vertex count. */
+inline unsigned
+resolveMaxIters(const AppConfig &cfg, NodeId n)
+{
+    return cfg.maxIterations == 0 ? n : cfg.maxIterations;
+}
+
+/**
+ * Record one application iteration with the telemetry subsystem: an
+ * "<app>.iteration" span on the engine track enclosing the launch's
+ * phase spans, plus the iteration counter. `host_merge_extra` is the
+ * host-side frontier/convergence time the app charged to the Merge
+ * phase after the launch; the model clock advances past it so the
+ * next iteration starts where this one ends.
+ */
+inline void
+recordIteration(const char *app, const IterationLog &log,
+                Seconds it_start, Seconds host_merge_extra)
+{
+    auto &t = telemetry::tracer();
+    if (t.enabled()) {
+        t.advance(host_merge_extra);
+        t.completeEvent(
+            telemetry::engineTrack,
+            std::string(app) + ".iteration", "app", it_start,
+            t.now() - it_start,
+            {telemetry::arg(
+                 "iteration",
+                 static_cast<std::uint64_t>(log.iteration)),
+             telemetry::arg("input_density", log.inputDensity),
+             telemetry::arg("output_density", log.outputDensity),
+             telemetry::arg("kernel",
+                            log.usedSpmv ? "spmv" : "spmspv")});
+    }
+    telemetry::metrics().addCounter("engine.iterations");
+}
+
+/** Emit the convergence instant + counter when a run converged. */
+inline void
+recordConvergence(const char *app, bool converged)
+{
+    if (!converged)
+        return;
+    auto &t = telemetry::tracer();
+    if (t.enabled()) {
+        t.instantEvent(telemetry::engineTrack,
+                       std::string(app) + ".converged", "app",
+                       t.now());
+    }
+    telemetry::metrics().addCounter("app.converged_runs");
+}
+
+} // namespace alphapim::apps::detail
+
+#endif // ALPHA_PIM_APPS_APP_TRACE_HH

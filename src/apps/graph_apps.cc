@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "apps/app_trace.hh"
 #include "apps/reference_algorithms.hh"
 #include "common/logging.hh"
 #include "telemetry/telemetry.hh"
@@ -10,81 +11,18 @@
 namespace alphapim::apps
 {
 
-namespace
-{
-
-/** Resolve the DPU count: 0 means "all the system has". */
-unsigned
-resolveDpus(const upmem::UpmemSystem &sys, const AppConfig &cfg)
-{
-    return cfg.dpus == 0 ? sys.numDpus() : cfg.dpus;
-}
-
-/** Iteration cap: explicit, or the vertex count. */
-unsigned
-resolveMaxIters(const AppConfig &cfg, NodeId n)
-{
-    return cfg.maxIterations == 0 ? n : cfg.maxIterations;
-}
-
-/**
- * Record one application iteration with the telemetry subsystem: an
- * "<app>.iteration" span on the engine track enclosing the launch's
- * phase spans, plus the iteration counter. `host_merge_extra` is the
- * host-side frontier/convergence time the app charged to the Merge
- * phase after the launch; the model clock advances past it so the
- * next iteration starts where this one ends.
- */
-void
-recordIteration(const char *app, const IterationLog &log,
-                Seconds it_start, Seconds host_merge_extra)
-{
-    auto &t = telemetry::tracer();
-    if (t.enabled()) {
-        t.advance(host_merge_extra);
-        t.completeEvent(
-            telemetry::engineTrack,
-            std::string(app) + ".iteration", "app", it_start,
-            t.now() - it_start,
-            {telemetry::arg(
-                 "iteration",
-                 static_cast<std::uint64_t>(log.iteration)),
-             telemetry::arg("input_density", log.inputDensity),
-             telemetry::arg("output_density", log.outputDensity),
-             telemetry::arg("kernel",
-                            log.usedSpmv ? "spmv" : "spmspv")});
-    }
-    telemetry::metrics().addCounter("engine.iterations");
-}
-
-/** Emit the convergence instant + counter when a run converged. */
-void
-recordConvergence(const char *app, bool converged)
-{
-    if (!converged)
-        return;
-    auto &t = telemetry::tracer();
-    if (t.enabled()) {
-        t.instantEvent(telemetry::engineTrack,
-                       std::string(app) + ".converged", "app",
-                       t.now());
-    }
-    telemetry::metrics().addCounter("app.converged_runs");
-}
-
-} // namespace
+using detail::recordConvergence;
+using detail::recordIteration;
+using detail::resolveDpus;
+using detail::resolveMaxIters;
 
 AppResult
-runBfs(const upmem::UpmemSystem &sys,
-       const sparse::CooMatrix<float> &adjacency, NodeId source,
-       const AppConfig &config)
+bfsWithEngine(const upmem::UpmemSystem &sys,
+              core::PimEngine<core::BoolOrAnd> &engine,
+              NodeId source, const AppConfig &config)
 {
-    const NodeId n = adjacency.numRows();
+    const NodeId n = engine.numRows();
     ALPHA_ASSERT(source < n, "BFS source out of range");
-    const unsigned dpus = resolveDpus(sys, config);
-    core::PimEngine<core::BoolOrAnd> engine(
-        sys, adjacency, dpus, config.strategy,
-        config.switchThreshold);
 
     AppResult result;
     result.levels.assign(n, invalidNode);
@@ -136,16 +74,23 @@ runBfs(const upmem::UpmemSystem &sys,
 }
 
 AppResult
-runSssp(const upmem::UpmemSystem &sys,
-        const sparse::CooMatrix<float> &weighted, NodeId source,
-        const AppConfig &config)
+runBfs(const upmem::UpmemSystem &sys,
+       const sparse::CooMatrix<float> &adjacency, NodeId source,
+       const AppConfig &config)
 {
-    const NodeId n = weighted.numRows();
+    core::PimEngine<core::BoolOrAnd> engine(
+        sys, adjacency, resolveDpus(sys, config), config.strategy,
+        config.switchThreshold);
+    return bfsWithEngine(sys, engine, source, config);
+}
+
+AppResult
+ssspWithEngine(const upmem::UpmemSystem &sys,
+               core::PimEngine<core::MinPlus> &engine, NodeId source,
+               const AppConfig &config)
+{
+    const NodeId n = engine.numRows();
     ALPHA_ASSERT(source < n, "SSSP source out of range");
-    const unsigned dpus = resolveDpus(sys, config);
-    core::PimEngine<core::MinPlus> engine(sys, weighted, dpus,
-                                          config.strategy,
-                                          config.switchThreshold);
 
     const float inf = std::numeric_limits<float>::infinity();
     AppResult result;
@@ -194,18 +139,23 @@ runSssp(const upmem::UpmemSystem &sys,
 }
 
 AppResult
-runPpr(const upmem::UpmemSystem &sys,
-       const sparse::CooMatrix<float> &adjacency, NodeId source,
-       const AppConfig &config)
+runSssp(const upmem::UpmemSystem &sys,
+        const sparse::CooMatrix<float> &weighted, NodeId source,
+        const AppConfig &config)
 {
-    const NodeId n = adjacency.numRows();
-    ALPHA_ASSERT(source < n, "PPR source out of range");
-    const unsigned dpus = resolveDpus(sys, config);
+    core::PimEngine<core::MinPlus> engine(
+        sys, weighted, resolveDpus(sys, config), config.strategy,
+        config.switchThreshold);
+    return ssspWithEngine(sys, engine, source, config);
+}
 
-    const auto a_norm = normalizeColumns(adjacency);
-    core::PimEngine<core::PlusTimes> engine(sys, a_norm, dpus,
-                                            config.strategy,
-                                            config.switchThreshold);
+AppResult
+pprWithEngine(const upmem::UpmemSystem &sys,
+              core::PimEngine<core::PlusTimes> &engine, NodeId source,
+              const AppConfig &config)
+{
+    const NodeId n = engine.numRows();
+    ALPHA_ASSERT(source < n, "PPR source out of range");
 
     AppResult result;
     result.ranks.assign(n, 0.0f);
@@ -262,15 +212,23 @@ runPpr(const upmem::UpmemSystem &sys,
 }
 
 AppResult
-runConnectedComponents(const upmem::UpmemSystem &sys,
-                       const sparse::CooMatrix<float> &adjacency,
-                       const AppConfig &config)
+runPpr(const upmem::UpmemSystem &sys,
+       const sparse::CooMatrix<float> &adjacency, NodeId source,
+       const AppConfig &config)
 {
-    const NodeId n = adjacency.numRows();
-    const unsigned dpus = resolveDpus(sys, config);
-    core::PimEngine<core::MinSelect> engine(sys, adjacency, dpus,
-                                            config.strategy,
-                                            config.switchThreshold);
+    const auto a_norm = normalizeColumns(adjacency);
+    core::PimEngine<core::PlusTimes> engine(
+        sys, a_norm, resolveDpus(sys, config), config.strategy,
+        config.switchThreshold);
+    return pprWithEngine(sys, engine, source, config);
+}
+
+AppResult
+ccWithEngine(const upmem::UpmemSystem &sys,
+             core::PimEngine<core::MinSelect> &engine,
+             const AppConfig &config)
+{
+    const NodeId n = engine.numRows();
 
     AppResult result;
     result.levels.resize(n);
@@ -318,6 +276,17 @@ runConnectedComponents(const upmem::UpmemSystem &sys,
     }
     recordConvergence("cc", result.converged);
     return result;
+}
+
+AppResult
+runConnectedComponents(const upmem::UpmemSystem &sys,
+                       const sparse::CooMatrix<float> &adjacency,
+                       const AppConfig &config)
+{
+    core::PimEngine<core::MinSelect> engine(
+        sys, adjacency, resolveDpus(sys, config), config.strategy,
+        config.switchThreshold);
+    return ccWithEngine(sys, engine, config);
 }
 
 } // namespace alphapim::apps

@@ -53,6 +53,17 @@ AppResult runBfs(const upmem::UpmemSystem &sys,
                  NodeId source, const AppConfig &config = {});
 
 /**
+ * BFS against a caller-owned engine. The serving subsystem keeps
+ * engines resident (matrix load amortized across queries) and calls
+ * these `*WithEngine` variants; the `run*` functions above construct
+ * a fresh engine and delegate. Only `strategy`-independent fields of
+ * `config` apply (the engine already fixed strategy and threshold).
+ */
+AppResult bfsWithEngine(const upmem::UpmemSystem &sys,
+                        core::PimEngine<core::BoolOrAnd> &engine,
+                        NodeId source, const AppConfig &config = {});
+
+/**
  * Single-source shortest paths over the (min, +) semiring on a
  * weighted adjacency. The result's `distances` holds per-vertex
  * shortest distances.
@@ -61,6 +72,11 @@ AppResult runSssp(const upmem::UpmemSystem &sys,
                   const sparse::CooMatrix<float> &weighted,
                   NodeId source, const AppConfig &config = {});
 
+/** SSSP against a caller-owned engine over the weighted matrix. */
+AppResult ssspWithEngine(const upmem::UpmemSystem &sys,
+                         core::PimEngine<core::MinPlus> &engine,
+                         NodeId source, const AppConfig &config = {});
+
 /**
  * Personalized PageRank over the (+, x) semiring on the column-
  * normalized adjacency. The result's `ranks` holds the PPR vector.
@@ -68,6 +84,12 @@ AppResult runSssp(const upmem::UpmemSystem &sys,
 AppResult runPpr(const upmem::UpmemSystem &sys,
                  const sparse::CooMatrix<float> &adjacency,
                  NodeId source, const AppConfig &config = {});
+
+/** PPR against a caller-owned engine. The engine must have been
+ * built over the column-normalized adjacency (normalizeColumns). */
+AppResult pprWithEngine(const upmem::UpmemSystem &sys,
+                        core::PimEngine<core::PlusTimes> &engine,
+                        NodeId source, const AppConfig &config = {});
 
 /**
  * Connected components by min-label propagation over the
@@ -80,6 +102,11 @@ AppResult runConnectedComponents(
     const upmem::UpmemSystem &sys,
     const sparse::CooMatrix<float> &adjacency,
     const AppConfig &config = {});
+
+/** Connected components against a caller-owned engine. */
+AppResult ccWithEngine(const upmem::UpmemSystem &sys,
+                       core::PimEngine<core::MinSelect> &engine,
+                       const AppConfig &config = {});
 
 } // namespace alphapim::apps
 

@@ -1,0 +1,201 @@
+#include "multi_source.hh"
+
+#include <limits>
+#include <map>
+
+#include "apps/app_trace.hh"
+#include "common/logging.hh"
+#include "telemetry/telemetry.hh"
+
+namespace alphapim::apps
+{
+
+using detail::recordConvergence;
+using detail::recordIteration;
+using detail::resolveDpus;
+using detail::resolveMaxIters;
+
+MultiSourceResult
+multiBfsWithEngine(const upmem::UpmemSystem &sys,
+                   core::PimEngine<core::BitsOrAnd> &engine,
+                   const std::vector<NodeId> &sources,
+                   const AppConfig &config)
+{
+    const NodeId n = engine.numRows();
+    ALPHA_ASSERT(!sources.empty() && sources.size() <= kBfsLanes,
+                 "multi-BFS batch must hold 1..32 sources");
+    for (NodeId s : sources)
+        ALPHA_ASSERT(s < n, "multi-BFS source out of range");
+
+    MultiSourceResult result;
+    result.sources = sources;
+    result.levels.assign(sources.size(),
+                         std::vector<std::uint32_t>(n, invalidNode));
+
+    // visited_mask[v] bit s set once source s's wavefront reached v.
+    std::vector<std::uint32_t> visited_mask(n, 0);
+    // Seed: sources sharing a vertex OR their bits into one entry;
+    // the map keeps the frontier's ascending index order.
+    std::map<NodeId, std::uint32_t> seed;
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+        seed[sources[s]] |= 1u << s;
+        result.levels[s][sources[s]] = 0;
+    }
+    sparse::SparseVector<std::uint32_t> frontier(n);
+    for (const auto &[v, mask] : seed) {
+        visited_mask[v] |= mask;
+        frontier.append(v, mask);
+    }
+
+    const unsigned max_iters = resolveMaxIters(config, n);
+    const Bytes vec_bytes =
+        static_cast<Bytes>(n) * sizeof(std::uint32_t);
+    for (unsigned iter = 1; iter <= max_iters; ++iter) {
+        IterationLog log;
+        log.iteration = iter;
+        log.inputDensity = frontier.density();
+        const Seconds it_start = telemetry::tracer().now();
+
+        auto r = engine.multiply(frontier);
+        const Seconds host_extra = sys.host().convergenceTime(vec_bytes);
+        r.times.merge += host_extra;
+
+        // Per lane, exactly the sequential frontier update: a vertex
+        // joins lane s's next frontier iff bit s arrived and lane s
+        // had not visited it.
+        sparse::SparseVector<std::uint32_t> next(n);
+        for (NodeId v = 0; v < n; ++v) {
+            const std::uint32_t newbits = r.y[v] & ~visited_mask[v];
+            if (newbits == 0)
+                continue;
+            visited_mask[v] |= newbits;
+            for (std::size_t s = 0; s < sources.size(); ++s) {
+                if (newbits & (1u << s))
+                    result.levels[s][v] = iter;
+            }
+            next.append(v, newbits);
+        }
+
+        log.outputDensity = next.density();
+        log.usedSpmv = engine.lastUsedSpmv();
+        log.times = r.times;
+        log.semiringOps = r.semiringOps;
+        result.addIteration(log, r.profile);
+        recordIteration("multi_bfs", log, it_start, host_extra);
+
+        frontier = std::move(next);
+        if (frontier.nnz() == 0) {
+            result.converged = true;
+            break;
+        }
+    }
+    recordConvergence("multi_bfs", result.converged);
+    return result;
+}
+
+MultiSourceResult
+runMultiBfs(const upmem::UpmemSystem &sys,
+            const sparse::CooMatrix<float> &adjacency,
+            const std::vector<NodeId> &sources,
+            const AppConfig &config)
+{
+    core::PimEngine<core::BitsOrAnd> engine(
+        sys, adjacency, resolveDpus(sys, config), config.strategy,
+        config.switchThreshold);
+    return multiBfsWithEngine(sys, engine, sources, config);
+}
+
+MultiSourceResult
+multiSsspWithEngine(const upmem::UpmemSystem &sys,
+                    core::PimEngine<SsspBatchSemiring> &engine,
+                    const std::vector<NodeId> &sources,
+                    const AppConfig &config)
+{
+    using Lanes = SsspBatchSemiring::Value;
+    const NodeId n = engine.numRows();
+    ALPHA_ASSERT(!sources.empty() && sources.size() <= kSsspLanes,
+                 "multi-SSSP batch exceeds the lane count");
+    for (NodeId s : sources)
+        ALPHA_ASSERT(s < n, "multi-SSSP source out of range");
+
+    const float inf = std::numeric_limits<float>::infinity();
+    MultiSourceResult result;
+    result.sources = sources;
+    result.distances.assign(sources.size(),
+                            std::vector<float>(n, inf));
+
+    // Seed: lane s carries 0 at its source, +inf (the additive
+    // identity) everywhere else -- including every unused lane, which
+    // therefore never produces a finite distance.
+    std::map<NodeId, Lanes> seed;
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+        auto [it, inserted] =
+            seed.try_emplace(sources[s], SsspBatchSemiring::zero());
+        it->second.lane[s] = 0.0f;
+        result.distances[s][sources[s]] = 0.0f;
+    }
+    sparse::SparseVector<Lanes> frontier(n);
+    for (const auto &[v, lanes] : seed)
+        frontier.append(v, lanes);
+
+    const unsigned max_iters = resolveMaxIters(config, n);
+    const Bytes vec_bytes = static_cast<Bytes>(n) * sizeof(Lanes);
+    for (unsigned iter = 1; iter <= max_iters; ++iter) {
+        IterationLog log;
+        log.iteration = iter;
+        log.inputDensity = frontier.density();
+        const Seconds it_start = telemetry::tracer().now();
+
+        auto r = engine.multiply(frontier);
+        const Seconds host_extra = sys.host().convergenceTime(vec_bytes);
+        r.times.merge += host_extra;
+
+        // Per lane, exactly the sequential relaxation: improved
+        // tentative distances propagate, everything else rides as
+        // +inf and contributes nothing downstream.
+        sparse::SparseVector<Lanes> next(n);
+        for (NodeId v = 0; v < n; ++v) {
+            Lanes out = SsspBatchSemiring::zero();
+            bool improved = false;
+            for (std::size_t s = 0; s < sources.size(); ++s) {
+                const float d = r.y[v].lane[s];
+                if (d < result.distances[s][v]) {
+                    result.distances[s][v] = d;
+                    out.lane[s] = d;
+                    improved = true;
+                }
+            }
+            if (improved)
+                next.append(v, out);
+        }
+
+        log.outputDensity = next.density();
+        log.usedSpmv = engine.lastUsedSpmv();
+        log.times = r.times;
+        log.semiringOps = r.semiringOps;
+        result.addIteration(log, r.profile);
+        recordIteration("multi_sssp", log, it_start, host_extra);
+
+        frontier = std::move(next);
+        if (frontier.nnz() == 0) {
+            result.converged = true;
+            break;
+        }
+    }
+    recordConvergence("multi_sssp", result.converged);
+    return result;
+}
+
+MultiSourceResult
+runMultiSssp(const upmem::UpmemSystem &sys,
+             const sparse::CooMatrix<float> &weighted,
+             const std::vector<NodeId> &sources,
+             const AppConfig &config)
+{
+    core::PimEngine<SsspBatchSemiring> engine(
+        sys, weighted, resolveDpus(sys, config), config.strategy,
+        config.switchThreshold);
+    return multiSsspWithEngine(sys, engine, sources, config);
+}
+
+} // namespace alphapim::apps

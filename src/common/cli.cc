@@ -1,0 +1,37 @@
+#include "cli.hh"
+
+namespace alphapim
+{
+
+bool
+CliArgs::next()
+{
+    ++i_;
+    if (i_ >= argc_)
+        return false;
+    arg_ = argv_[i_];
+    inline_value_.clear();
+    has_inline_ = false;
+    if (const std::size_t eq = arg_.find('=');
+        eq != std::string::npos && arg_.rfind("--", 0) == 0) {
+        inline_value_ = arg_.substr(eq + 1);
+        arg_.resize(eq);
+        has_inline_ = true;
+    }
+    return true;
+}
+
+const char *
+CliArgs::value()
+{
+    if (has_inline_)
+        return inline_value_.c_str();
+    if (i_ + 1 >= argc_) {
+        if (on_missing_)
+            on_missing_(arg_);
+        return "";
+    }
+    return argv_[++i_];
+}
+
+} // namespace alphapim

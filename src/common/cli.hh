@@ -1,0 +1,84 @@
+#pragma once
+
+/**
+ * @file
+ * Shared command-line scanning for the alphapim_* tools and the
+ * bench harness.
+ *
+ * Every binary accepts the same two spellings for a flag that takes
+ * a value -- `--flag value` and `--flag=value` -- and the scanning
+ * loop implementing that convention used to be duplicated across the
+ * tools. CliArgs is that loop: it walks argv, splits an inline
+ * `=value` off the flag token, and hands the value back from either
+ * spelling. Flags that treat a bare spelling differently from an
+ * inline list (e.g. `--check` vs `--check=race,dma`) branch on
+ * hasInlineValue().
+ */
+
+#include <functional>
+#include <string>
+
+namespace alphapim
+{
+
+/** Cursor over argv implementing the `--flag value` /
+ * `--flag=value` convention. Typical use:
+ *
+ *   CliArgs args(argc, argv, [](const std::string &) { usage(); });
+ *   while (args.next()) {
+ *       if (args.arg() == "--seed")
+ *           seed = std::strtoull(args.value(), nullptr, 10);
+ *       else if (args.isFlag())
+ *           usage();
+ *       else
+ *           positional.push_back(args.arg());
+ *   }
+ */
+class CliArgs
+{
+  public:
+    /** Called when a flag needs a value but neither an inline
+     * `=value` nor a following argv token exists. Receives the flag
+     * name; expected not to return (the tools call their
+     * [[noreturn]] usage()), but if it does, value() yields "". */
+    using MissingValueHandler =
+        std::function<void(const std::string &flag)>;
+
+    CliArgs(int argc, char **argv, MissingValueHandler onMissing)
+        : argc_(argc), argv_(argv),
+          on_missing_(std::move(onMissing))
+    {
+    }
+
+    /** Advance to the next argv token. False when exhausted. */
+    bool next();
+
+    /** The current token, with any inline `=value` stripped. */
+    const std::string &arg() const { return arg_; }
+
+    /** True when the current token starts with `--`. */
+    bool isFlag() const { return arg_.rfind("--", 0) == 0; }
+
+    /** True when the current token carried an inline `=value`. */
+    bool hasInlineValue() const { return has_inline_; }
+
+    /** The inline `=value` ("" when there was none). Does not
+     * consume the next argv token. */
+    const std::string &inlineValue() const { return inline_value_; }
+
+    /** The flag's value: the inline `=value` when present, else the
+     * next argv token (consumed). Invokes the missing-value handler
+     * when neither exists. */
+    const char *value();
+
+  private:
+    int argc_;
+    char **argv_;
+    int i_ = 0;
+    std::string arg_;
+    std::string inline_value_;
+    bool has_inline_ = false;
+    MissingValueHandler on_missing_;
+};
+
+} // namespace alphapim

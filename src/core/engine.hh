@@ -17,6 +17,7 @@
 #include "core/launch_scope.hh"
 #include "core/spmspv.hh"
 #include "core/spmv.hh"
+#include "sparse/stats_cache.hh"
 
 namespace alphapim::core
 {
@@ -72,12 +73,12 @@ class PimEngine
             threshold_ = threshold;
         } else if (strategy_ == MxvStrategy::CostModel) {
             const KernelCostModel model(
-                sys, sparse::computeGraphStats(a), dpus);
+                sys, sparse::cachedGraphStats(a), dpus);
             threshold_ = model.predictedSwitchDensity();
         } else {
             const KernelSwitchModel model;
             threshold_ =
-                model.switchThreshold(sparse::computeGraphStats(a));
+                model.switchThreshold(sparse::cachedGraphStats(a));
         }
         telemetry::metrics().setScalar("engine.switch_threshold",
                                        threshold_);
@@ -126,6 +127,13 @@ class PimEngine
 
     /** The engine's strategy. */
     MxvStrategy strategy() const { return strategy_; }
+
+    /** Matrix rows ( == vector dimension). */
+    NodeId
+    numRows() const
+    {
+        return spmspv_ ? spmspv_->numRows() : spmv_->numRows();
+    }
 
   private:
     MxvStrategy strategy_;

@@ -76,8 +76,28 @@ class PimMxvKernel
 namespace detail
 {
 
-/** Compressed (index, value) pair size in MRAM. */
+/** Compressed (index, value) pair size in MRAM. The matrix slice is
+ * always stored with float values, so matrix streams use this
+ * constant regardless of the semiring. */
 inline constexpr Bytes pairBytes = sizeof(NodeId) + sizeof(float);
+
+/** Compressed (index, value) pair size for vector entries of value
+ * type V -- equals pairBytes for every 4-byte semiring, and grows
+ * with the lane count for batched values. */
+template <typename V>
+inline constexpr Bytes vecPairBytes = sizeof(NodeId) + sizeof(V);
+
+/** Stride of one value of type V in the padded MRAM input/output
+ * images: the 8-byte DMA granularity, or the value size once it
+ * exceeds it. 8 for every 4-byte semiring. */
+template <typename V>
+inline constexpr std::uint64_t valueStride =
+    (sizeof(V) + 7ull) & ~7ull;
+
+/** WRAM words (4 B) holding one value of type V; the register loads
+ * a kernel charges to bring one value into play. */
+template <typename V>
+inline constexpr std::uint32_t valueWords = (sizeof(V) + 3) / 4;
 
 /** Number of hardware mutexes used for output-group locking. */
 inline constexpr unsigned outputMutexes = 32;

@@ -11,6 +11,7 @@
 #define ALPHA_PIM_CORE_SEMIRING_HH
 
 #include <algorithm>
+#include <array>
 #include <concepts>
 #include <limits>
 
@@ -40,6 +41,27 @@ concept Semiring = requires(typename S::Value a, typename S::Value b,
     { S::addOp() } -> std::same_as<upmem::OpClass>;
     { S::mulOp() } -> std::same_as<upmem::OpClass>;
 };
+
+/**
+ * Lane count of a semiring: how many independent scalar problems one
+ * Value carries (multi-source batching). Semirings that batch
+ * declare `static constexpr unsigned lanes()`; everything else is a
+ * single-lane semiring and the kernels charge exactly the ops they
+ * always did. A semiring whose single machine op covers all lanes at
+ * once (BitsOrAnd: one 32-bit OR is 32 boolean lanes) deliberately
+ * does NOT declare lanes() -- that free ride is the batching win.
+ */
+template <typename S>
+constexpr std::uint32_t
+semiringLanes()
+{
+    if constexpr (requires {
+                      { S::lanes() } -> std::convertible_to<unsigned>;
+                  })
+        return S::lanes();
+    else
+        return 1;
+}
 
 /** Boolean (or, and): BFS reachability. */
 struct BoolOrAnd
@@ -137,6 +159,111 @@ struct MinSelect
     static upmem::OpClass addOp() { return upmem::OpClass::Compare; }
     static upmem::OpClass mulOp() { return upmem::OpClass::Move; }
     static const char *name() { return "min-select"; }
+};
+
+/**
+ * Bitmask boolean (or, and): up to 32 concurrent BFS frontiers in
+ * one 32-bit word, bit s carrying source s's wavefront. Every DPU op
+ * is the same single Logic instruction BoolOrAnd issues, so a
+ * 32-source batch costs one sweep -- the serving subsystem's
+ * batching win for BFS. one() is all-ones so mul(one(), x) = x.
+ */
+struct BitsOrAnd
+{
+    using Value = std::uint32_t;
+
+    static Value zero() { return 0; }
+    static Value one() { return ~0u; }
+    static Value add(Value a, Value b) { return a | b; }
+    static Value mul(Value a, Value b) { return a & b; }
+    static bool isZero(Value a) { return a == 0; }
+    static Value fromMatrix(float m) { return m != 0.0f ? ~0u : 0u; }
+    static upmem::OpClass addOp() { return upmem::OpClass::Logic; }
+    static upmem::OpClass mulOp() { return upmem::OpClass::Logic; }
+    static const char *name() { return "bits-or-and"; }
+};
+
+/** Fixed-width SIMD-style value of L independent float lanes. The
+ * defaulted comparison gives SparseVector's fromDense/toDense the
+ * `!=` they need. */
+template <unsigned L>
+struct LaneArray
+{
+    std::array<float, L> lane{};
+
+    float &operator[](unsigned i) { return lane[i]; }
+    float operator[](unsigned i) const { return lane[i]; }
+    friend bool operator==(const LaneArray &,
+                           const LaneArray &) = default;
+};
+
+/**
+ * Tropical (min, +) over L lanes: L concurrent SSSP problems, lane s
+ * relaxing from source s. Unused lanes ride as the additive identity
+ * (+inf), so every lane's result is bit-identical to the
+ * corresponding single-source MinPlus run: min is exact and
+ * order-independent over non-negative distances, and the additions
+ * pair exactly the operands the sequential run pairs. Unlike
+ * BitsOrAnd the DPU really does L compares / L float adds per
+ * matrix entry, so the kernels charge ops (and move value bytes)
+ * scaled by lanes() -- batching SSSP amortizes transfers and
+ * traversal, not the arithmetic.
+ */
+template <unsigned L>
+struct MinPlusLanes
+{
+    using Value = LaneArray<L>;
+
+    static constexpr unsigned lanes() { return L; }
+    static Value
+    zero()
+    {
+        Value v;
+        v.lane.fill(std::numeric_limits<float>::infinity());
+        return v;
+    }
+    static Value
+    one()
+    {
+        Value v;
+        v.lane.fill(0.0f);
+        return v;
+    }
+    static Value
+    add(Value a, Value b)
+    {
+        Value v;
+        for (unsigned i = 0; i < L; ++i)
+            v.lane[i] = std::min(a.lane[i], b.lane[i]);
+        return v;
+    }
+    static Value
+    mul(Value a, Value b)
+    {
+        Value v;
+        for (unsigned i = 0; i < L; ++i)
+            v.lane[i] = a.lane[i] + b.lane[i];
+        return v;
+    }
+    static bool
+    isZero(Value a)
+    {
+        for (unsigned i = 0; i < L; ++i)
+            if (a.lane[i] !=
+                std::numeric_limits<float>::infinity())
+                return false;
+        return true;
+    }
+    static Value
+    fromMatrix(float m)
+    {
+        Value v;
+        v.lane.fill(m);
+        return v;
+    }
+    static upmem::OpClass addOp() { return upmem::OpClass::Compare; }
+    static upmem::OpClass mulOp() { return upmem::OpClass::FloatAdd; }
+    static const char *name() { return "min-plus-lanes"; }
 };
 
 } // namespace alphapim::core

@@ -45,6 +45,16 @@ class CscSpmspv : public PimMxvKernel<S>
 {
   public:
     using Value = typename S::Value;
+    /// Compressed (index, value) bytes of one x/y entry.
+    static constexpr Bytes kVecPair = detail::vecPairBytes<Value>;
+    /// Padded stride of one value in the MRAM accumulator image.
+    static constexpr std::uint64_t kAccStride =
+        detail::valueStride<Value>;
+    /// Scalar lanes one value carries (ops charged per lane).
+    static constexpr std::uint32_t kLanes = semiringLanes<S>();
+    /// WRAM words loaded to bring one value into registers.
+    static constexpr std::uint32_t kValueWords =
+        detail::valueWords<Value>;
 
     /**
      * Build the partitioned device image.
@@ -87,7 +97,7 @@ class CscSpmspv : public PimMxvKernel<S>
 
         // -------- Load phase: distribute the compressed x --------
         const Bytes x_bytes =
-            static_cast<Bytes>(x.nnz()) * detail::pairBytes;
+            static_cast<Bytes>(x.nnz()) * kVecPair;
         std::vector<std::pair<std::size_t, std::size_t>> x_slices(
             blocks_.size());
         std::vector<Bytes> load_bytes(blocks_.size(), 0);
@@ -103,8 +113,8 @@ class CscSpmspv : public PimMxvKernel<S>
                             x.indices().begin();
             x_slices[d] = {static_cast<std::size_t>(lo),
                            static_cast<std::size_t>(hi)};
-            load_bytes[d] = static_cast<Bytes>(hi - lo) *
-                            detail::pairBytes;
+            load_bytes[d] =
+                static_cast<Bytes>(hi - lo) * kVecPair;
         }
         if (mode_ == CscMode::RowWise) {
             result.times.load =
@@ -227,7 +237,8 @@ class CscSpmspv : public PimMxvKernel<S>
         const bool wram_out =
             static_cast<Bytes>(block.rows) * sizeof(Value) <=
             detail::wramOutputBudget(cfg);
-        const bool mram_addressed = detail::mramRegionFits(block.rows);
+        const bool mram_addressed = detail::mramRegionFits(
+            block.rows * (kAccStride / 8));
         const NodeId group_size = std::max<NodeId>(
             1, (block.rows + detail::outputMutexes - 1) /
                    detail::outputMutexes);
@@ -272,15 +283,14 @@ class CscSpmspv : public PimMxvKernel<S>
             // in sequentially ahead of the column loop.
             if (!work[t].empty()) {
                 ctx.streamFromMram(
-                    static_cast<Bytes>(work[t].size()) *
-                    detail::pairBytes);
+                    static_cast<Bytes>(work[t].size()) * kVecPair);
             }
             std::uint32_t held_group = ~0u;
             for (const Piece &piece : work[t]) {
                 const ActiveCol &col = active[piece.activeIdx];
 
                 // Column prologue: x value + colPtr lookup + stream.
-                ctx.loadWram(1);
+                ctx.loadWram(kValueWords);
                 ctx.randomMramRead(
                     16, detail::mramMatrixBase +
                             ((static_cast<std::uint64_t>(
@@ -305,7 +315,7 @@ class CscSpmspv : public PimMxvKernel<S>
                     local_ops += 2;
 
                     ctx.loadWram(2);
-                    ctx.op(S::mulOp());
+                    ctx.op(S::mulOp(), kLanes);
                     const std::uint32_t group = row / group_size;
                     if (group != held_group) {
                         if (held_group != ~0u)
@@ -322,7 +332,7 @@ class CscSpmspv : public PimMxvKernel<S>
                                 static_cast<std::uint32_t>(
                                     sizeof(Value));
                         ctx.loadWramAt(slot, sizeof(Value));
-                        ctx.op(S::addOp());
+                        ctx.op(S::addOp(), kLanes);
                         ctx.storeWramAt(slot, sizeof(Value));
                     } else {
                         // MRAM accumulator entry, padded to the
@@ -331,11 +341,12 @@ class CscSpmspv : public PimMxvKernel<S>
                             mram_addressed
                                 ? detail::mramOutputBase +
                                       static_cast<std::uint64_t>(
-                                          row) * 8
+                                          row) *
+                                          kAccStride
                                 : upmem::traceNoAddr;
-                        ctx.randomMramRead(8, slot);
-                        ctx.op(S::addOp());
-                        ctx.randomMramWrite(8, slot);
+                        ctx.randomMramRead(kAccStride, slot);
+                        ctx.op(S::addOp(), kLanes);
+                        ctx.randomMramWrite(kAccStride, slot);
                     }
                     ctx.control(1);
                 }
@@ -358,7 +369,7 @@ class CscSpmspv : public PimMxvKernel<S>
                 ++out_nnz;
         }
         const Bytes out_bytes =
-            static_cast<Bytes>(out_nnz) * detail::pairBytes;
+            static_cast<Bytes>(out_nnz) * kVecPair;
         const auto out_split = detail::evenSplit(out_nnz, tasklets);
         const auto rows_split =
             detail::evenSplit(block.rows, tasklets);
@@ -367,28 +378,28 @@ class CscSpmspv : public PimMxvKernel<S>
             const auto share = static_cast<std::uint32_t>(
                 out_split[t + 1] - out_split[t]);
             if (!wram_out) {
-                // Scan this tasklet's slice of the stride-8 padded
+                // Scan this tasklet's slice of the stride-padded
                 // MRAM accumulator (after the barrier, so ordered
                 // with the update phase).
                 const auto rows_share = static_cast<std::uint32_t>(
                     rows_split[t + 1] - rows_split[t]);
                 const auto acc = detail::alignedSlice(
                     detail::mramOutputBase, rows_split[t],
-                    rows_split[t + 1], 8);
+                    rows_split[t + 1],
+                    static_cast<unsigned>(kAccStride));
                 if (acc.bytes > 0)
                     ctx.streamFromMram(acc.bytes,
                                        mram_addressed
                                            ? acc.addr
                                            : upmem::traceNoAddr);
-                ctx.op(upmem::OpClass::Compare, rows_share);
+                ctx.op(upmem::OpClass::Compare, rows_share * kLanes);
                 ctx.control(rows_share / 4 + 1);
             } else {
                 ctx.loadWram(share);
-                ctx.op(upmem::OpClass::Compare, share);
+                ctx.op(upmem::OpClass::Compare, share * kLanes);
                 ctx.control(share / 4 + 1);
             }
-            ctx.streamToMram(static_cast<Bytes>(share) *
-                             detail::pairBytes);
+            ctx.streamToMram(static_cast<Bytes>(share) * kVecPair);
         }
 
         // Fold the partial into the shared output.
@@ -434,6 +445,16 @@ class RowMajorSpmspv : public PimMxvKernel<S>
 {
   public:
     using Value = typename S::Value;
+    /// Compressed (index, value) bytes of one x/y entry.
+    static constexpr Bytes kVecPair = detail::vecPairBytes<Value>;
+    /// Padded stride of one value in the MRAM accumulator image.
+    static constexpr std::uint64_t kAccStride =
+        detail::valueStride<Value>;
+    /// Scalar lanes one value carries (ops charged per lane).
+    static constexpr std::uint32_t kLanes = semiringLanes<S>();
+    /// WRAM words loaded to bring one value into registers.
+    static constexpr std::uint32_t kValueWords =
+        detail::valueWords<Value>;
 
     /** Build the row-partitioned device image. */
     RowMajorSpmspv(const upmem::UpmemSystem &sys,
@@ -457,7 +478,7 @@ class RowMajorSpmspv : public PimMxvKernel<S>
 
         // Row-wise partitioning broadcasts the whole compressed x.
         const Bytes x_bytes =
-            static_cast<Bytes>(x.nnz()) * detail::pairBytes;
+            static_cast<Bytes>(x.nnz()) * kVecPair;
         result.times.load = sys_.transfer().broadcast(x_bytes, dpus_);
 
         // Dense image of x for O(1) functional lookups.
@@ -522,7 +543,7 @@ class RowMajorSpmspv : public PimMxvKernel<S>
         const unsigned tasklets = cfg.tasklets;
 
         const Bytes x_bytes =
-            static_cast<Bytes>(x.nnz()) * detail::pairBytes;
+            static_cast<Bytes>(x.nnz()) * kVecPair;
         const bool x_cached =
             x_bytes <= detail::wramInputBudget(cfg);
         const unsigned probes = detail::searchDepth(x.nnz());
@@ -567,10 +588,9 @@ class RowMajorSpmspv : public PimMxvKernel<S>
             const auto share = static_cast<std::uint32_t>(
                 out_split[t + 1] - out_split[t]);
             ctx.loadWram(share);
-            ctx.op(upmem::OpClass::Compare, share);
+            ctx.op(upmem::OpClass::Compare, share * kLanes);
             ctx.control(share / 4 + 1);
-            ctx.streamToMram(static_cast<Bytes>(share) *
-                             detail::pairBytes);
+            ctx.streamToMram(static_cast<Bytes>(share) * kVecPair);
         }
 
         {
@@ -582,7 +602,7 @@ class RowMajorSpmspv : public PimMxvKernel<S>
                     result.y[block.rowBase + r] = partial[r];
             }
             retrieve_bytes[dpu] =
-                static_cast<Bytes>(out_nnz) * detail::pairBytes;
+                static_cast<Bytes>(out_nnz) * kVecPair;
             semiring_ops += local_ops;
         }
     }
@@ -634,8 +654,8 @@ class RowMajorSpmspv : public PimMxvKernel<S>
                         partial[row],
                         S::mul(S::fromMatrix(block.values[e]), xv));
                     local_ops += 2;
-                    ctx.op(S::mulOp());
-                    ctx.op(S::addOp());
+                    ctx.op(S::mulOp(), kLanes);
+                    ctx.op(S::addOp(), kLanes);
                 }
                 if (row != current_row) {
                     // Row transition: flush the register accumulator.
@@ -651,10 +671,11 @@ class RowMajorSpmspv : public PimMxvKernel<S>
             const auto mergeBoundary = [&](NodeId row) {
                 const std::uint32_t m = row % detail::outputMutexes;
                 const std::uint32_t slot =
-                    detail::wramOutputBase + m * 8;
+                    detail::wramOutputBase +
+                    m * static_cast<std::uint32_t>(kAccStride);
                 ctx.mutexLock(m);
                 ctx.loadWramAt(slot, sizeof(Value));
-                ctx.op(S::addOp());
+                ctx.op(S::addOp(), kLanes);
                 ctx.storeWramAt(slot, sizeof(Value));
                 ctx.mutexUnlock(m);
             };
@@ -718,7 +739,7 @@ class RowMajorSpmspv : public PimMxvKernel<S>
                     ctx.loadWram(steps);
                 } else {
                     ctx.streamFromMram(static_cast<Bytes>(x_nnz) *
-                                       detail::pairBytes);
+                                       kVecPair);
                     ctx.loadWram(last - first);
                 }
                 ctx.op(upmem::OpClass::Compare, steps);
@@ -733,8 +754,8 @@ class RowMajorSpmspv : public PimMxvKernel<S>
                                      S::fromMatrix(block.values[e]),
                                      xv));
                         local_ops += 2;
-                        ctx.op(S::mulOp());
-                        ctx.op(S::addOp());
+                        ctx.op(S::mulOp(), kLanes);
+                        ctx.op(S::addOp(), kLanes);
                     }
                 }
                 partial[r] = S::add(partial[r], acc);

@@ -44,6 +44,17 @@ class SpmvKernel : public PimMxvKernel<S>
 {
   public:
     using Value = typename S::Value;
+    /// Padded stride of one value in the MRAM dense-x image.
+    static constexpr std::uint64_t kXStride =
+        detail::valueStride<Value>;
+    /// Padded stride of one value in the WRAM merge slots.
+    static constexpr std::uint64_t kAccStride =
+        detail::valueStride<Value>;
+    /// Scalar lanes one value carries (ops charged per lane).
+    static constexpr std::uint32_t kLanes = semiringLanes<S>();
+    /// WRAM words loaded to bring one value into registers.
+    static constexpr std::uint32_t kValueWords =
+        detail::valueWords<Value>;
 
     /** Build the partitioned device image. */
     SpmvKernel(const upmem::UpmemSystem &sys,
@@ -167,7 +178,8 @@ class SpmvKernel : public PimMxvKernel<S>
         const DeviceBlock &block = blocks_[dpu];
         const auto &cfg = sys_.config().dpu;
         const unsigned tasklets = cfg.tasklets;
-        const bool mram_addressed = detail::mramRegionFits(n_);
+        const bool mram_addressed =
+            detail::mramRegionFits(n_ * (kXStride / 8));
 
         // The dense segment is cached in WRAM when it fits (the
         // kernel-side advantage of 2D tiling); COO.nnz keeps the full
@@ -208,24 +220,26 @@ class SpmvKernel : public PimMxvKernel<S>
                 const NodeId col = block.colIdx[e];
                 ctx.loadWram(2);
                 if (x_cached) {
-                    ctx.loadWram(1);
+                    ctx.loadWram(kValueWords);
                 } else {
-                    // Input-driven access into the stride-8 padded
+                    // Input-driven access into the stride-padded
                     // dense-x image.
                     ctx.randomMramRead(
-                        8, mram_addressed
-                               ? detail::mramInputBase +
-                                     static_cast<std::uint64_t>(
-                                         block.colBase + col) * 8
-                               : upmem::traceNoAddr);
+                        kXStride,
+                        mram_addressed
+                            ? detail::mramInputBase +
+                                  static_cast<std::uint64_t>(
+                                      block.colBase + col) *
+                                      kXStride
+                            : upmem::traceNoAddr);
                 }
                 const Value xv = x_dense[block.colBase + col];
                 partial[row] = S::add(
                     partial[row],
                     S::mul(S::fromMatrix(block.values[e]), xv));
                 local_ops += 2;
-                ctx.op(S::mulOp());
-                ctx.op(S::addOp());
+                ctx.op(S::mulOp(), kLanes);
+                ctx.op(S::addOp(), kLanes);
                 ctx.control(1);
                 if (row != current_row) {
                     ctx.storeWram(1);
@@ -239,10 +253,11 @@ class SpmvKernel : public PimMxvKernel<S>
             const auto mergeBoundary = [&](NodeId row) {
                 const std::uint32_t m = row % detail::outputMutexes;
                 const std::uint32_t slot =
-                    detail::wramOutputBase + m * 8;
+                    detail::wramOutputBase +
+                    m * static_cast<std::uint32_t>(kAccStride);
                 ctx.mutexLock(m);
                 ctx.loadWramAt(slot, sizeof(Value));
-                ctx.op(S::addOp());
+                ctx.op(S::addOp(), kLanes);
                 ctx.storeWramAt(slot, sizeof(Value));
                 ctx.mutexUnlock(m);
             };
@@ -308,6 +323,11 @@ class SpmvRow1d : public PimMxvKernel<S>
 {
   public:
     using Value = typename S::Value;
+    /// Padded stride of one value in the MRAM dense-x image.
+    static constexpr std::uint64_t kXStride =
+        detail::valueStride<Value>;
+    /// Scalar lanes one value carries (ops charged per lane).
+    static constexpr std::uint32_t kLanes = semiringLanes<S>();
 
     /** Build the row-uniform partitioned device image. */
     SpmvRow1d(const upmem::UpmemSystem &sys,
@@ -413,7 +433,8 @@ class SpmvRow1d : public PimMxvKernel<S>
 
         // Row-granular tasklet split: equal row counts (SparseP's
         // .row balancing), regardless of nnz.
-        const bool mram_addressed = detail::mramRegionFits(n_);
+        const bool mram_addressed =
+            detail::mramRegionFits(n_ * (kXStride / 8));
         const auto rows_split =
             detail::evenSplit(block.rows, tasklets);
         for (unsigned t = 0; t < tasklets; ++t) {
@@ -449,19 +470,20 @@ class SpmvRow1d : public PimMxvKernel<S>
                 for (std::size_t e = first; e < last; ++e) {
                     const NodeId col = block.colIdx[e];
                     ctx.loadWram(UseCsr ? 2 : 3);
-                    // Dense x in MRAM (stride-8 padded image).
+                    // Dense x in MRAM (stride-padded image).
                     ctx.randomMramRead(
-                        8, mram_addressed
-                               ? detail::mramInputBase +
-                                     static_cast<std::uint64_t>(col) *
-                                         8
-                               : upmem::traceNoAddr);
+                        kXStride,
+                        mram_addressed
+                            ? detail::mramInputBase +
+                                  static_cast<std::uint64_t>(col) *
+                                      kXStride
+                            : upmem::traceNoAddr);
                     acc = S::add(
                         acc, S::mul(S::fromMatrix(block.values[e]),
                                     x_dense[col]));
                     local_ops += 2;
-                    ctx.op(S::mulOp());
-                    ctx.op(S::addOp());
+                    ctx.op(S::mulOp(), kLanes);
+                    ctx.op(S::addOp(), kLanes);
                     ctx.control(1);
                 }
                 partial[r] = acc;

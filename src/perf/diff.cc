@@ -69,10 +69,13 @@ mean(const std::vector<double> &xs)
     return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
 }
 
-/** Compare one deterministic (exactly reproducible) metric. */
+/** Compare one deterministic (exactly reproducible) metric.
+ * `higherIsBetter` inverts the regression direction for throughput
+ * metrics (fewer queries per second is the regression). */
 MetricDelta
 deterministicDelta(const std::string &metric, double oldv,
-                   double newv, const DiffOptions &opt)
+                   double newv, const DiffOptions &opt,
+                   bool higherIsBetter = false)
 {
     MetricDelta d;
     d.metric = metric;
@@ -82,11 +85,12 @@ deterministicDelta(const std::string &metric, double oldv,
                               : (newv - oldv) / oldv;
     const double scale =
         std::max({std::fabs(oldv), std::fabs(newv), 1.0});
+    const double worse = higherIsBetter ? -d.relChange : d.relChange;
     if (std::fabs(newv - oldv) <= opt.epsilon * scale)
         d.verdict = Verdict::Equal;
-    else if (d.relChange > opt.threshold)
+    else if (worse > opt.threshold)
         d.verdict = Verdict::Regressed;
-    else if (d.relChange < -opt.threshold)
+    else if (worse < -opt.threshold)
         d.verdict = Verdict::Improved;
     else
         d.verdict = Verdict::Drifted;
@@ -152,6 +156,38 @@ compareDeterministic(const RunRecord &o, const RunRecord &n,
         add("roofline.op_intensity",
             o.imbalance.rooflineOpIntensity,
             n.imbalance.rooflineOpIntensity);
+    }
+    if (o.hasServe && n.hasServe) {
+        add("serve.submitted",
+            static_cast<double>(o.serve.submitted),
+            static_cast<double>(n.serve.submitted));
+        add("serve.admitted", static_cast<double>(o.serve.admitted),
+            static_cast<double>(n.serve.admitted));
+        add("serve.rejected", static_cast<double>(o.serve.rejected),
+            static_cast<double>(n.serve.rejected));
+        add("serve.completed",
+            static_cast<double>(o.serve.completed),
+            static_cast<double>(n.serve.completed));
+        add("serve.batches", static_cast<double>(o.serve.batches),
+            static_cast<double>(n.serve.batches));
+        add("serve.mean_batch_size", o.serve.meanBatchSize,
+            n.serve.meanBatchSize);
+        add("serve.latency_p50", o.serve.latencyP50,
+            n.serve.latencyP50);
+        add("serve.latency_p95", o.serve.latencyP95,
+            n.serve.latencyP95);
+        add("serve.latency_p99", o.serve.latencyP99,
+            n.serve.latencyP99);
+        add("serve.latency_p999", o.serve.latencyP999,
+            n.serve.latencyP999);
+        add("serve.latency_mean", o.serve.latencyMean,
+            n.serve.latencyMean);
+        add("serve.makespan_seconds", o.serve.makespanSeconds,
+            n.serve.makespanSeconds);
+        // Throughput regresses downward.
+        pair.metrics.push_back(deterministicDelta(
+            "serve.queries_per_sec", o.serve.queriesPerSec,
+            n.serve.queriesPerSec, opt, /*higherIsBetter=*/true));
     }
 }
 
@@ -300,10 +336,12 @@ compareHost(const std::vector<const RunRecord *> &olds,
 }
 
 /** Fold metric verdicts into the pair verdict. The gates are the
- * total model time and the straggler factor (a launch that got more
- * skewed is a regression even before it dominates the total); other
- * deterministic drift demotes to Drifted. Wall-clock only gates when
- * opt.wallClockGate; host.* metrics only when opt.hostGate. */
+ * total model time, the straggler factor (a launch that got more
+ * skewed is a regression even before it dominates the total), and
+ * the serving tail latency / throughput pair (p95 up or queries/sec
+ * down fails the serving baseline); other deterministic drift
+ * demotes to Drifted. Wall-clock only gates when opt.wallClockGate;
+ * host.* metrics only when opt.hostGate. */
 Verdict
 foldVerdict(const PairDiff &pair, const DiffOptions &opt)
 {
@@ -322,6 +360,10 @@ foldVerdict(const PairDiff &pair, const DiffOptions &opt)
         any_change = true;
         if (m.metric == "imbalance.straggler_factor" &&
             m.verdict == Verdict::Regressed)
+            return Verdict::Regressed;
+        const bool serve_gate = m.metric == "serve.latency_p95" ||
+                                m.metric == "serve.queries_per_sec";
+        if (serve_gate && m.verdict == Verdict::Regressed)
             return Verdict::Regressed;
         if (m.metric == "times.total" || (m.noisy && noisy_gated)) {
             if (m.verdict == Verdict::Regressed)
@@ -516,7 +558,7 @@ loadMetricsFile(const std::string &path,
         MetricFields fields;
         if (kind->asString() == "distribution") {
             for (const char *f :
-                 {"count", "mean", "p50", "p95", "p99"}) {
+                 {"count", "mean", "p50", "p95", "p99", "p999"}) {
                 if (const auto *v = doc.find(f);
                     v && v->isNumber())
                     fields.emplace_back(f, v->asNumber());

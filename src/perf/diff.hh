@@ -134,7 +134,7 @@ DiffReport diffRecordSets(const RecordSet &olds, const RecordSet &news,
 /**
  * Diff two metrics JSONL exports (the `--metrics-out` format,
  * records tagged with a "kind" field). Pairs by (kind, name);
- * distributions compare count/mean/p50/p95/p99 so tail-imbalance
+ * distributions compare count/mean/p50/p95/p99/p999 so tail-imbalance
  * drift in dpu.cycles_per_launch is caught even when the mean holds.
  */
 bool diffMetricsFiles(const std::string &oldPath,

@@ -30,9 +30,11 @@ namespace alphapim::perf
  * summary); v4 adds the optional "imbalance" block (per-DPU skew,
  * straggler attribution, rebalance bound, roofline); v5 adds the
  * optional "host" block (per-phase simulator host seconds, memory
- * footprint, throughput and the simulation slowdown factor). v2
- * through v4 records still parse, just without the newer blocks. */
-inline constexpr const char *kRunSchema = "alpha-pim-run-v5";
+ * footprint, throughput and the simulation slowdown factor); v6 adds
+ * the optional "serve" block (query serving: admission, batching,
+ * model-time latency percentiles and throughput). v2 through v5
+ * records still parse, just without the newer blocks. */
+inline constexpr const char *kRunSchema = "alpha-pim-run-v6";
 
 /** Provenance of one recorded run. */
 struct RunManifest

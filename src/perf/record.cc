@@ -39,7 +39,7 @@ encodeRunRecord(const RunManifest &manifest, const RunKey &key,
                 const XferCounts *xfer, double wallSeconds,
                 const TimelineSummary *timeline,
                 const ImbalanceSummary *imbalance,
-                const HostSummary *host)
+                const HostSummary *host, const ServeSummary *serve)
 {
     telemetry::JsonWriter w;
     w.beginObject();
@@ -152,6 +152,25 @@ encodeRunRecord(const RunManifest &manifest, const RunKey &key,
             .value(host->taskletTraceBytesPeak);
         w.key("tracer_bytes").value(host->tracerBytes);
         w.key("metrics_bytes").value(host->metricsBytes);
+        w.endObject();
+    }
+    if (serve) {
+        w.key("serve").beginObject();
+        w.key("submitted").value(serve->submitted);
+        w.key("admitted").value(serve->admitted);
+        w.key("rejected").value(serve->rejected);
+        w.key("completed").value(serve->completed);
+        w.key("batches").value(serve->batches);
+        w.key("mean_batch_size").value(serve->meanBatchSize);
+        w.key("max_batch_size").value(serve->maxBatchSize);
+        w.key("max_queue_depth").value(serve->maxQueueDepth);
+        w.key("latency_p50").value(serve->latencyP50);
+        w.key("latency_p95").value(serve->latencyP95);
+        w.key("latency_p99").value(serve->latencyP99);
+        w.key("latency_p999").value(serve->latencyP999);
+        w.key("latency_mean").value(serve->latencyMean);
+        w.key("queries_per_sec").value(serve->queriesPerSec);
+        w.key("makespan_seconds").value(serve->makespanSeconds);
         w.endObject();
     }
     w.endObject();
@@ -337,6 +356,26 @@ parseRunRecord(const std::string &line, RunRecord &out,
             uintField(*h, "tasklet_trace_bytes_peak");
         s.tracerBytes = uintField(*h, "tracer_bytes");
         s.metricsBytes = uintField(*h, "metrics_bytes");
+    }
+
+    if (const auto *sv = doc.find("serve"); sv && sv->isObject()) {
+        out.hasServe = true;
+        auto &s = out.serve;
+        s.submitted = uintField(*sv, "submitted");
+        s.admitted = uintField(*sv, "admitted");
+        s.rejected = uintField(*sv, "rejected");
+        s.completed = uintField(*sv, "completed");
+        s.batches = uintField(*sv, "batches");
+        s.meanBatchSize = numberField(*sv, "mean_batch_size");
+        s.maxBatchSize = uintField(*sv, "max_batch_size");
+        s.maxQueueDepth = uintField(*sv, "max_queue_depth");
+        s.latencyP50 = numberField(*sv, "latency_p50");
+        s.latencyP95 = numberField(*sv, "latency_p95");
+        s.latencyP99 = numberField(*sv, "latency_p99");
+        s.latencyP999 = numberField(*sv, "latency_p999");
+        s.latencyMean = numberField(*sv, "latency_mean");
+        s.queriesPerSec = numberField(*sv, "queries_per_sec");
+        s.makespanSeconds = numberField(*sv, "makespan_seconds");
     }
 
     if (const auto *x = doc.find("xfer"); x && x->isObject()) {

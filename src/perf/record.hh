@@ -141,6 +141,36 @@ struct HostSummary
     std::uint64_t metricsBytes = 0;
 };
 
+/** Query-serving summary of one run (schema v6): admission and
+ * batching outcomes plus the model-time latency distribution of the
+ * serving subsystem (src/serve/). Every field derives from the
+ * deterministic model clock, so the differ exact-compares the whole
+ * block and gates p95 latency and throughput regressions. */
+struct ServeSummary
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t batches = 0;
+    double meanBatchSize = 0.0;
+    std::uint64_t maxBatchSize = 0;
+    std::uint64_t maxQueueDepth = 0;
+
+    /** Model-second latency percentiles over completed queries. */
+    double latencyP50 = 0.0;
+    double latencyP95 = 0.0;
+    double latencyP99 = 0.0;
+    double latencyP999 = 0.0;
+    double latencyMean = 0.0;
+
+    /** Completed queries per model second of makespan. */
+    double queriesPerSec = 0.0;
+
+    /** First-arrival to last-completion model seconds. */
+    double makespanSeconds = 0.0;
+};
+
 /** Per-run transfer-volume deltas (from the xfer.* counters). */
 struct XferCounts
 {
@@ -194,6 +224,11 @@ struct RunRecord
     // v5 records only -- older schemas parse with hasHost false) ----
     bool hasHost = false;
     HostSummary host;
+
+    // ---- query-serving summary (absent unless hasServe; schema v6
+    // records only -- older schemas parse with hasServe false) ----
+    bool hasServe = false;
+    ServeSummary serve;
 };
 
 /**
@@ -210,6 +245,7 @@ struct RunRecord
  * @param timeline   execution-timeline summary, or nullptr
  * @param imbalance  load-imbalance & roofline summary, or nullptr
  * @param host       host-performance profile summary, or nullptr
+ * @param serve      query-serving summary, or nullptr
  */
 std::string encodeRunRecord(const RunManifest &manifest,
                             const RunKey &key,
@@ -220,7 +256,8 @@ std::string encodeRunRecord(const RunManifest &manifest,
                             double wallSeconds,
                             const TimelineSummary *timeline = nullptr,
                             const ImbalanceSummary *imbalance = nullptr,
-                            const HostSummary *host = nullptr);
+                            const HostSummary *host = nullptr,
+                            const ServeSummary *serve = nullptr);
 
 /** Parse one record line. Returns false (with *error set) on
  * malformed JSON or missing identity fields. */

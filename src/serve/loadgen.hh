@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic load generation for the serving subsystem: a seeded
+ * open-loop generator (Poisson arrivals on the model clock, hand-
+ * rolled splitmix64 + inverse-CDF exponential so the stream is
+ * identical on every platform and standard library) and a
+ * closed-loop driver (N clients, each submitting its next query the
+ * instant its previous one completes). Both drive ServeEngine's
+ * discrete-event loop, so a (seed, options) pair always produces the
+ * same latency distribution -- the property the committed serving
+ * baseline gates on.
+ */
+
+#ifndef ALPHA_PIM_SERVE_LOADGEN_HH
+#define ALPHA_PIM_SERVE_LOADGEN_HH
+
+#include <vector>
+
+#include "serve/serve_engine.hh"
+
+namespace alphapim::serve
+{
+
+/** Load-generation options (open and closed loop). */
+struct LoadGenOptions
+{
+    /** Generator seed; same seed, same query stream. */
+    std::uint64_t seed = 1;
+
+    /** Dataset every generated query targets. */
+    std::string dataset = "graph";
+
+    /** Tenant pool; queries round through "tenant0".."tenantN-1". */
+    unsigned tenants = 4;
+
+    /** Algorithm mix sampled uniformly per query. */
+    std::vector<ServeAlgo> mix = {ServeAlgo::Bfs};
+
+    /** Strategy every generated query runs under. */
+    core::MxvStrategy strategy = core::MxvStrategy::Adaptive;
+
+    /** Open loop: total queries to generate. */
+    unsigned queries = 64;
+
+    /** Open loop: mean arrival rate (queries per model second);
+     * 0 = every query arrives at t=0 (a burst). */
+    double arrivalRate = 0.0;
+
+    /** Closed loop: concurrent clients. */
+    unsigned clients = 4;
+
+    /** Closed loop: queries each client issues. */
+    unsigned queriesPerClient = 8;
+};
+
+/** Deterministic splitmix64 stream. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform draw in (0, 1]. */
+    double
+    uniform()
+    {
+        return (static_cast<double>(next() >> 11) + 1.0) *
+               (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * Generate the open-loop arrival stream: `queries` queries with
+ * exponential inter-arrival times at `arrivalRate` (all at t=0 when
+ * the rate is 0), sources uniform over [0, numVertices).
+ */
+std::vector<ServeQuery> openLoopQueries(const LoadGenOptions &options,
+                                        NodeId numVertices);
+
+/**
+ * Drive the engine with a time-stamped arrival stream: arrivals are
+ * admitted in time order (admission control sees the queue as it was
+ * at each arrival instant) and the server runs one batch at a time.
+ * Results land in engine.results().
+ */
+void runOpenLoop(ServeEngine &engine,
+                 std::vector<ServeQuery> arrivals);
+
+/**
+ * Closed-loop driver: `clients` clients each submit their next query
+ * the moment their previous one completes. Requires queueCapacity >=
+ * clients (a closed loop never overflows the queue). Results land in
+ * engine.results().
+ */
+void runClosedLoop(ServeEngine &engine, const LoadGenOptions &options,
+                   NodeId numVertices);
+
+} // namespace alphapim::serve
+
+#endif // ALPHA_PIM_SERVE_LOADGEN_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Query and result types of the graph query serving subsystem: one
+ * tenant's request for a traversal over a resident dataset, and the
+ * admission / timing / provenance record the engine hands back. All
+ * serving time is *model* time (the simulator's deterministic clock),
+ * so latency distributions are exactly reproducible and the serving
+ * baselines gate with zero tolerance.
+ */
+
+#ifndef ALPHA_PIM_SERVE_QUERY_HH
+#define ALPHA_PIM_SERVE_QUERY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "core/engine.hh"
+
+namespace alphapim::serve
+{
+
+/** Algorithm a query requests. */
+enum class ServeAlgo
+{
+    Bfs,  ///< breadth-first search (batchable, 32 lanes)
+    Sssp, ///< single-source shortest paths (batchable, 8 lanes)
+    Ppr,  ///< personalized PageRank (served solo)
+    Cc,   ///< connected components (served solo; source ignored)
+};
+
+/** Display name ("bfs", "sssp", "ppr", "cc"). */
+const char *serveAlgoName(ServeAlgo algo);
+
+/** Parse an algorithm name; returns false on unknown input. */
+bool parseServeAlgo(const std::string &text, ServeAlgo &out);
+
+/** One tenant query against a resident dataset. */
+struct ServeQuery
+{
+    /** Requesting tenant (metrics / fairness attribution). */
+    std::string tenant;
+
+    /** Resident dataset name (must have been loaded). */
+    std::string dataset;
+
+    /** Requested traversal. */
+    ServeAlgo algo = ServeAlgo::Bfs;
+
+    /** Source vertex (ignored by Cc). */
+    NodeId source = 0;
+
+    /** Kernel-selection strategy the query runs under. */
+    core::MxvStrategy strategy = core::MxvStrategy::Adaptive;
+
+    /** Model-time arrival. */
+    Seconds arrival = 0.0;
+};
+
+/** Outcome of one query: admission decision, timing, provenance. */
+struct ServeResult
+{
+    /** Engine-assigned id, in submission order. */
+    std::uint64_t queryId = 0;
+
+    std::string tenant;
+    std::string dataset;
+    ServeAlgo algo = ServeAlgo::Bfs;
+    NodeId source = 0;
+
+    /** False when admission control bounced the query. */
+    bool admitted = false;
+
+    /** Model times: arrival, service start, completion. */
+    Seconds arrival = 0.0;
+    Seconds start = 0.0;
+    Seconds finish = 0.0;
+
+    /** Queueing + service latency (model seconds). */
+    Seconds latency() const { return finish - arrival; }
+
+    /** Queries coalesced into the launch that served this one. */
+    unsigned batchSize = 0;
+
+    /** Matrix-vector iterations of the (shared) run. */
+    unsigned iterations = 0;
+
+    /** True when the traversal reached its fixpoint. */
+    bool converged = false;
+
+    /** FNV-1a over this query's output column -- lets tests prove
+     * batched results bit-identical to sequential ones through the
+     * serving path. */
+    std::uint64_t resultChecksum = 0;
+};
+
+} // namespace alphapim::serve
+
+#endif // ALPHA_PIM_SERVE_QUERY_HH

@@ -1,0 +1,144 @@
+#include "scheduler.hh"
+
+#include "apps/multi_source.hh"
+#include "common/logging.hh"
+
+namespace alphapim::serve
+{
+
+const char *
+serveAlgoName(ServeAlgo algo)
+{
+    switch (algo) {
+      case ServeAlgo::Bfs:
+        return "bfs";
+      case ServeAlgo::Sssp:
+        return "sssp";
+      case ServeAlgo::Ppr:
+        return "ppr";
+      case ServeAlgo::Cc:
+        return "cc";
+    }
+    return "?";
+}
+
+bool
+parseServeAlgo(const std::string &text, ServeAlgo &out)
+{
+    if (text == "bfs")
+        out = ServeAlgo::Bfs;
+    else if (text == "sssp")
+        out = ServeAlgo::Sssp;
+    else if (text == "ppr")
+        out = ServeAlgo::Ppr;
+    else if (text == "cc")
+        out = ServeAlgo::Cc;
+    else
+        return false;
+    return true;
+}
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    return kind == SchedulerKind::Fifo ? "fifo" : "batching";
+}
+
+bool
+parseSchedulerKind(const std::string &text, SchedulerKind &out)
+{
+    if (text == "fifo")
+        out = SchedulerKind::Fifo;
+    else if (text == "batching")
+        out = SchedulerKind::Batching;
+    else
+        return false;
+    return true;
+}
+
+unsigned
+batchLimit(ServeAlgo algo)
+{
+    switch (algo) {
+      case ServeAlgo::Bfs:
+        return apps::kBfsLanes;
+      case ServeAlgo::Sssp:
+        return apps::kSsspLanes;
+      case ServeAlgo::Ppr:
+      case ServeAlgo::Cc:
+        return 1;
+    }
+    return 1;
+}
+
+namespace
+{
+
+/** Arrival order, one query per launch. */
+class FifoScheduler final : public Scheduler
+{
+  public:
+    const char *name() const override { return "fifo"; }
+
+    std::vector<PendingQuery>
+    next(std::deque<PendingQuery> &queue) override
+    {
+        ALPHA_ASSERT(!queue.empty(), "scheduling an empty queue");
+        std::vector<PendingQuery> batch;
+        batch.push_back(std::move(queue.front()));
+        queue.pop_front();
+        return batch;
+    }
+};
+
+/**
+ * Head-of-line batching: the oldest query fixes (dataset, algo,
+ * strategy); every queued query matching that key joins the launch,
+ * up to the algorithm's lane limit. Non-matching queries keep their
+ * relative order.
+ */
+class BatchingScheduler final : public Scheduler
+{
+  public:
+    const char *name() const override { return "batching"; }
+
+    std::vector<PendingQuery>
+    next(std::deque<PendingQuery> &queue) override
+    {
+        ALPHA_ASSERT(!queue.empty(), "scheduling an empty queue");
+        const ServeQuery &head = queue.front().query;
+        const unsigned limit = batchLimit(head.algo);
+
+        std::vector<PendingQuery> batch;
+        batch.push_back(std::move(queue.front()));
+        queue.pop_front();
+        if (limit <= 1)
+            return batch;
+
+        const ServeQuery &key = batch.front().query;
+        for (auto it = queue.begin();
+             it != queue.end() && batch.size() < limit;) {
+            const ServeQuery &q = it->query;
+            if (q.dataset == key.dataset && q.algo == key.algo &&
+                q.strategy == key.strategy) {
+                batch.push_back(std::move(*it));
+                it = queue.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        return batch;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerKind kind)
+{
+    if (kind == SchedulerKind::Fifo)
+        return std::make_unique<FifoScheduler>();
+    return std::make_unique<BatchingScheduler>();
+}
+
+} // namespace alphapim::serve

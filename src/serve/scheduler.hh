@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Pluggable serving schedulers: the policy that picks which queued
+ * queries the next launch serves. FIFO serves strictly one query per
+ * launch; the batching scheduler coalesces queued same-dataset,
+ * same-algorithm, same-strategy BFS/SSSP queries into one
+ * multi-source launch (up to the semiring's lane count), which is
+ * the subsystem's throughput win. Schedulers only reorder *within*
+ * the admitted queue; admission control stays in the engine.
+ */
+
+#ifndef ALPHA_PIM_SERVE_SCHEDULER_HH
+#define ALPHA_PIM_SERVE_SCHEDULER_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "serve/query.hh"
+
+namespace alphapim::serve
+{
+
+/** One admitted, not-yet-served query. */
+struct PendingQuery
+{
+    std::uint64_t id = 0;
+    ServeQuery query;
+};
+
+/** Scheduling policy selector. */
+enum class SchedulerKind
+{
+    Fifo,     ///< one query per launch, arrival order
+    Batching, ///< coalesce same-graph BFS/SSSP into one launch
+};
+
+/** Display name ("fifo", "batching"). */
+const char *schedulerKindName(SchedulerKind kind);
+
+/** Parse a scheduler name; returns false on unknown input. */
+bool parseSchedulerKind(const std::string &text, SchedulerKind &out);
+
+/** Queries one launch of `algo` can coalesce (1 = not batchable). */
+unsigned batchLimit(ServeAlgo algo);
+
+/**
+ * Scheduling policy: removes the next batch from the admitted queue.
+ * Every returned batch is non-empty and homogeneous in (dataset,
+ * algo, strategy), so the engine can serve it with one resident
+ * engine and -- for BFS/SSSP -- one multi-source launch.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Policy display name. */
+    virtual const char *name() const = 0;
+
+    /** Remove and return the next batch; `queue` must be non-empty. */
+    virtual std::vector<PendingQuery>
+    next(std::deque<PendingQuery> &queue) = 0;
+};
+
+/** Construct the scheduler for `kind`. */
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind);
+
+} // namespace alphapim::serve
+
+#endif // ALPHA_PIM_SERVE_SCHEDULER_HH

@@ -1,0 +1,347 @@
+#include "serve_engine.hh"
+
+#include <algorithm>
+
+#include "apps/reference_algorithms.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "perf/fingerprint.hh"
+#include "sparse/stats_cache.hh"
+#include "telemetry/metrics.hh"
+
+namespace alphapim::serve
+{
+
+namespace
+{
+
+/** FNV-1a over a vector's raw element bytes. */
+template <typename T>
+std::uint64_t
+fnvChecksum(const std::vector<T> &v)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    const auto *bytes =
+        reinterpret_cast<const unsigned char *>(v.data());
+    for (std::size_t i = 0; i < v.size() * sizeof(T); ++i) {
+        h ^= bytes[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+/** Resident per-(algorithm, strategy) engines of one dataset. The
+ * maps key on the strategy; engines build lazily on first use and
+ * persist, so the matrix load and partition plan amortize across
+ * every later query. */
+struct ServeEngine::Dataset
+{
+    sparse::CooMatrix<float> adjacency;
+    sparse::CooMatrix<float> normalized; ///< PPR's matrix
+    std::uint64_t fingerprint = 0;
+
+    template <typename S>
+    using EngineMap =
+        std::map<core::MxvStrategy,
+                 std::unique_ptr<core::PimEngine<S>>>;
+
+    EngineMap<core::BitsOrAnd> bfs;
+    EngineMap<core::MinPlus> ssspSolo;
+    EngineMap<apps::SsspBatchSemiring> ssspBatch;
+    EngineMap<core::PlusTimes> ppr;
+    EngineMap<core::MinSelect> cc;
+
+    /** Fetch-or-build a resident engine. */
+    template <typename S>
+    static core::PimEngine<S> &
+    resident(EngineMap<S> &map, const upmem::UpmemSystem &sys,
+             const sparse::CooMatrix<float> &matrix, unsigned dpus,
+             core::MxvStrategy strategy)
+    {
+        auto it = map.find(strategy);
+        if (it == map.end()) {
+            it = map.emplace(strategy,
+                             std::make_unique<core::PimEngine<S>>(
+                                 sys, matrix,
+                                 dpus == 0 ? sys.numDpus() : dpus,
+                                 strategy))
+                     .first;
+            telemetry::metrics().addCounter("serve.engine_builds");
+        }
+        return *it->second;
+    }
+};
+
+ServeEngine::ServeEngine(const upmem::UpmemSystem &sys,
+                         ServeOptions options)
+    : sys_(sys), options_(options),
+      scheduler_(makeScheduler(options.scheduler))
+{
+    ALPHA_ASSERT(options_.queueCapacity > 0,
+                 "serve queue capacity must be positive");
+}
+
+ServeEngine::~ServeEngine() = default;
+
+void
+ServeEngine::loadDataset(const std::string &name,
+                         const sparse::CooMatrix<float> &adjacency)
+{
+    auto ds = std::make_unique<Dataset>();
+    ds->adjacency = adjacency;
+    ds->normalized = apps::normalizeColumns(adjacency);
+    ds->fingerprint = perf::datasetFingerprint(adjacency);
+    // Warm the shared stats cache: every later engine build for this
+    // dataset (any strategy) hits instead of recomputing.
+    sparse::cachedGraphStats(ds->adjacency);
+    datasets_[name] = std::move(ds);
+    telemetry::metrics().addCounter("serve.datasets_loaded");
+}
+
+bool
+ServeEngine::hasDataset(const std::string &name) const
+{
+    return datasets_.count(name) != 0;
+}
+
+ServeEngine::Dataset &
+ServeEngine::dataset(const std::string &name)
+{
+    const auto it = datasets_.find(name);
+    ALPHA_ASSERT(it != datasets_.end(),
+                 "query names an unloaded dataset");
+    return *it->second;
+}
+
+const ServeEngine::Dataset &
+ServeEngine::dataset(const std::string &name) const
+{
+    const auto it = datasets_.find(name);
+    ALPHA_ASSERT(it != datasets_.end(),
+                 "query names an unloaded dataset");
+    return *it->second;
+}
+
+NodeId
+ServeEngine::datasetRows(const std::string &name) const
+{
+    return dataset(name).adjacency.numRows();
+}
+
+std::uint64_t
+ServeEngine::datasetFingerprint(const std::string &name) const
+{
+    return dataset(name).fingerprint;
+}
+
+bool
+ServeEngine::submit(const ServeQuery &query, std::uint64_t *id)
+{
+    ++submitted_;
+    if (firstArrival_ < 0.0)
+        firstArrival_ = query.arrival;
+    if (id)
+        *id = nextId_;
+    telemetry::metrics().addCounter("serve.queries_submitted");
+    if (queue_.size() >= options_.queueCapacity) {
+        ++rejected_;
+        telemetry::metrics().addCounter("serve.admission_rejects");
+        ServeResult res;
+        res.queryId = nextId_++;
+        res.tenant = query.tenant;
+        res.dataset = query.dataset;
+        res.algo = query.algo;
+        res.source = query.source;
+        res.admitted = false;
+        res.arrival = query.arrival;
+        res.start = query.arrival;
+        res.finish = query.arrival;
+        results_.push_back(std::move(res));
+        return false;
+    }
+    queue_.push_back({nextId_++, query});
+    maxQueueDepth_ =
+        std::max<std::uint64_t>(maxQueueDepth_, queue_.size());
+    telemetry::metrics().addSample(
+        "serve.queue_depth", static_cast<double>(queue_.size()));
+    return true;
+}
+
+void
+ServeEngine::step()
+{
+    ALPHA_ASSERT(!queue_.empty(), "step() on an idle serve engine");
+    serveBatch(scheduler_->next(queue_));
+}
+
+void
+ServeEngine::drain()
+{
+    while (!queue_.empty())
+        step();
+}
+
+void
+ServeEngine::serveBatch(const std::vector<PendingQuery> &batch)
+{
+    const ServeQuery &head = batch.front().query;
+    Dataset &ds = dataset(head.dataset);
+
+    // The single server starts once it is free AND every coalesced
+    // query has arrived.
+    Seconds start = clock_;
+    for (const PendingQuery &p : batch)
+        start = std::max(start, p.query.arrival);
+
+    core::PhaseTimes service;
+    unsigned iterations = 0;
+    bool converged = false;
+    std::vector<std::uint64_t> checksums(batch.size(), 0);
+
+    switch (head.algo) {
+      case ServeAlgo::Bfs: {
+        auto &engine = Dataset::resident<core::BitsOrAnd>(
+            ds.bfs, sys_, ds.adjacency, options_.dpus,
+            head.strategy);
+        std::vector<NodeId> sources;
+        sources.reserve(batch.size());
+        for (const PendingQuery &p : batch)
+            sources.push_back(p.query.source);
+        const auto r = apps::multiBfsWithEngine(
+            sys_, engine, sources, options_.app);
+        service = r.total;
+        iterations = static_cast<unsigned>(r.iterations.size());
+        converged = r.converged;
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            checksums[i] = fnvChecksum(r.levels[i]);
+        break;
+      }
+      case ServeAlgo::Sssp: {
+        if (batch.size() == 1) {
+            // Solo SSSP takes the plain MinPlus engine: under FIFO
+            // (or an empty queue) a single query never pays the
+            // lane-widened arithmetic.
+            auto &engine = Dataset::resident<core::MinPlus>(
+                ds.ssspSolo, sys_, ds.adjacency, options_.dpus,
+                head.strategy);
+            const auto r = apps::ssspWithEngine(
+                sys_, engine, head.source, options_.app);
+            service = r.total;
+            iterations = static_cast<unsigned>(r.iterations.size());
+            converged = r.converged;
+            checksums[0] = fnvChecksum(r.distances);
+        } else {
+            auto &engine =
+                Dataset::resident<apps::SsspBatchSemiring>(
+                    ds.ssspBatch, sys_, ds.adjacency, options_.dpus,
+                    head.strategy);
+            std::vector<NodeId> sources;
+            sources.reserve(batch.size());
+            for (const PendingQuery &p : batch)
+                sources.push_back(p.query.source);
+            const auto r = apps::multiSsspWithEngine(
+                sys_, engine, sources, options_.app);
+            service = r.total;
+            iterations = static_cast<unsigned>(r.iterations.size());
+            converged = r.converged;
+            for (std::size_t i = 0; i < batch.size(); ++i)
+                checksums[i] = fnvChecksum(r.distances[i]);
+        }
+        break;
+      }
+      case ServeAlgo::Ppr: {
+        auto &engine = Dataset::resident<core::PlusTimes>(
+            ds.ppr, sys_, ds.normalized, options_.dpus,
+            head.strategy);
+        const auto r = apps::pprWithEngine(sys_, engine, head.source,
+                                           options_.app);
+        service = r.total;
+        iterations = static_cast<unsigned>(r.iterations.size());
+        converged = r.converged;
+        checksums[0] = fnvChecksum(r.ranks);
+        break;
+      }
+      case ServeAlgo::Cc: {
+        auto &engine = Dataset::resident<core::MinSelect>(
+            ds.cc, sys_, ds.adjacency, options_.dpus,
+            head.strategy);
+        const auto r =
+            apps::ccWithEngine(sys_, engine, options_.app);
+        service = r.total;
+        iterations = static_cast<unsigned>(r.iterations.size());
+        converged = r.converged;
+        checksums[0] = fnvChecksum(r.levels);
+        break;
+      }
+    }
+
+    clock_ = start + service.total();
+    phaseTotals_ += service;
+    servedIterations_ += iterations;
+    ++batches_;
+    batchedQueries_ += batch.size();
+    maxBatchSize_ =
+        std::max<std::uint64_t>(maxBatchSize_, batch.size());
+    telemetry::metrics().addCounter("serve.batches");
+    telemetry::metrics().addSample(
+        "serve.batch_size", static_cast<double>(batch.size()));
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const PendingQuery &p = batch[i];
+        ServeResult res;
+        res.queryId = p.id;
+        res.tenant = p.query.tenant;
+        res.dataset = p.query.dataset;
+        res.algo = p.query.algo;
+        res.source = p.query.source;
+        res.admitted = true;
+        res.arrival = p.query.arrival;
+        res.start = start;
+        res.finish = clock_;
+        res.batchSize = static_cast<unsigned>(batch.size());
+        res.iterations = iterations;
+        res.converged = converged;
+        res.resultChecksum = checksums[i];
+        latencies_.push_back(res.latency());
+        telemetry::metrics().addSample("serve.latency_seconds",
+                                       res.latency());
+        results_.push_back(std::move(res));
+    }
+}
+
+perf::ServeSummary
+ServeEngine::summary() const
+{
+    perf::ServeSummary s;
+    s.submitted = submitted_;
+    s.rejected = rejected_;
+    s.admitted = submitted_ - rejected_;
+    s.completed = latencies_.size();
+    s.batches = batches_;
+    s.meanBatchSize =
+        batches_ > 0 ? static_cast<double>(batchedQueries_) /
+                           static_cast<double>(batches_)
+                     : 0.0;
+    s.maxBatchSize = maxBatchSize_;
+    s.maxQueueDepth = maxQueueDepth_;
+    if (!latencies_.empty()) {
+        s.latencyP50 = percentile(latencies_, 50.0);
+        s.latencyP95 = percentile(latencies_, 95.0);
+        s.latencyP99 = percentile(latencies_, 99.0);
+        s.latencyP999 = percentile(latencies_, 99.9);
+        double sum = 0.0;
+        for (double l : latencies_)
+            sum += l;
+        s.latencyMean = sum / static_cast<double>(latencies_.size());
+    }
+    if (firstArrival_ >= 0.0 && clock_ > firstArrival_) {
+        s.makespanSeconds = clock_ - firstArrival_;
+        s.queriesPerSec =
+            static_cast<double>(s.completed) / s.makespanSeconds;
+    }
+    return s;
+}
+
+} // namespace alphapim::serve

@@ -1,0 +1,69 @@
+#include "stats_cache.hh"
+
+#include <map>
+#include <mutex>
+
+#include "perf/fingerprint.hh"
+
+namespace alphapim::sparse
+{
+
+namespace
+{
+
+struct StatsCache
+{
+    std::mutex mutex;
+    std::map<std::uint64_t, GraphStats> entries;
+    StatsCacheCounters counters;
+};
+
+StatsCache &
+cache()
+{
+    static StatsCache instance;
+    return instance;
+}
+
+} // namespace
+
+GraphStats
+cachedGraphStats(const CooMatrix<float> &adjacency)
+{
+    const std::uint64_t fp = perf::datasetFingerprint(adjacency);
+    StatsCache &c = cache();
+    {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        if (const auto it = c.entries.find(fp);
+            it != c.entries.end()) {
+            ++c.counters.hits;
+            return it->second;
+        }
+    }
+    // Compute outside the lock: concurrent first loads of distinct
+    // graphs should not serialize on each other's degree scans.
+    const GraphStats stats = computeGraphStats(adjacency);
+    std::lock_guard<std::mutex> lock(c.mutex);
+    ++c.counters.misses;
+    c.entries.emplace(fp, stats);
+    return stats;
+}
+
+StatsCacheCounters
+statsCacheCounters()
+{
+    StatsCache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    return c.counters;
+}
+
+void
+resetStatsCache()
+{
+    StatsCache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.entries.clear();
+    c.counters = StatsCacheCounters();
+}
+
+} // namespace alphapim::sparse

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Process-wide GraphStats cache keyed by the dataset fingerprint.
+ *
+ * The serving steady state loads the same adjacency matrix over and
+ * over (every engine construction recomputes the decision-tree
+ * features), so cachedGraphStats() memoizes computeGraphStats() on
+ * the FNV-1a dataset fingerprint (shape + structure + values --
+ * src/perf/fingerprint.hh). A hit skips the O(nnz) degree scan
+ * entirely; hit/miss counters make the skip observable to tests and
+ * the serve.* metrics.
+ */
+
+#ifndef ALPHA_PIM_SPARSE_STATS_CACHE_HH
+#define ALPHA_PIM_SPARSE_STATS_CACHE_HH
+
+#include <cstdint>
+
+#include "sparse/graph_stats.hh"
+
+namespace alphapim::sparse
+{
+
+/** Hit/miss tally of the process-wide stats cache. A miss is also
+ * exactly one computeGraphStats() execution, so `misses` counts the
+ * stats work actually done. */
+struct StatsCacheCounters
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+/**
+ * computeGraphStats() memoized on the dataset fingerprint. The first
+ * call for a given matrix computes and caches; subsequent calls for
+ * a byte-identical matrix (same fingerprint) return the cached
+ * stats without touching the matrix again. Thread-safe.
+ */
+GraphStats cachedGraphStats(const CooMatrix<float> &adjacency);
+
+/** Current hit/miss counters. */
+StatsCacheCounters statsCacheCounters();
+
+/** Drop all cached entries and zero the counters (tests). */
+void resetStatsCache();
+
+} // namespace alphapim::sparse
+
+#endif // ALPHA_PIM_SPARSE_STATS_CACHE_HH

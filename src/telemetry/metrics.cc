@@ -244,6 +244,8 @@ MetricsRegistry::jsonl() const
             w.key("p50").value(percentile(entry.samples, 50.0));
             w.key("p95").value(percentile(entry.samples, 95.0));
             w.key("p99").value(percentile(entry.samples, 99.0));
+            w.key("p999").value(
+                percentile(entry.samples, 99.9));
         }
         if (entry.dropped > 0)
             w.key("samples_dropped").value(entry.dropped);

@@ -115,6 +115,19 @@ TEST(Percentile, Type7MatchesNumpy)
     EXPECT_DOUBLE_EQ(percentile(v, 95.0), 48.0);
 }
 
+TEST(Percentile, TailP999MatchesNumpy)
+{
+    // numpy.percentile(range(1, 1001), 99.9) == 999.001: the p999
+    // the serving subsystem reports must resolve the last-sample
+    // tail, not collapse onto p100.
+    std::vector<double> v(1000);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = static_cast<double>(i + 1);
+    EXPECT_DOUBLE_EQ(percentile(v, 99.9), 999.001);
+    EXPECT_LT(percentile(v, 99.9), percentile(v, 100.0));
+    EXPECT_GT(percentile(v, 99.9), percentile(v, 99.0));
+}
+
 TEST(Percentile, UnsortedInputAndExtremes)
 {
     const std::vector<double> v = {9.0, 1.0, 5.0, 3.0, 7.0};

@@ -86,6 +86,11 @@ TEST_F(MetricsTest, DistributionPercentiles)
                      99.01);
     EXPECT_TRUE(std::isnan(
         registry_.distributionPercentile("missing", 50.0)));
+    // p999 interpolates within the last gap (type-7, numpy
+    // percentile(range(1,101), 99.9) == 99.901).
+    EXPECT_DOUBLE_EQ(registry_.distributionPercentile(
+                         "dpu.cycles_per_launch", 99.9),
+                     99.901);
 }
 
 TEST_F(MetricsTest, SamplesBelowTheCapStayExact)

@@ -26,6 +26,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/cli.hh"
 #include "perf/build_info.hh"
 #include "perf/diff.hh"
 
@@ -84,32 +85,20 @@ main(int argc, char **argv)
     bool force_metrics = false;
     std::vector<std::string> paths;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        std::string inline_value;
-        bool has_inline = false;
-        if (const std::size_t eq = arg.find('=');
-            eq != std::string::npos && arg.rfind("--", 0) == 0) {
-            inline_value = arg.substr(eq + 1);
-            arg.resize(eq);
-            has_inline = true;
-        }
-        auto next = [&]() -> const char * {
-            if (has_inline)
-                return inline_value.c_str();
-            if (i + 1 >= argc)
-                usage();
-            return argv[++i];
-        };
+    CliArgs args(argc, argv,
+                 [](const std::string &) { usage(); });
+    while (args.next()) {
+        const std::string &arg = args.arg();
         if (arg == "--threshold")
-            opt.threshold = std::atof(next());
+            opt.threshold = std::atof(args.value());
         else if (arg == "--confidence")
-            opt.confidence = std::atof(next());
+            opt.confidence = std::atof(args.value());
         else if (arg == "--resamples")
             opt.resamples = static_cast<std::size_t>(
-                std::strtoull(next(), nullptr, 10));
+                std::strtoull(args.value(), nullptr, 10));
         else if (arg == "--seed")
-            opt.bootstrapSeed = std::strtoull(next(), nullptr, 10);
+            opt.bootstrapSeed =
+                std::strtoull(args.value(), nullptr, 10);
         else if (arg == "--wall-gate")
             opt.wallClockGate = true;
         else if (arg == "--host-gate")
@@ -117,10 +106,10 @@ main(int argc, char **argv)
         else if (arg == "--version")
             printVersion();
         else if (arg == "--json-report")
-            json_report = next();
+            json_report = args.value();
         else if (arg == "--metrics")
             force_metrics = true;
-        else if (arg.rfind("--", 0) == 0)
+        else if (args.isFlag())
             usage();
         else
             paths.push_back(arg);

@@ -25,6 +25,7 @@
 #include "apps/graph_apps.hh"
 #include "apps/reference_algorithms.hh"
 #include "baseline/cpu_engine.hh"
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/table.hh"
@@ -127,24 +128,12 @@ CliOptions
 parseCli(int argc, char **argv)
 {
     CliOptions opt;
-    for (int i = 1; i < argc; ++i) {
-        // Accept both "--flag value" and "--flag=value".
-        std::string arg = argv[i];
-        std::string inline_value;
-        bool has_inline = false;
-        if (const std::size_t eq = arg.find('=');
-            eq != std::string::npos && arg.rfind("--", 0) == 0) {
-            inline_value = arg.substr(eq + 1);
-            arg.resize(eq);
-            has_inline = true;
-        }
-        auto next = [&]() -> const char * {
-            if (has_inline)
-                return inline_value.c_str();
-            if (i + 1 >= argc)
-                usage();
-            return argv[++i];
-        };
+    // Accept both "--flag value" and "--flag=value".
+    CliArgs args(argc, argv,
+                 [](const std::string &) { usage(); });
+    while (args.next()) {
+        const std::string &arg = args.arg();
+        auto next = [&]() -> const char * { return args.value(); };
         if (arg == "--algo")
             opt.algo = next();
         else if (arg == "--dataset")
@@ -180,8 +169,8 @@ parseCli(int argc, char **argv)
             opt.source = std::atol(next());
         else if (arg == "--check") {
             opt.check = true;
-            if (has_inline)
-                opt.checkList = inline_value;
+            if (args.hasInlineValue())
+                opt.checkList = args.inlineValue();
         } else if (arg == "--check-out") {
             opt.check = true;
             opt.checkOut = next();
@@ -201,13 +190,14 @@ parseCli(int argc, char **argv)
                 usage();
             }
         } else if (arg == "--host-prof") {
-            if (!has_inline || inline_value == "on")
+            if (!args.hasInlineValue() ||
+                args.inlineValue() == "on")
                 opt.hostProf = true;
-            else if (inline_value == "off")
+            else if (args.inlineValue() == "off")
                 opt.hostProf = false;
             else
                 fatal("--host-prof: expected on or off, got '%s'",
-                      inline_value.c_str());
+                      args.inlineValue().c_str());
         } else if (arg == "--version") {
             std::printf("alphapim %s (%s%s%s)\n", perf::gitSha(),
                         perf::buildType(),

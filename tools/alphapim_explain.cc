@@ -52,6 +52,7 @@
 
 #include "analysis/critical_path.hh"
 #include "analysis/imbalance.hh"
+#include "common/cli.hh"
 #include "common/types.hh"
 #include "perf/build_info.hh"
 #include "perf/record.hh"
@@ -99,29 +100,16 @@ ExplainOptions
 parseArgs(int argc, char **argv)
 {
     ExplainOptions opt;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        std::string inline_value;
-        bool has_inline = false;
-        if (const std::size_t eq = arg.find('=');
-            eq != std::string::npos && arg.rfind("--", 0) == 0) {
-            inline_value = arg.substr(eq + 1);
-            arg.resize(eq);
-            has_inline = true;
-        }
-        auto next = [&]() -> const char * {
-            if (has_inline)
-                return inline_value.c_str();
-            if (i + 1 >= argc)
-                usage();
-            return argv[++i];
-        };
+    CliArgs args(argc, argv,
+                 [](const std::string &) { usage(); });
+    while (args.next()) {
+        const std::string &arg = args.arg();
         if (arg == "--trace")
-            opt.trace = next();
+            opt.trace = args.value();
         else if (arg == "--records")
-            opt.records = next();
+            opt.records = args.value();
         else if (arg == "--html")
-            opt.html = next();
+            opt.html = args.value();
         else if (arg == "--imbalance")
             opt.imbalance = true;
         else if (arg == "--host")

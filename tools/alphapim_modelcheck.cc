@@ -28,6 +28,7 @@
 #include "analysis/modelcheck/explorer.hh"
 #include "analysis/modelcheck/extract.hh"
 #include "analysis/modelcheck/protocol.hh"
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "perf/build_info.hh"
 #include "telemetry/json.hh"
@@ -214,27 +215,15 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options opt;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        std::string inline_value;
-        bool has_inline = false;
-        if (const std::size_t eq = arg.find('=');
-            eq != std::string::npos && arg.rfind("--", 0) == 0) {
-            inline_value = arg.substr(eq + 1);
-            arg.resize(eq);
-            has_inline = true;
-        }
-        auto next = [&]() -> std::string {
-            if (has_inline)
-                return inline_value;
-            if (i + 1 >= argc) {
-                std::fprintf(stderr,
-                             "alphapim_modelcheck: %s needs a value\n",
-                             arg.c_str());
-                usage();
-            }
-            return argv[++i];
-        };
+    CliArgs args(argc, argv, [](const std::string &flag) {
+        std::fprintf(stderr,
+                     "alphapim_modelcheck: %s needs a value\n",
+                     flag.c_str());
+        usage();
+    });
+    while (args.next()) {
+        const std::string &arg = args.arg();
+        auto next = [&]() -> std::string { return args.value(); };
         auto nextU64 = [&]() -> std::uint64_t {
             const std::string v = next();
             try {
@@ -249,18 +238,19 @@ parseArgs(int argc, char **argv)
 
         if (arg == "--kernels") {
             opt.kernels = true;
-            if (has_inline &&
-                !parseKernelList(inline_value, opt.kernelList))
+            if (args.hasInlineValue() &&
+                !parseKernelList(args.inlineValue(), opt.kernelList))
                 usage();
         } else if (arg == "--protocol") {
             opt.protocol = true;
-            if (has_inline &&
-                !parseScheduleList(inline_value, opt.scheduleList))
+            if (args.hasInlineValue() &&
+                !parseScheduleList(args.inlineValue(),
+                                   opt.scheduleList))
                 usage();
         } else if (arg == "--apps") {
             opt.apps = true;
-            if (has_inline &&
-                !parseAppList(inline_value, opt.appList))
+            if (args.hasInlineValue() &&
+                !parseAppList(args.inlineValue(), opt.appList))
                 usage();
         } else if (arg == "--strategy") {
             const std::string v = next();

@@ -41,6 +41,7 @@ BENCHES=(
     sens_switch_threshold
     abl_future_hw
     ext_sparsep_1d
+    fig_serve_latency
 )
 
 mkdir -p "$OUT"
