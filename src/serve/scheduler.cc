@@ -115,7 +115,9 @@ class BatchingScheduler final : public Scheduler
         if (limit <= 1)
             return batch;
 
-        const ServeQuery &key = batch.front().query;
+        // Copied, not referenced: push_back below may reallocate
+        // `batch` and would invalidate a reference into it.
+        const ServeQuery key = batch.front().query;
         for (auto it = queue.begin();
              it != queue.end() && batch.size() < limit;) {
             const ServeQuery &q = it->query;

@@ -139,6 +139,9 @@ ServeEngine::datasetFingerprint(const std::string &name) const
 bool
 ServeEngine::submit(const ServeQuery &query, std::uint64_t *id)
 {
+    ALPHA_ASSERT(query.arrival >= lastArrival_,
+                 "serve submissions must arrive in time order");
+    lastArrival_ = query.arrival;
     ++submitted_;
     if (firstArrival_ < 0.0)
         firstArrival_ = query.arrival;

@@ -21,6 +21,7 @@
 #ifndef ALPHA_PIM_SERVE_SERVE_ENGINE_HH
 #define ALPHA_PIM_SERVE_SERVE_ENGINE_HH
 
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -155,6 +156,7 @@ class ServeEngine
     std::uint64_t maxBatchSize_ = 0;
     std::uint64_t maxQueueDepth_ = 0;
     double firstArrival_ = -1.0;
+    double lastArrival_ = -std::numeric_limits<double>::infinity();
     std::vector<double> latencies_;
 };
 
